@@ -1,0 +1,128 @@
+package netcl
+
+import (
+	"netcl/internal/apps"
+	"netcl/internal/bmv2"
+	"netcl/internal/netsim"
+	"netcl/internal/p4"
+	"netcl/internal/p4rt"
+	"netcl/internal/runtime"
+	"netcl/internal/wire"
+)
+
+// Public facade: the runtime, simulator, and control-plane types that
+// host applications use, re-exported from the internal packages so
+// downstream code only imports this package.
+
+// Messaging (the ncl:: host library of Table I).
+type (
+	// Message mirrors ncl::message: source and destination hosts, the
+	// device asked to compute, and the computation id.
+	Message = runtime.Message
+	// MessageSpec is a computation's message layout (from kernel
+	// specifications, §V-A).
+	MessageSpec = runtime.MessageSpec
+	// Header is the NetCL wire header (src, dst, from, to, comp, act,
+	// arg — Fig. 10).
+	Header = wire.Header
+)
+
+// Pack serializes a NetCL message (ncl::pack).
+var Pack = runtime.Pack
+
+// Unpack deserializes a NetCL message (ncl::unpack).
+var Unpack = runtime.Unpack
+
+// Wire constants.
+const (
+	// NoNode marks an absent node id in a header's From/To fields.
+	NoNode = wire.None
+	// ActReflect et al. are the action codes of Table II.
+	ActPass        = wire.ActPass
+	ActDrop        = wire.ActDrop
+	ActSendHost    = wire.ActSendHost
+	ActSendDevice  = wire.ActSendDevice
+	ActMulticast   = wire.ActMulticast
+	ActReflect     = wire.ActReflect
+	ActReflectLong = wire.ActReflectLong
+)
+
+// Simulation (the testbed substrate).
+type (
+	// Network is the discrete-event network simulator.
+	Network = netsim.Network
+	// Host is a simulated end system running Go callbacks.
+	Host = netsim.Host
+	// Device is a simulated P4 switch.
+	Device = netsim.Device
+	// Switch is the behavioral-model P4 interpreter.
+	Switch = bmv2.Switch
+	// TableEntry is a match-action table entry.
+	TableEntry = p4.Entry
+	// KeyValue is one matched key of a table entry.
+	KeyValue = p4.KeyValue
+	// ActionCall invokes a table action with constant arguments.
+	ActionCall = p4.ActionCall
+)
+
+// NewNetwork creates an empty simulated network.
+func NewNetwork() *Network { return netsim.NewNetwork() }
+
+// NewSwitch instantiates a behavioral-model switch for a program.
+func NewSwitch(prog *p4.Program) *Switch { return bmv2.New(prog) }
+
+// Control plane and managed memory (requirement R6).
+type (
+	// ControlPlane is the device control-plane surface (P4Runtime-like).
+	ControlPlane = p4rt.Client
+	// DeviceConnection mirrors ncl::device_connection: _managed_
+	// memory access by NetCL-level names.
+	DeviceConnection = runtime.DeviceConnection
+)
+
+// DirectControlPlane binds a control plane to an in-process switch.
+func DirectControlPlane(sw *Switch) ControlPlane { return &p4rt.Direct{SW: sw} }
+
+// Connect builds a managed-memory connection for a compiled device.
+func Connect(cp ControlPlane, dev *DeviceArtifact) *DeviceConnection {
+	return &runtime.DeviceConnection{CP: cp, Mems: dev.Module.Mems}
+}
+
+// Real-UDP deployment backend.
+type (
+	// UDPDevice runs a compiled program behind a UDP socket.
+	UDPDevice = runtime.UDPDevice
+	// HostConn is a host-side UDP endpoint for NetCL messages.
+	HostConn = runtime.HostConn
+)
+
+// ServeUDPDevice starts a device process on a UDP address.
+func ServeUDPDevice(id uint16, addr string, prog *p4.Program) (*UDPDevice, error) {
+	return runtime.ServeUDPDevice(id, addr, prog)
+}
+
+// DialUDP opens a host endpoint targeting a device address.
+func DialUDP(id uint16, local, device string) (*HostConn, error) {
+	return runtime.DialUDP(id, local, device)
+}
+
+// Evaluation applications (§VII), exposed for examples and tools.
+type (
+	// App is one of the paper's evaluation applications.
+	App = apps.App
+	// AggConfig/CacheConfig/PaxosConfig parameterize the end-to-end
+	// experiment drivers of Figure 14.
+	AggConfig   = apps.AggConfig
+	CacheConfig = apps.CacheConfig
+	PaxosConfig = apps.PaxosConfig
+)
+
+// AppByName returns an evaluation application (AGG, CACHE, PAXOS, CALC).
+func AppByName(name string) *App { return apps.ByName(name) }
+
+// RunAgg, RunCache, and RunPaxos drive the Figure 14 workloads.
+var (
+	RunAgg   = apps.RunAgg
+	RunCache = apps.RunCache
+	RunPaxos = apps.RunPaxos
+)

@@ -1,0 +1,120 @@
+// Command ncc is the NetCL compiler driver: it compiles NetCL-C device
+// code to P4 for the TNA or v1model target, reports the Tofino fitting
+// result, and writes one P4 program per device location — the paper's
+// step 1+2 workflow (Fig. 3).
+//
+// Usage:
+//
+//	ncc [flags] kernel.ncl
+//
+// Flags mirror the compiler options of §VI-B (speculation and lookup
+// duplication can be toggled; the dynamic-compare rewrite can be
+// enabled).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"netcl"
+	"netcl/internal/p4c"
+)
+
+func main() {
+	var (
+		target   = flag.String("target", "tna", "code generation target: tna or v1model")
+		outDir   = flag.String("o", ".", "output directory for generated .p4 files")
+		devices  = flag.String("devices", "", "comma-separated device ids to compile for (default: the program's locations)")
+		defines  = flag.String("D", "", "comma-separated NAME=VALUE preprocessor definitions")
+		noSpec   = flag.Bool("fno-speculate", false, "disable aggressive speculation")
+		noDup    = flag.Bool("fno-dup-lookup", false, "disable lookup-memory duplication")
+		cmpMSB   = flag.Bool("fcmp-to-sub", false, "rewrite dynamic ordered compares into sub+MSB checks")
+		fit      = flag.Bool("fit", true, "run the Tofino fitting model and report resources")
+		verbose  = flag.Bool("v", false, "print pass statistics")
+		printSrc = flag.Bool("print", false, "print generated P4 to stdout instead of writing files")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ncc [flags] kernel.ncl")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := netcl.Options{
+		Target:             netcl.Target(*target),
+		DisableSpeculation: *noSpec,
+		DisableLookupDup:   *noDup,
+		EnableCmpRewrite:   *cmpMSB,
+	}
+	if *defines != "" {
+		opts.Defines = map[string]uint64{}
+		for _, kv := range strings.Split(*defines, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("bad define %q", kv))
+			}
+			v, err := strconv.ParseUint(parts[1], 0, 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad define value %q: %v", kv, err))
+			}
+			opts.Defines[parts[0]] = v
+		}
+	}
+	if *devices != "" {
+		for _, d := range strings.Split(*devices, ",") {
+			v, err := strconv.ParseUint(d, 0, 16)
+			if err != nil {
+				fatal(fmt.Errorf("bad device id %q: %v", d, err))
+			}
+			opts.Devices = append(opts.Devices, uint16(v))
+		}
+	}
+
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	art, err := netcl.Compile(name, string(src), opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ncc: frontend %v, backend %v\n", art.FrontendTime, art.BackendTime)
+	for comp, spec := range art.Specs {
+		fmt.Printf("computation %d: specification %s (%d data bytes)\n", comp, spec, spec.DataBytes())
+	}
+	for _, dev := range art.Devices {
+		if *verbose {
+			fmt.Printf("device %d: %+v\n", dev.DeviceID, dev.Stats)
+		}
+		if *printSrc {
+			fmt.Println(dev.Source)
+		} else {
+			out := filepath.Join(*outDir, fmt.Sprintf("%s_dev%d.p4", name, dev.DeviceID))
+			if err := os.WriteFile(out, []byte(dev.Source), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("device %d: wrote %s\n", dev.DeviceID, out)
+		}
+		if *fit && opts.Target == netcl.TargetTNA {
+			rep := p4c.Fit(dev.P4, p4c.Tofino1())
+			status := "FITS"
+			if !rep.Fits {
+				status = "DOES NOT FIT: " + rep.Reason
+			}
+			fmt.Printf("device %d: %s — %d stages, SRAM %.1f%%, TCAM %.1f%%, SALUs %.1f%%, VLIW %.1f%%, PHV %.1f%%, latency %.0fns\n",
+				dev.DeviceID, status, rep.StagesUsed, rep.SRAMPct, rep.TCAMPct,
+				rep.SALUPct, rep.VLIWPct, rep.PHVPct, rep.LatencyNs)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ncc:", err)
+	os.Exit(1)
+}

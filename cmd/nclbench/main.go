@@ -1,0 +1,20 @@
+// Command nclbench regenerates every table and figure of the paper's
+// evaluation (§VII) and prints them in one report; EXPERIMENTS.md is a
+// recorded run of this tool.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"netcl"
+)
+
+func main() {
+	report, err := netcl.FormatAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nclbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(report)
+}

@@ -1,0 +1,67 @@
+// Command nclsim runs one of the evaluation applications end to end on
+// the simulated network and prints the workload's outcome.
+//
+// Usage:
+//
+//	nclsim -app agg  -workers 6 -chunks 64
+//	nclsim -app cache -cached 16 -total 32 -requests 128
+//	nclsim -app paxos -commands 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netcl"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "agg", "application: agg, cache, or paxos")
+		baseline = flag.Bool("baseline", false, "run the handwritten P4 baseline instead of generated code")
+		workers  = flag.Int("workers", 4, "agg: number of workers")
+		chunks   = flag.Int("chunks", 64, "agg: chunks per worker")
+		cached   = flag.Int("cached", 16, "cache: keys installed in the switch")
+		total    = flag.Int("total", 32, "cache: key universe size")
+		requests = flag.Int("requests", 128, "cache: number of GET requests")
+		commands = flag.Int("commands", 32, "paxos: client commands")
+	)
+	flag.Parse()
+
+	switch *app {
+	case "agg":
+		res, err := netcl.RunAgg(netcl.AggConfig{
+			Workers: *workers, Chunks: *chunks, Window: 4,
+			Target: netcl.TargetTNA, Baseline: *baseline,
+		})
+		check(err)
+		fmt.Printf("AGG: %d slots completed, %.0f ATE/s per worker, %d mismatches, %.1fµs simulated\n",
+			res.Completed, res.ATEPerWorker, res.Mismatches, res.DurationNs/1e3)
+	case "cache":
+		res, err := netcl.RunCache(netcl.CacheConfig{
+			CachedKeys: *cached, TotalKeys: *total, Requests: *requests,
+			Target: netcl.TargetTNA, Baseline: *baseline,
+		})
+		check(err)
+		fmt.Printf("CACHE: hit rate %.0f%%, mean response %.2fµs (%d hits, %d misses, %d wrong values)\n",
+			100*res.HitRate, res.MeanResponseNs/1e3, res.Hits, res.Misses, res.WrongValues)
+	case "paxos":
+		res, err := netcl.RunPaxos(netcl.PaxosConfig{
+			Commands: *commands, Target: netcl.TargetTNA,
+		})
+		check(err)
+		fmt.Printf("PAXOS: %d/%d commands chosen and delivered (%d wrong values)\n",
+			res.Delivered, res.Submitted, res.WrongValue)
+	default:
+		fmt.Fprintf(os.Stderr, "nclsim: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nclsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,167 @@
+package netcl
+
+import (
+	"strings"
+	"testing"
+
+	"netcl/internal/metrics"
+)
+
+// These tests pin the *shapes* of the paper's evaluation results:
+// which side wins, by roughly what factor, and where the crossovers
+// fall. Absolute numbers live in EXPERIMENTS.md.
+
+func TestTable3Shape(t *testing.T) {
+	rows, geo, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		// NetCL is O(10), handwritten P4 is O(100) (paper §VII).
+		if r.NetCL > 100 {
+			t.Errorf("%s: NetCL LoC %d not O(10)", r.App, r.NetCL)
+		}
+		if r.P4 < 100 {
+			t.Errorf("%s: P4 LoC %d not O(100)", r.App, r.P4)
+		}
+		if r.Reduction < 4 {
+			t.Errorf("%s: reduction %.1fx below the paper's 5-30x band", r.App, r.Reduction)
+		}
+	}
+	// Paper geomean: 8.14x/11.93x. Accept the same order of magnitude.
+	if geo < 6 || geo > 30 {
+		t.Errorf("geomean reduction %.2fx outside the plausible band", geo)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var packetProcessing, control float64
+	for _, r := range rows {
+		packetProcessing += r.Pct[metrics.CatHeadersParsing] + r.Pct[metrics.CatMATs] + r.Pct[metrics.CatRegActions]
+		control += r.Pct[metrics.CatControl]
+	}
+	packetProcessing /= float64(len(rows))
+	control /= float64(len(rows))
+	// Paper: >65% packet-processing constructs on average; control
+	// logic only ~10-20%.
+	if packetProcessing < 55 {
+		t.Errorf("packet-processing share %.1f%%, want the majority", packetProcessing)
+	}
+	if control > 40 {
+		t.Errorf("control share %.1f%% implausibly high", control)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Paper: ncc always finishes in under one second.
+		if r.Ncc >= 1.0 {
+			t.Errorf("%s: ncc took %.2fs", r.App, r.Ncc)
+		}
+	}
+}
+
+func TestTable5And6Shape(t *testing.T) {
+	rows, err := Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.P4.Fits || !r.NetCL.Fits {
+			t.Errorf("%s: must fit a 12-stage pipe (P4 %v, NetCL %v)", r.App, r.P4.Fits, r.NetCL.Fits)
+		}
+		// Generated code may use a few extra stages (paper: +3 for
+		// CACHE) but never fewer resources than zero or more than 12.
+		if d := r.NetCL.Stages - r.P4.Stages; d < 0 || d > 3 {
+			t.Errorf("%s: stage delta %d outside [0,3]", r.App, d)
+		}
+		// PHV: generated within a few percent of handwritten, except
+		// small programs where the base program dominates (paper: CALC
+		// +12%).
+		if d := r.NetCL.PHVPct - r.P4.PHVPct; d < -1 || d > 13 {
+			t.Errorf("%s: PHV delta %.1f%% outside the paper's band", r.App, d)
+		}
+		// Latency: NetCL within ~15%, all below 1µs (paper Fig. 13).
+		if r.NetCL.LatencyNs >= 1000 || r.P4.LatencyNs >= 1000 {
+			t.Errorf("%s: latency above 1µs", r.App)
+		}
+		if rel := (r.NetCL.LatencyNs - r.P4.LatencyNs) / r.P4.LatencyNs; rel < 0 || rel > 0.20 {
+			t.Errorf("%s: latency delta %.1f%% outside [0,20]%%", r.App, 100*rel)
+		}
+	}
+	// AGG is the SALU-heaviest program (paper Table V shape).
+	if rows[0].App != "AGG" || rows[0].NetCL.SALUPct < rows[5].NetCL.SALUPct {
+		t.Error("AGG should dominate SALU usage")
+	}
+}
+
+func TestFig14AggShape(t *testing.T) {
+	pts, err := Fig14Agg([]int{2, 4, 6}, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.NetCLErrors != 0 || p.BaselineErrs != 0 {
+			t.Errorf("workers=%d: aggregation errors", p.Workers)
+		}
+		// NetCL equals handwritten (paper: "no difference").
+		if r := p.NetCLATE / p.BaselineATE; r < 0.97 || r > 1.03 {
+			t.Errorf("workers=%d: NetCL/baseline ratio %.3f", p.Workers, r)
+		}
+	}
+	// Adding workers must not degrade per-worker throughput by more
+	// than a few percent (paper: flat).
+	if r := pts[2].NetCLATE / pts[0].NetCLATE; r < 0.90 {
+		t.Errorf("per-worker throughput degraded: 6w/2w = %.3f", r)
+	}
+}
+
+func TestFig14CacheShape(t *testing.T) {
+	pts, err := Fig14Cache([]int{0, 16, 32}, 32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatal("points")
+	}
+	allMiss, half, allHit := pts[0], pts[1], pts[2]
+	if !(allMiss.NetCLMeanUs > half.NetCLMeanUs && half.NetCLMeanUs > allHit.NetCLMeanUs) {
+		t.Errorf("response time must fall with hit rate: %.1f %.1f %.1f",
+			allMiss.NetCLMeanUs, half.NetCLMeanUs, allHit.NetCLMeanUs)
+	}
+	// Paper: ~27µs all-miss, ~9.4µs all-hit; require the same band.
+	if allMiss.NetCLMeanUs < 20 || allMiss.NetCLMeanUs > 35 {
+		t.Errorf("all-miss %.1fµs outside [20,35]", allMiss.NetCLMeanUs)
+	}
+	if allHit.NetCLMeanUs < 6 || allHit.NetCLMeanUs > 13 {
+		t.Errorf("all-hit %.1fµs outside [6,13]", allHit.NetCLMeanUs)
+	}
+	for _, p := range pts {
+		if r := p.NetCLMeanUs / p.BaselineUs; r < 0.95 || r > 1.05 {
+			t.Errorf("cached=%d NetCL/baseline %.3f", p.CachedKeys, r)
+		}
+	}
+}
+
+func TestFormatAllRuns(t *testing.T) {
+	s, err := FormatAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TABLE III", "FIGURE 12", "TABLE IV", "TABLE V", "TABLE VI", "FIGURE 13", "FIGURE 14"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %s", want)
+		}
+	}
+}

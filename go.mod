@@ -1,0 +1,3 @@
+module netcl
+
+go 1.22

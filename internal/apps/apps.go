@@ -1,0 +1,120 @@
+// Package apps contains the paper's evaluation applications (§VII,
+// Table III): SwitchML-style streaming aggregation (AGG), NetCache
+// (CACHE), P4xos (PACC/PLRN/PLDR), and the P4-tutorial calculator
+// (CALC) — each as NetCL-C device code plus a handwritten P4-16
+// baseline, with host-side drivers for the end-to-end experiments.
+package apps
+
+import "embed"
+
+//go:embed baseline/*.p4
+var baselineFS embed.FS
+
+// App describes one evaluation application.
+type App struct {
+	// Name is the short name used in the paper's tables.
+	Name string
+	// NetCL is the device source code.
+	NetCL string
+	// Defines are compile-time parameters.
+	Defines map[string]uint64
+	// Devices are the locations compiled for.
+	Devices []uint16
+	// BaselineFile names the handwritten P4 program in baseline/.
+	BaselineFile string
+}
+
+// Baseline returns the handwritten P4 source text.
+func (a *App) Baseline() (string, error) {
+	b, err := baselineFS.ReadFile("baseline/" + a.BaselineFile)
+	return string(b), err
+}
+
+// Paxos device locations.
+const (
+	PaxosLeader    = 1
+	PaxosAcceptor1 = 2
+	PaxosAcceptor2 = 3
+	PaxosAcceptor3 = 4
+	PaxosLearner   = 5
+)
+
+// AGG parameters (paper §VII: 32 values per packet).
+const (
+	AggSlotSize   = 32
+	AggNumSlots   = 256
+	AggNumWorkers = 6
+)
+
+// Cache parameters (paper: 8-byte keys, up to 128-byte values; we use
+// 16 four-byte words = 64-byte cache lines so the value registers,
+// sketch, bloom filter and counters together still fit 12 stages).
+const (
+	CacheWords   = 16
+	CacheEntries = 1024
+)
+
+// All returns the application registry in Table III order. P4xos is a
+// single NetCL program with three kernels at three locations; the
+// per-role rows (PACC/PLRN/PLDR) are derived by compiling each device.
+func All() []*App {
+	return []*App{
+		{
+			Name:  "AGG",
+			NetCL: AggSource,
+			Defines: map[string]uint64{
+				"NUM_SLOTS":   AggNumSlots,
+				"SLOT_SIZE":   AggSlotSize,
+				"NUM_WORKERS": AggNumWorkers,
+			},
+			Devices:      []uint16{1},
+			BaselineFile: "agg.p4",
+		},
+		{
+			Name:  "CACHE",
+			NetCL: CacheSource,
+			Defines: map[string]uint64{
+				"CACHE_WORDS":   CacheWords,
+				"CACHE_ENTRIES": CacheEntries,
+			},
+			Devices:      []uint16{1},
+			BaselineFile: "cache.p4",
+		},
+		{
+			Name:         "PAXOS",
+			NetCL:        PaxosSource,
+			Defines:      map[string]uint64{},
+			Devices:      []uint16{PaxosLeader, PaxosAcceptor1, PaxosLearner},
+			BaselineFile: "pacc.p4", // representative; see RoleBaseline
+		},
+		{
+			Name:         "CALC",
+			NetCL:        CalcSource,
+			Defines:      map[string]uint64{},
+			Devices:      []uint16{1},
+			BaselineFile: "calc.p4",
+		},
+	}
+}
+
+// ByName returns an application from the registry.
+func ByName(name string) *App {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// PaxosRoleBaselines maps the per-role Table III rows to their
+// baseline files and device IDs.
+var PaxosRoleBaselines = []struct {
+	Row      string
+	File     string
+	DeviceID uint16
+}{
+	{"PACC", "pacc.p4", PaxosAcceptor1},
+	{"PLRN", "plrn.p4", PaxosLearner},
+	{"PLDR", "pldr.p4", PaxosLeader},
+}

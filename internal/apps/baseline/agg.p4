@@ -1,0 +1,852 @@
+// agg.p4 — handwritten TNA baseline of the SwitchML streaming
+// aggregation protocol (paper §VII, AGG row of Table III).
+// Equivalent wire behavior to the NetCL-generated program: NetCL-over-
+// UDP messages, computation 1, reliable two-version slots, multicast
+// of completed aggregates to group 42.
+#include <core.p4>
+#include <tna.p4>
+
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+header ipv4_t {
+    bit<8> version_ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+header netcl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> act;
+    bit<16> arg;
+}
+header d1_t {
+    bit<8> ver;
+    bit<16> bmp_idx;
+    bit<16> agg_idx;
+    bit<16> mask;
+    bit<32> exp;
+    bit<32> v_0;
+    bit<32> v_1;
+    bit<32> v_2;
+    bit<32> v_3;
+    bit<32> v_4;
+    bit<32> v_5;
+    bit<32> v_6;
+    bit<32> v_7;
+    bit<32> v_8;
+    bit<32> v_9;
+    bit<32> v_10;
+    bit<32> v_11;
+    bit<32> v_12;
+    bit<32> v_13;
+    bit<32> v_14;
+    bit<32> v_15;
+    bit<32> v_16;
+    bit<32> v_17;
+    bit<32> v_18;
+    bit<32> v_19;
+    bit<32> v_20;
+    bit<32> v_21;
+    bit<32> v_22;
+    bit<32> v_23;
+    bit<32> v_24;
+    bit<32> v_25;
+    bit<32> v_26;
+    bit<32> v_27;
+    bit<32> v_28;
+    bit<32> v_29;
+    bit<32> v_30;
+    bit<32> v_31;
+}
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+    udp_t udp;
+    netcl_t netcl;
+    d1_t d1;
+}
+struct metadata_t {
+    bit<16> nexthop;
+    bit<16> mcast_grp;
+    bit<1> drop_flag;
+    bit<16> egress_port;
+    bit<16> seen;
+    bit<1> not_seen;
+    bit<8> target;
+    bit<8> cnt;
+    bit<16> bitmap;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr, out metadata_t meta,
+                out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        transition parse_ethernet;
+    }
+    state parse_ethernet {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            0x0800 : parse_ipv4;
+            default : accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            17 : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dst_port) {
+            20035 : parse_netcl;
+            default : accept;
+        }
+    }
+    state parse_netcl {
+        pkt.extract(hdr.netcl);
+        transition select(hdr.netcl.comp) {
+            1 : parse_d1;
+            default : accept;
+        }
+    }
+    state parse_d1 {
+        pkt.extract(hdr.d1);
+        transition accept;
+    }
+}
+
+control In(inout headers_t hdr, inout metadata_t meta,
+        in ingress_intrinsic_metadata_t ig_intr_md,
+        inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    Register<bit<16>, bit<32>>(256) bitmap0;
+    Register<bit<16>, bit<32>>(256) bitmap1;
+    Register<bit<8>, bit<32>>(512) count;
+    Register<bit<32>, bit<32>>(512) exponent;
+    RegisterAction<bit<16>, bit<32>, bit<16>>(bitmap0) bmp0_set = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+            m = (m | hdr.d1.mask);
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(bitmap0) bmp0_clr = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            m = (m & (~hdr.d1.mask));
+            o = m;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(bitmap1) bmp1_set = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            o = m;
+            m = (m | hdr.d1.mask);
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(bitmap1) bmp1_clr = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            m = (m & (~hdr.d1.mask));
+            o = m;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(count) count_init = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            m = meta.target;
+            o = m;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(count) count_dec = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            if ((meta.not_seen == 1w1)) {
+                m = (m |-| 8w1);
+            }
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(exponent) exp_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.exp;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(exponent) exp_max = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (hdr.d1.exp > m ? hdr.d1.exp : m);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_00;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_00) agg_00_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_0;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_00) agg_00_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_0);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_01;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_01) agg_01_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_1;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_01) agg_01_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_1);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_02;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_02) agg_02_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_2;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_02) agg_02_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_2);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_03;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_03) agg_03_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_3;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_03) agg_03_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_3);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_04;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_04) agg_04_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_4;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_04) agg_04_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_4);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_05;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_05) agg_05_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_5;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_05) agg_05_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_5);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_06;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_06) agg_06_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_6;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_06) agg_06_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_6);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_07;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_07) agg_07_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_7;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_07) agg_07_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_7);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_08;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_08) agg_08_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_8;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_08) agg_08_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_8);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_09;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_09) agg_09_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_9;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_09) agg_09_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_9);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_10;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_10) agg_10_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_10;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_10) agg_10_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_10);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_11;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_11) agg_11_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_11;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_11) agg_11_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_11);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_12;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_12) agg_12_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_12;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_12) agg_12_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_12);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_13;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_13) agg_13_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_13;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_13) agg_13_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_13);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_14;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_14) agg_14_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_14;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_14) agg_14_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_14);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_15;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_15) agg_15_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_15;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_15) agg_15_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_15);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_16;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_16) agg_16_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_16;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_16) agg_16_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_16);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_17;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_17) agg_17_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_17;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_17) agg_17_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_17);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_18;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_18) agg_18_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_18;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_18) agg_18_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_18);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_19;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_19) agg_19_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_19;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_19) agg_19_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_19);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_20;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_20) agg_20_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_20;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_20) agg_20_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_20);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_21;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_21) agg_21_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_21;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_21) agg_21_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_21);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_22;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_22) agg_22_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_22;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_22) agg_22_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_22);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_23;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_23) agg_23_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_23;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_23) agg_23_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_23);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_24;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_24) agg_24_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_24;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_24) agg_24_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_24);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_25;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_25) agg_25_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_25;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_25) agg_25_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_25);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_26;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_26) agg_26_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_26;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_26) agg_26_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_26);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_27;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_27) agg_27_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_27;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_27) agg_27_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_27);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_28;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_28) agg_28_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_28;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_28) agg_28_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_28);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_29;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_29) agg_29_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_29;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_29) agg_29_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_29);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_30;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_30) agg_30_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_30;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_30) agg_30_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_30);
+            }
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_31;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_31) agg_31_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_31;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_31) agg_31_add = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            if ((meta.not_seen == 1w1)) {
+                m = (m + hdr.d1.v_31);
+            }
+            o = m;
+        }
+    };
+    action set_port(bit<16> port) {
+        meta.egress_port = port;
+    }
+    action mark_drop() {
+        meta.drop_flag = 1w1;
+    }
+    action set_target(bit<8> n) {
+        meta.target = n;
+    }
+    table cfg_workers {
+        actions = { set_target; }
+        default_action = set_target(5);
+    }
+    table netcl_fwd {
+        key = {
+            meta.nexthop : exact;
+        }
+        actions = { set_port; mark_drop; }
+        default_action = mark_drop();
+        size = 256;
+    }
+    table l2_fwd {
+        key = {
+            hdr.ethernet.dst_addr : exact;
+        }
+        actions = { set_port; mark_drop; }
+        default_action = mark_drop();
+        size = 1024;
+    }
+    apply {
+        if (hdr.netcl.isValid()) {
+            if ((hdr.netcl.to == 16w1 || hdr.netcl.to == 16w65534)) {
+                cfg_workers.apply();
+                if ((hdr.d1.ver == 8w0)) {
+                    meta.bitmap = bmp0_set.execute((bit<32>)hdr.d1.bmp_idx);
+                    bmp1_clr.execute((bit<32>)hdr.d1.bmp_idx);
+                } else {
+                    bmp0_clr.execute((bit<32>)hdr.d1.bmp_idx);
+                    meta.bitmap = bmp1_set.execute((bit<32>)hdr.d1.bmp_idx);
+                }
+                meta.seen = (meta.bitmap & hdr.d1.mask);
+                if ((meta.seen == 16w0)) {
+                    meta.not_seen = 1w1;
+                } else {
+                    meta.not_seen = 1w0;
+                }
+                if ((meta.bitmap == 16w0)) {
+                    count_init.execute((bit<32>)hdr.d1.agg_idx);
+                    exp_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_00_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_01_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_02_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_03_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_04_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_05_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_06_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_07_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_08_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_09_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_10_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_11_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_12_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_13_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_14_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_15_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_16_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_17_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_18_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_19_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_20_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_21_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_22_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_23_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_24_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_25_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_26_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_27_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_28_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_29_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_30_write.execute((bit<32>)hdr.d1.agg_idx);
+                    agg_31_write.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.netcl.act = 8w1;
+                    mark_drop();
+                } else {
+                    meta.cnt = count_dec.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.exp = exp_max.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_0 = agg_00_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_1 = agg_01_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_2 = agg_02_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_3 = agg_03_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_4 = agg_04_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_5 = agg_05_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_6 = agg_06_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_7 = agg_07_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_8 = agg_08_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_9 = agg_09_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_10 = agg_10_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_11 = agg_11_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_12 = agg_12_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_13 = agg_13_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_14 = agg_14_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_15 = agg_15_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_16 = agg_16_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_17 = agg_17_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_18 = agg_18_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_19 = agg_19_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_20 = agg_20_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_21 = agg_21_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_22 = agg_22_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_23 = agg_23_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_24 = agg_24_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_25 = agg_25_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_26 = agg_26_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_27 = agg_27_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_28 = agg_28_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_29 = agg_29_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_30 = agg_30_add.execute((bit<32>)hdr.d1.agg_idx);
+                    hdr.d1.v_31 = agg_31_add.execute((bit<32>)hdr.d1.agg_idx);
+                    if ((meta.not_seen == 1w0)) {
+                        if ((meta.cnt == 8w0)) {
+                            hdr.netcl.act = 8w5;
+                            if ((hdr.netcl.from == 16w65535)) {
+                                hdr.netcl.dst = hdr.netcl.src;
+                                hdr.netcl.to = 16w65535;
+                                meta.nexthop = hdr.netcl.src;
+                            } else {
+                                hdr.netcl.to = hdr.netcl.from;
+                                meta.nexthop = hdr.netcl.from;
+                            }
+                        } else {
+                            hdr.netcl.act = 8w1;
+                            mark_drop();
+                        }
+                    } else {
+                        if ((meta.cnt == 8w1)) {
+                            hdr.netcl.act = 8w4;
+                            hdr.netcl.arg = 16w42;
+                            hdr.netcl.to = 16w65534;
+                            meta.mcast_grp = 16w42;
+                        } else {
+                            hdr.netcl.act = 8w1;
+                            mark_drop();
+                        }
+                    }
+                }
+                hdr.netcl.from = 16w1;
+            } else {
+                if ((hdr.netcl.to == 16w65535)) {
+                    meta.nexthop = hdr.netcl.dst;
+                } else {
+                    meta.nexthop = hdr.netcl.to;
+                }
+            }
+            if ((meta.drop_flag == 1w0)) {
+                if ((meta.mcast_grp == 16w0)) {
+                    netcl_fwd.apply();
+                }
+            }
+        } else {
+            l2_fwd.apply();
+        }
+    }
+}
+
+control IgDeparser(packet_out pkt, inout headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.netcl);
+        pkt.emit(hdr.d1);
+    }
+}
+
+Pipeline(IgParser(), In(), IgDeparser()) pipe;
+Switch(pipe) main;

@@ -1,0 +1,656 @@
+// cache.p4 — handwritten TNA baseline of NetCache (paper §VII, CACHE
+// row of Table III): GET/PUT/DEL, validity bit (write-back), two-step
+// key-to-index lookup, per-key word-sharing bitmap, hit counters, and
+// a count-min sketch + bloom filter marking hot missed keys.
+#include <core.p4>
+#include <tna.p4>
+
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+header ipv4_t {
+    bit<8> version_ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+header netcl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> act;
+    bit<16> arg;
+}
+header d1_t {
+    bit<8> op;
+    bit<64> key;
+    bit<32> val_0;
+    bit<32> val_1;
+    bit<32> val_2;
+    bit<32> val_3;
+    bit<32> val_4;
+    bit<32> val_5;
+    bit<32> val_6;
+    bit<32> val_7;
+    bit<32> val_8;
+    bit<32> val_9;
+    bit<32> val_10;
+    bit<32> val_11;
+    bit<32> val_12;
+    bit<32> val_13;
+    bit<32> val_14;
+    bit<32> val_15;
+    bit<8> hit;
+    bit<32> hot;
+}
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+    udp_t udp;
+    netcl_t netcl;
+    d1_t d1;
+}
+struct metadata_t {
+    bit<16> nexthop;
+    bit<16> mcast_grp;
+    bit<1> drop_flag;
+    bit<16> egress_port;
+    bit<32> idx;
+    bit<32> share;
+    bit<8> valid;
+    bit<16> h0;
+    bit<16> h1;
+    bit<16> h2;
+    bit<32> c0;
+    bit<32> c1;
+    bit<32> c2;
+    bit<32> cmin;
+    bit<8> b0;
+    bit<8> b1;
+    bit<8> b2;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr, out metadata_t meta,
+                out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        transition parse_ethernet;
+    }
+    state parse_ethernet {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            0x0800 : parse_ipv4;
+            default : accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            17 : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dst_port) {
+            20035 : parse_netcl;
+            default : accept;
+        }
+    }
+    state parse_netcl {
+        pkt.extract(hdr.netcl);
+        transition select(hdr.netcl.comp) {
+            1 : parse_d1;
+            default : accept;
+        }
+    }
+    state parse_d1 {
+        pkt.extract(hdr.d1);
+        transition accept;
+    }
+}
+
+control In(inout headers_t hdr, inout metadata_t meta,
+        in ingress_intrinsic_metadata_t ig_intr_md,
+        inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    Hash<bit<16>>(HashAlgorithm_t.XOR16) hash0;
+    Hash<bit<16>>(HashAlgorithm_t.CRC32) hash1;
+    Hash<bit<16>>(HashAlgorithm_t.CRC16) hash2;
+    Register<bit<8>, bit<32>>(1024) valid_bit;
+    Register<bit<32>, bit<32>>(1024) hit_count;
+    Register<bit<32>, bit<32>>(65536) cms0;
+    Register<bit<32>, bit<32>>(65536) cms1;
+    Register<bit<32>, bit<32>>(65536) cms2;
+    Register<bit<8>, bit<32>>(65536) bloom0;
+    Register<bit<8>, bit<32>>(65536) bloom1;
+    Register<bit<8>, bit<32>>(65536) bloom2;
+    RegisterAction<bit<8>, bit<32>, bit<8>>(valid_bit) valid_read = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(valid_bit) valid_set = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            m = 8w1;
+            o = m;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(valid_bit) valid_clear = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            m = 8w0;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(hit_count) hits_inc = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = (m + 32w1);
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(cms0) cms0_bump = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = (m |+| 32w1);
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(cms1) cms1_bump = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = (m |+| 32w1);
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(cms2) cms2_bump = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = (m |+| 32w1);
+            o = m;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(bloom0) bloom0_swap = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w1;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(bloom1) bloom1_swap = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w1;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(bloom2) bloom2_swap = {
+        void apply(inout bit<8> m, out bit<8> o) {
+            o = m;
+            m = 8w1;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_00;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_00) vals_00_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_00) vals_00_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_0;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_01;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_01) vals_01_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_01) vals_01_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_1;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_02;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_02) vals_02_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_02) vals_02_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_2;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_03;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_03) vals_03_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_03) vals_03_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_3;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_04;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_04) vals_04_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_04) vals_04_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_4;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_05;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_05) vals_05_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_05) vals_05_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_5;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_06;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_06) vals_06_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_06) vals_06_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_6;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_07;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_07) vals_07_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_07) vals_07_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_7;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_08;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_08) vals_08_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_08) vals_08_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_8;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_09;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_09) vals_09_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_09) vals_09_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_9;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_10;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_10) vals_10_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_10) vals_10_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_10;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_11;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_11) vals_11_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_11) vals_11_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_11;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_12;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_12) vals_12_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_12) vals_12_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_12;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_13;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_13) vals_13_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_13) vals_13_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_13;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_14;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_14) vals_14_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_14) vals_14_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_14;
+            o = m;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) vals_15;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_15) vals_15_read = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(vals_15) vals_15_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.val_15;
+            o = m;
+        }
+    };
+    action idx_hit(bit<32> index) {
+        meta.idx = index;
+    }
+    table lu_Index {
+        key = {
+            hdr.d1.key : exact;
+        }
+        actions = { idx_hit; NoAction; }
+        default_action = NoAction();
+        size = 1024;
+    }
+    action share_hit(bit<32> bmp) {
+        meta.share = bmp;
+    }
+    table lu_Share {
+        key = {
+            hdr.d1.key : exact;
+        }
+        actions = { share_hit; NoAction; }
+        default_action = NoAction();
+        size = 1024;
+    }
+    action set_port(bit<16> port) {
+        meta.egress_port = port;
+    }
+    action mark_drop() {
+        meta.drop_flag = 1w1;
+    }
+    table netcl_fwd {
+        key = {
+            meta.nexthop : exact;
+        }
+        actions = { set_port; mark_drop; }
+        default_action = mark_drop();
+        size = 256;
+    }
+    table l2_fwd {
+        key = {
+            hdr.ethernet.dst_addr : exact;
+        }
+        actions = { set_port; mark_drop; }
+        default_action = mark_drop();
+        size = 1024;
+    }
+    apply {
+        if (hdr.netcl.isValid()) {
+            if ((hdr.netcl.to == 16w1 || hdr.netcl.to == 16w65534)) {
+                meta.h0 = hash0.get(hdr.d1.key);
+                meta.h1 = hash1.get(hdr.d1.key);
+                meta.h2 = hash2.get(hdr.d1.key);
+                if (lu_Index.apply().hit) {
+                    lu_Share.apply();
+                    if ((hdr.d1.op == 8w1)) {
+                        meta.valid = valid_read.execute(meta.idx);
+                        if ((meta.valid != 8w0)) {
+                            if (((meta.share >> 32w0) & 32w1) != 32w0) {
+                                hdr.d1.val_0 = vals_00_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w1) & 32w1) != 32w0) {
+                                hdr.d1.val_1 = vals_01_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w2) & 32w1) != 32w0) {
+                                hdr.d1.val_2 = vals_02_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w3) & 32w1) != 32w0) {
+                                hdr.d1.val_3 = vals_03_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w4) & 32w1) != 32w0) {
+                                hdr.d1.val_4 = vals_04_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w5) & 32w1) != 32w0) {
+                                hdr.d1.val_5 = vals_05_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w6) & 32w1) != 32w0) {
+                                hdr.d1.val_6 = vals_06_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w7) & 32w1) != 32w0) {
+                                hdr.d1.val_7 = vals_07_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w8) & 32w1) != 32w0) {
+                                hdr.d1.val_8 = vals_08_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w9) & 32w1) != 32w0) {
+                                hdr.d1.val_9 = vals_09_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w10) & 32w1) != 32w0) {
+                                hdr.d1.val_10 = vals_10_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w11) & 32w1) != 32w0) {
+                                hdr.d1.val_11 = vals_11_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w12) & 32w1) != 32w0) {
+                                hdr.d1.val_12 = vals_12_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w13) & 32w1) != 32w0) {
+                                hdr.d1.val_13 = vals_13_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w14) & 32w1) != 32w0) {
+                                hdr.d1.val_14 = vals_14_read.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w15) & 32w1) != 32w0) {
+                                hdr.d1.val_15 = vals_15_read.execute(meta.idx);
+                            }
+                            hdr.d1.hit = 8w1;
+                            hits_inc.execute(meta.idx);
+                            hdr.netcl.act = 8w5;
+                            if ((hdr.netcl.from == 16w65535)) {
+                                hdr.netcl.dst = hdr.netcl.src;
+                                hdr.netcl.to = 16w65535;
+                                meta.nexthop = hdr.netcl.src;
+                            } else {
+                                hdr.netcl.to = hdr.netcl.from;
+                                meta.nexthop = hdr.netcl.from;
+                            }
+                        } else {
+                            meta.c0 = cms0_bump.execute((bit<32>)meta.h0);
+                            meta.c1 = cms1_bump.execute((bit<32>)meta.h1);
+                            meta.c2 = cms2_bump.execute((bit<32>)meta.h2);
+                            meta.cmin = meta.c0;
+                            if ((meta.c1 < meta.cmin)) {
+                                meta.cmin = meta.c1;
+                            }
+                            if ((meta.c2 < meta.cmin)) {
+                                meta.cmin = meta.c2;
+                            }
+                            if ((meta.cmin > 32w128)) {
+                                meta.b0 = bloom0_swap.execute((bit<32>)meta.h0);
+                                meta.b1 = bloom1_swap.execute((bit<32>)meta.h1);
+                                meta.b2 = bloom2_swap.execute((bit<32>)meta.h2);
+                                hdr.d1.hot = meta.cmin;
+                                if ((meta.b0 != 8w0)) {
+                                    if ((meta.b1 != 8w0)) {
+                                        if ((meta.b2 != 8w0)) {
+                                            hdr.d1.hot = 32w0;
+                                        }
+                                    }
+                                }
+                            }
+                            hdr.netcl.act = 8w0;
+                            hdr.netcl.to = 16w65535;
+                            meta.nexthop = hdr.netcl.dst;
+                        }
+                    } else {
+                        if ((hdr.d1.op == 8w2)) {
+                            valid_set.execute(meta.idx);
+                            if (((meta.share >> 32w0) & 32w1) != 32w0) {
+                                vals_00_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w1) & 32w1) != 32w0) {
+                                vals_01_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w2) & 32w1) != 32w0) {
+                                vals_02_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w3) & 32w1) != 32w0) {
+                                vals_03_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w4) & 32w1) != 32w0) {
+                                vals_04_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w5) & 32w1) != 32w0) {
+                                vals_05_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w6) & 32w1) != 32w0) {
+                                vals_06_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w7) & 32w1) != 32w0) {
+                                vals_07_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w8) & 32w1) != 32w0) {
+                                vals_08_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w9) & 32w1) != 32w0) {
+                                vals_09_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w10) & 32w1) != 32w0) {
+                                vals_10_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w11) & 32w1) != 32w0) {
+                                vals_11_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w12) & 32w1) != 32w0) {
+                                vals_12_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w13) & 32w1) != 32w0) {
+                                vals_13_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w14) & 32w1) != 32w0) {
+                                vals_14_write.execute(meta.idx);
+                            }
+                            if (((meta.share >> 32w15) & 32w1) != 32w0) {
+                                vals_15_write.execute(meta.idx);
+                            }
+                            hdr.d1.hit = 8w1;
+                        } else {
+                            if ((hdr.d1.op == 8w3)) {
+                                valid_clear.execute(meta.idx);
+                            }
+                        }
+                        hdr.netcl.act = 8w0;
+                        hdr.netcl.to = 16w65535;
+                        meta.nexthop = hdr.netcl.dst;
+                    }
+                } else {
+                    if ((hdr.d1.op == 8w1)) {
+                        meta.c0 = cms0_bump.execute((bit<32>)meta.h0);
+                        meta.c1 = cms1_bump.execute((bit<32>)meta.h1);
+                        meta.c2 = cms2_bump.execute((bit<32>)meta.h2);
+                        meta.cmin = meta.c0;
+                        if ((meta.c1 < meta.cmin)) {
+                            meta.cmin = meta.c1;
+                        }
+                        if ((meta.c2 < meta.cmin)) {
+                            meta.cmin = meta.c2;
+                        }
+                        if ((meta.cmin > 32w128)) {
+                            meta.b0 = bloom0_swap.execute((bit<32>)meta.h0);
+                            meta.b1 = bloom1_swap.execute((bit<32>)meta.h1);
+                            meta.b2 = bloom2_swap.execute((bit<32>)meta.h2);
+                            hdr.d1.hot = meta.cmin;
+                            if ((meta.b0 != 8w0)) {
+                                if ((meta.b1 != 8w0)) {
+                                    if ((meta.b2 != 8w0)) {
+                                        hdr.d1.hot = 32w0;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    hdr.netcl.act = 8w0;
+                    hdr.netcl.to = 16w65535;
+                    meta.nexthop = hdr.netcl.dst;
+                }
+                hdr.netcl.from = 16w1;
+            } else {
+                if ((hdr.netcl.to == 16w65535)) {
+                    meta.nexthop = hdr.netcl.dst;
+                } else {
+                    meta.nexthop = hdr.netcl.to;
+                }
+            }
+            if ((meta.drop_flag == 1w0)) {
+                if ((meta.mcast_grp == 16w0)) {
+                    netcl_fwd.apply();
+                }
+            }
+        } else {
+            l2_fwd.apply();
+        }
+    }
+}
+
+control IgDeparser(packet_out pkt, inout headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.netcl);
+        pkt.emit(hdr.d1);
+    }
+}
+
+Pipeline(IgParser(), In(), IgDeparser()) pipe;
+Switch(pipe) main;

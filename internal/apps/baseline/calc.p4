@@ -1,0 +1,196 @@
+// calc.p4 — handwritten TNA baseline of the P4-tutorial calculator
+// (paper §VII, CALC row of Table III): a stateless in-network ALU
+// reflecting op(a, b) back to the sender.
+#include <core.p4>
+#include <tna.p4>
+
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+header ipv4_t {
+    bit<8> version_ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+header netcl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> act;
+    bit<16> arg;
+}
+header d1_t {
+    bit<8> op;
+    bit<32> a;
+    bit<32> b;
+    bit<32> res;
+}
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+    udp_t udp;
+    netcl_t netcl;
+    d1_t d1;
+}
+struct metadata_t {
+    bit<16> nexthop;
+    bit<16> mcast_grp;
+    bit<1> drop_flag;
+    bit<16> egress_port;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr, out metadata_t meta,
+                out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        transition parse_ethernet;
+    }
+    state parse_ethernet {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            0x0800 : parse_ipv4;
+            default : accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            17 : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dst_port) {
+            20035 : parse_netcl;
+            default : accept;
+        }
+    }
+    state parse_netcl {
+        pkt.extract(hdr.netcl);
+        transition select(hdr.netcl.comp) {
+            1 : parse_d1;
+            default : accept;
+        }
+    }
+    state parse_d1 {
+        pkt.extract(hdr.d1);
+        transition accept;
+    }
+}
+
+control In(inout headers_t hdr, inout metadata_t meta,
+        in ingress_intrinsic_metadata_t ig_intr_md,
+        inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    action do_add() {
+        hdr.d1.res = (hdr.d1.a + hdr.d1.b);
+    }
+    action do_sub() {
+        hdr.d1.res = (hdr.d1.a - hdr.d1.b);
+    }
+    action do_and() {
+        hdr.d1.res = (hdr.d1.a & hdr.d1.b);
+    }
+    action do_or() {
+        hdr.d1.res = (hdr.d1.a | hdr.d1.b);
+    }
+    action do_xor() {
+        hdr.d1.res = (hdr.d1.a ^ hdr.d1.b);
+    }
+    table calculate {
+        key = {
+            hdr.d1.op : exact;
+        }
+        actions = { do_add; do_sub; do_and; do_or; do_xor; NoAction; }
+        const entries = {
+            1 : do_add();
+            2 : do_sub();
+            3 : do_and();
+            4 : do_or();
+            5 : do_xor();
+        }
+        default_action = NoAction();
+        size = 8;
+    }
+    action set_port(bit<16> port) {
+        meta.egress_port = port;
+    }
+    action mark_drop() {
+        meta.drop_flag = 1w1;
+    }
+    table netcl_fwd {
+        key = {
+            meta.nexthop : exact;
+        }
+        actions = { set_port; mark_drop; }
+        default_action = mark_drop();
+        size = 256;
+    }
+    table l2_fwd {
+        key = {
+            hdr.ethernet.dst_addr : exact;
+        }
+        actions = { set_port; mark_drop; }
+        default_action = mark_drop();
+        size = 1024;
+    }
+    apply {
+        if (hdr.netcl.isValid()) {
+            if ((hdr.netcl.to == 16w1 || hdr.netcl.to == 16w65534)) {
+                calculate.apply();
+                hdr.netcl.act = 8w5;
+                if ((hdr.netcl.from == 16w65535)) {
+                    hdr.netcl.dst = hdr.netcl.src;
+                    hdr.netcl.to = 16w65535;
+                    meta.nexthop = hdr.netcl.src;
+                } else {
+                    hdr.netcl.to = hdr.netcl.from;
+                    meta.nexthop = hdr.netcl.from;
+                }
+                hdr.netcl.from = 16w1;
+            } else {
+                if ((hdr.netcl.to == 16w65535)) {
+                    meta.nexthop = hdr.netcl.dst;
+                } else {
+                    meta.nexthop = hdr.netcl.to;
+                }
+            }
+            if ((meta.drop_flag == 1w0)) {
+                if ((meta.mcast_grp == 16w0)) {
+                    netcl_fwd.apply();
+                }
+            }
+        } else {
+            l2_fwd.apply();
+        }
+    }
+}
+
+control IgDeparser(packet_out pkt, inout headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.netcl);
+        pkt.emit(hdr.d1);
+    }
+}
+
+Pipeline(IgParser(), In(), IgDeparser()) pipe;
+Switch(pipe) main;

@@ -1,0 +1,264 @@
+// pacc.p4 — handwritten TNA baseline of a P4xos acceptor (paper §VII,
+// PACC row of Table III): accepts phase-2A messages with a round at
+// least as high as the highest seen, records the vote, and multicasts
+// phase-2B messages to the learner group.
+#include <core.p4>
+#include <tna.p4>
+
+header ethernet_t {
+    bit<48> dst_addr;
+    bit<48> src_addr;
+    bit<16> ether_type;
+}
+header ipv4_t {
+    bit<8> version_ihl;
+    bit<8> diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8> ttl;
+    bit<8> protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+header netcl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from;
+    bit<16> to;
+    bit<8> comp;
+    bit<8> act;
+    bit<16> arg;
+}
+header d1_t {
+    bit<8> type;
+    bit<32> instance;
+    bit<16> round;
+    bit<16> vround;
+    bit<8> vote;
+    bit<32> v_0;
+    bit<32> v_1;
+    bit<32> v_2;
+    bit<32> v_3;
+    bit<32> v_4;
+    bit<32> v_5;
+    bit<32> v_6;
+    bit<32> v_7;
+}
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t ipv4;
+    udp_t udp;
+    netcl_t netcl;
+    d1_t d1;
+}
+struct metadata_t {
+    bit<16> nexthop;
+    bit<16> mcast_grp;
+    bit<1> drop_flag;
+    bit<16> egress_port;
+    bit<16> rnd;
+}
+
+parser IgParser(packet_in pkt, out headers_t hdr, out metadata_t meta,
+                out ingress_intrinsic_metadata_t ig_intr_md) {
+    state start {
+        transition parse_ethernet;
+    }
+    state parse_ethernet {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            0x0800 : parse_ipv4;
+            default : accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            17 : parse_udp;
+            default : accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dst_port) {
+            20035 : parse_netcl;
+            default : accept;
+        }
+    }
+    state parse_netcl {
+        pkt.extract(hdr.netcl);
+        transition select(hdr.netcl.comp) {
+            1 : parse_d1;
+            default : accept;
+        }
+    }
+    state parse_d1 {
+        pkt.extract(hdr.d1);
+        transition accept;
+    }
+}
+
+control In(inout headers_t hdr, inout metadata_t meta,
+        in ingress_intrinsic_metadata_t ig_intr_md,
+        inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {
+    Register<bit<16>, bit<32>>(16384) rounds;
+    Register<bit<16>, bit<32>>(16384) vrounds;
+    Register<bit<32>, bit<32>>(16384) values_0;
+    Register<bit<32>, bit<32>>(16384) values_1;
+    Register<bit<32>, bit<32>>(16384) values_2;
+    Register<bit<32>, bit<32>>(16384) values_3;
+    Register<bit<32>, bit<32>>(16384) values_4;
+    Register<bit<32>, bit<32>>(16384) values_5;
+    Register<bit<32>, bit<32>>(16384) values_6;
+    Register<bit<32>, bit<32>>(16384) values_7;
+    RegisterAction<bit<16>, bit<32>, bit<16>>(rounds) round_max = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            m = (hdr.d1.round > m ? hdr.d1.round : m);
+            o = m;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(vrounds) vround_write = {
+        void apply(inout bit<16> m, out bit<16> o) {
+            m = hdr.d1.round;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(values_0) value_0_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_0;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(values_1) value_1_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_1;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(values_2) value_2_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_2;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(values_3) value_3_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_3;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(values_4) value_4_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_4;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(values_5) value_5_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_5;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(values_6) value_6_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_6;
+            o = m;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(values_7) value_7_write = {
+        void apply(inout bit<32> m, out bit<32> o) {
+            m = hdr.d1.v_7;
+            o = m;
+        }
+    };
+    action set_port(bit<16> port) {
+        meta.egress_port = port;
+    }
+    action mark_drop() {
+        meta.drop_flag = 1w1;
+    }
+    table netcl_fwd {
+        key = {
+            meta.nexthop : exact;
+        }
+        actions = { set_port; mark_drop; }
+        default_action = mark_drop();
+        size = 256;
+    }
+    table l2_fwd {
+        key = {
+            hdr.ethernet.dst_addr : exact;
+        }
+        actions = { set_port; mark_drop; }
+        default_action = mark_drop();
+        size = 1024;
+    }
+    apply {
+        if (hdr.netcl.isValid()) {
+            if ((hdr.netcl.to == 16w2 || hdr.netcl.to == 16w65534)) {
+                if ((hdr.d1.type == 8w2)) {
+                    meta.rnd = round_max.execute(hdr.d1.instance);
+                    if ((meta.rnd == hdr.d1.round)) {
+                        vround_write.execute(hdr.d1.instance);
+                        value_0_write.execute(hdr.d1.instance);
+                        value_1_write.execute(hdr.d1.instance);
+                        value_2_write.execute(hdr.d1.instance);
+                        value_3_write.execute(hdr.d1.instance);
+                        value_4_write.execute(hdr.d1.instance);
+                        value_5_write.execute(hdr.d1.instance);
+                        value_6_write.execute(hdr.d1.instance);
+                        value_7_write.execute(hdr.d1.instance);
+                        hdr.d1.type = 8w3;
+                        hdr.d1.vround = hdr.d1.round;
+                        hdr.d1.vote = 8w1;
+                        hdr.netcl.act = 8w4;
+                        hdr.netcl.arg = 16w30;
+                        hdr.netcl.to = 16w65534;
+                        meta.mcast_grp = 16w30;
+                    } else {
+                        hdr.netcl.act = 8w1;
+                        mark_drop();
+                    }
+                } else {
+                    hdr.netcl.act = 8w1;
+                    mark_drop();
+                }
+                hdr.netcl.from = 16w2;
+            } else {
+                if ((hdr.netcl.to == 16w65535)) {
+                    meta.nexthop = hdr.netcl.dst;
+                } else {
+                    meta.nexthop = hdr.netcl.to;
+                }
+            }
+            if ((meta.drop_flag == 1w0)) {
+                if ((meta.mcast_grp == 16w0)) {
+                    netcl_fwd.apply();
+                }
+            }
+        } else {
+            l2_fwd.apply();
+        }
+    }
+}
+
+control IgDeparser(packet_out pkt, inout headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.netcl);
+        pkt.emit(hdr.d1);
+    }
+}
+
+Pipeline(IgParser(), In(), IgDeparser()) pipe;
+Switch(pipe) main;

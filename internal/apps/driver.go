@@ -1,0 +1,537 @@
+package apps
+
+import (
+	"fmt"
+
+	"netcl/internal/codegen"
+	"netcl/internal/lang"
+	"netcl/internal/lower"
+	"netcl/internal/netsim"
+	"netcl/internal/p4"
+	"netcl/internal/p4rt"
+	"netcl/internal/passes"
+	"netcl/internal/runtime"
+	"netcl/internal/sema"
+	"netcl/internal/wire"
+)
+
+// CompileApp compiles an application's NetCL source for one device,
+// returning the P4 program and its message specs.
+func CompileApp(app *App, target passes.Target, device uint16) (*p4.Program, map[uint8]*runtime.MessageSpec, error) {
+	var diags lang.Diagnostics
+	file := lang.ParseFile(app.Name, app.NetCL, app.Defines, &diags)
+	prog := sema.Check(file, &diags)
+	if err := diags.Err(); err != nil {
+		return nil, nil, err
+	}
+	mod := lower.Module(prog, device, lower.Options{}, &diags)
+	if err := diags.Err(); err != nil {
+		return nil, nil, err
+	}
+	if _, err := passes.Run(mod, passes.DefaultOptions(target)); err != nil {
+		return nil, nil, err
+	}
+	p4prog, err := codegen.Generate(mod, codegen.Options{Target: p4.Target(target)})
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := map[uint8]*runtime.MessageSpec{}
+	for comp, kernels := range prog.Computations {
+		k := kernels[0]
+		spec := &runtime.MessageSpec{Comp: comp}
+		ks := k.Spec()
+		for i := range ks.Counts {
+			spec.Args = append(spec.Args, runtime.ArgSpec{
+				Name:  k.Params[i].Name(),
+				Bytes: ks.Types[i].Bits() / 8,
+				Count: ks.Counts[i],
+				Out:   ks.Dirs[i] != sema.ByVal,
+			})
+		}
+		specs[comp] = spec
+	}
+	return p4prog, specs, nil
+}
+
+// loadProgram returns the device program: either compiled from NetCL
+// or the handwritten baseline (parsed P4), which share wire formats.
+func loadProgram(app *App, target passes.Target, device uint16, baseline bool) (*p4.Program, map[uint8]*runtime.MessageSpec, error) {
+	prog, specs, err := CompileApp(app, target, device)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !baseline {
+		return prog, specs, nil
+	}
+	src, err := app.Baseline()
+	if err != nil {
+		return nil, nil, err
+	}
+	bl, err := p4.Parse(app.Name+"-baseline", src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return bl, specs, nil
+}
+
+// AggConfig parameterizes the Figure 14 (left) experiment.
+type AggConfig struct {
+	Workers  int
+	Chunks   int // chunks (slots' worth of data) per worker
+	Window   int // outstanding slots per worker
+	Target   passes.Target
+	Baseline bool // run the handwritten P4 instead of generated code
+	// LossEveryNth drops every Nth packet on the worker links (0 =
+	// lossless); the slot protocol's retransmission path recovers.
+	LossEveryNth int
+	// RetransmitNs is the worker retransmission timeout (default 150µs).
+	RetransmitNs netsim.Time
+}
+
+// AggResult reports aggregation throughput.
+type AggResult struct {
+	// ATEPerWorker is aggregated tensor elements per second per worker
+	// (the paper's Fig. 14 metric).
+	ATEPerWorker float64
+	Completed    int
+	DurationNs   float64
+	Mismatches   int
+	// Retransmissions counts worker resends (loss recovery).
+	Retransmissions int
+	PacketsLost     uint64
+}
+
+// RunAgg drives the SwitchML-style aggregation through the simulated
+// network: workers stream chunks into slots; the switch reduces and
+// multicasts completed slots back.
+func RunAgg(cfg AggConfig) (*AggResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Chunks <= 0 {
+		cfg.Chunks = 64
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	app := ByName("AGG")
+	defines := map[string]uint64{}
+	for k, v := range app.Defines {
+		defines[k] = v
+	}
+	defines["NUM_WORKERS"] = uint64(cfg.Workers)
+	app = &App{Name: app.Name, NetCL: app.NetCL, Defines: defines,
+		Devices: app.Devices, BaselineFile: app.BaselineFile}
+
+	prog, specs, err := loadProgram(app, cfg.Target, 1, cfg.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	spec := specs[1]
+
+	if cfg.RetransmitNs == 0 {
+		cfg.RetransmitNs = 150 * netsim.Microsecond
+	}
+	n := netsim.NewNetwork()
+	n.MaxEvents = 10_000_000
+	dev := n.AddDevice(1, prog)
+	type workerState struct {
+		host        *netsim.Host
+		done        int          // completed slots observed
+		outstanding map[int]bool // sent chunks awaiting completion
+	}
+	workers := make([]*workerState, cfg.Workers)
+	var links []*netsim.Link
+	var mcastPorts []int
+	for w := 0; w < cfg.Workers; w++ {
+		h := n.AddHost(uint16(10 + w))
+		l := n.Connect(h, dev, w+1)
+		l.DropNth = cfg.LossEveryNth
+		links = append(links, l)
+		workers[w] = &workerState{host: h, outstanding: map[int]bool{}}
+		mcastPorts = append(mcastPorts, w+1)
+	}
+	if err := n.AutoWire(); err != nil {
+		return nil, err
+	}
+	dev.SetMulticastGroup(42, mcastPorts)
+	if cfg.Baseline {
+		// The handwritten program takes the worker count from the
+		// control plane (a configurable default action), like the real
+		// SwitchML deployment.
+		if err := dev.SW.SetDefaultAction("cfg_workers", "set_target", []uint64{uint64(cfg.Workers - 1)}); err != nil {
+			return nil, err
+		}
+	}
+
+	res := &AggResult{}
+	numSlots := int(defines["NUM_SLOTS"])
+	slotSize := int(defines["SLOT_SIZE"])
+
+	var sendChunk func(ws *workerState, w int, chunk int, retrans bool)
+	sendChunk = func(ws *workerState, w int, chunk int, retrans bool) {
+		slot := chunk % cfg.Window
+		ver := uint64(chunk/cfg.Window) % 2
+		vals := make([]uint64, slotSize)
+		for i := range vals {
+			vals[i] = uint64(chunk + i + w)
+		}
+		aggIdx := uint64(slot) + ver*uint64(numSlots)
+		msg, err := runtime.Pack(spec,
+			runtime.Message{Src: uint16(10 + w), Dst: 100, Device: 1, Comp: 1}.Header(),
+			[][]uint64{{ver}, {uint64(slot)}, {aggIdx}, {1 << uint(w)}, {uint64(chunk)}, vals})
+		if err != nil {
+			return
+		}
+		ws.outstanding[chunk] = true
+		if retrans {
+			res.Retransmissions++
+		}
+		ws.host.Send(msg)
+		// Retransmission timer: resend while the slot is outstanding
+		// (the two-version scheme makes resends safe, §V-E).
+		if cfg.LossEveryNth > 0 {
+			n.At(cfg.RetransmitNs, func() {
+				if ws.outstanding[chunk] {
+					sendChunk(ws, w, chunk, true)
+				}
+			})
+		}
+	}
+
+	for w, ws := range workers {
+		w, ws := w, ws
+		ws.host.Receive = func(h *netsim.Host, msg []byte) {
+			ver := make([]uint64, 1)
+			slot := make([]uint64, 1)
+			vals := make([]uint64, slotSize)
+			if _, err := runtime.Unpack(spec, msg, [][]uint64{ver, slot, nil, nil, nil, vals}); err != nil {
+				return
+			}
+			// Identify the chunk from (slot, version): unique among the
+			// outstanding window.
+			chunk := -1
+			for c := range ws.outstanding {
+				if uint64(c%cfg.Window) == slot[0] && uint64(c/cfg.Window)%2 == ver[0] {
+					chunk = c
+					break
+				}
+			}
+			if chunk < 0 {
+				return // duplicate completion (e.g. multicast + reflect)
+			}
+			delete(ws.outstanding, chunk)
+			for i := 0; i < slotSize; i++ {
+				want := uint64(cfg.Workers*(chunk+i)) + uint64(cfg.Workers*(cfg.Workers-1)/2)
+				if vals[i] != want {
+					res.Mismatches++
+					break
+				}
+			}
+			ws.done++
+			res.Completed++
+			// Per-slot self-clocking: reuse this slot only for its own
+			// next chunk. This keeps every worker within one slot of
+			// the others — the correctness requirement of the
+			// alternating-version scheme (§V-E).
+			if next := chunk + cfg.Window; next < cfg.Chunks {
+				sendChunk(ws, w, next, false)
+			}
+		}
+	}
+	// Prime the window.
+	for w, ws := range workers {
+		for c := 0; c < cfg.Window && c < cfg.Chunks; c++ {
+			sendChunk(ws, w, c, false)
+		}
+	}
+	if err := n.RunAll(); err != nil {
+		return nil, err
+	}
+	res.DurationNs = float64(n.Now())
+	if res.DurationNs > 0 {
+		// Each completed slot aggregates slotSize elements per worker.
+		totalPerWorker := float64(res.Completed/cfg.Workers) * float64(slotSize)
+		res.ATEPerWorker = totalPerWorker / (res.DurationNs / 1e9)
+	}
+	// Every worker must observe every chunk's completion.
+	for _, ws := range workers {
+		if ws.done != cfg.Chunks {
+			res.Mismatches++
+		}
+	}
+	for _, l := range links {
+		res.PacketsLost += l.Dropped
+	}
+	return res, nil
+}
+
+// CacheConfig parameterizes the Figure 14 (right) experiment.
+type CacheConfig struct {
+	CachedKeys int // keys loaded into the switch cache
+	TotalKeys  int // key universe (uniform accesses)
+	Requests   int
+	Target     passes.Target
+	Baseline   bool
+	// ServerNs is the KVS server's per-request processing time.
+	ServerNs netsim.Time
+}
+
+// CacheResult reports KVS response times.
+type CacheResult struct {
+	MeanResponseNs float64
+	HitRate        float64
+	Hits, Misses   int
+	WrongValues    int
+}
+
+// RunCache drives NetCache through the simulated network: a client
+// issues GETs over a key universe; the switch answers cached keys and
+// forwards misses to the KVS server host.
+func RunCache(cfg CacheConfig) (*CacheResult, error) {
+	if cfg.TotalKeys <= 0 {
+		cfg.TotalKeys = 64
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 256
+	}
+	if cfg.ServerNs == 0 {
+		// Calibrated to the paper's testbed observations: ~27µs mean
+		// response when every request misses, ~9.4µs when all hit.
+		cfg.ServerNs = 7600 * netsim.Nanosecond
+	}
+	app := ByName("CACHE")
+	prog, specs, err := loadProgram(app, cfg.Target, 1, cfg.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	spec := specs[1]
+	words := CacheWords
+
+	n := netsim.NewNetwork()
+	n.MaxEvents = 10_000_000
+	dev := n.AddDevice(1, prog)
+	client := n.AddHost(1)
+	server := n.AddHost(2)
+	client.ProcessingNs = 3500 * netsim.Nanosecond
+	n.Connect(client, dev, 1)
+	n.Connect(server, dev, 2)
+	if err := n.AutoWire(); err != nil {
+		return nil, err
+	}
+
+	// KVS contents: value word w of key k is k*100+w.
+	valueOf := func(key uint64, w int) uint64 { return key*100 + uint64(w) }
+
+	// Operator/controller: install the cached keys through the control
+	// plane (managed lookup memory). Generated and handwritten programs
+	// expose different object names for the same state.
+	cp := &p4rt.Direct{SW: dev.SW}
+	idxAction, shareAction := "lu_Index_hit", "lu_Share_hit"
+	valReg := func(w int) string { return fmt.Sprintf("reg_Vals__%d", w) }
+	validReg := "reg_Valid"
+	if cfg.Baseline {
+		idxAction, shareAction = "idx_hit", "share_hit"
+		valReg = func(w int) string { return fmt.Sprintf("vals_%02d", w) }
+		validReg = "valid_bit"
+	}
+	for k := 0; k < cfg.CachedKeys && k < cfg.TotalKeys; k++ {
+		key := uint64(k + 1)
+		idx := uint64(k)
+		if err := cp.InsertEntry("lu_Index", &p4.Entry{
+			Keys:   []p4.KeyValue{{Value: key, PrefixLen: -1}},
+			Action: &p4.ActionCall{Name: idxAction, Args: []uint64{idx}},
+		}); err != nil {
+			return nil, err
+		}
+		if err := cp.InsertEntry("lu_Share", &p4.Entry{
+			Keys:   []p4.KeyValue{{Value: key, PrefixLen: -1}},
+			Action: &p4.ActionCall{Name: shareAction, Args: []uint64{(1 << uint(words)) - 1}},
+		}); err != nil {
+			return nil, err
+		}
+		for w := 0; w < words; w++ {
+			if err := cp.RegisterWrite(valReg(w), int(idx), valueOf(key, w)); err != nil {
+				return nil, err
+			}
+		}
+		if err := cp.RegisterWrite(validReg, int(idx), 1); err != nil {
+			return nil, err
+		}
+	}
+
+	// KVS server: answer misses.
+	server.ProcessingNs = cfg.ServerNs
+	server.Receive = func(h *netsim.Host, msg []byte) {
+		key := make([]uint64, 1)
+		op := make([]uint64, 1)
+		hdr, err := runtime.Unpack(spec, msg, [][]uint64{op, key, nil, nil, nil})
+		if err != nil || op[0] != 1 {
+			return
+		}
+		vals := make([]uint64, words)
+		for w := range vals {
+			vals[w] = valueOf(key[0], w)
+		}
+		// Respond without requesting computation (to = none).
+		reply, err := runtime.Pack(spec, wire.Header{
+			Src: 2, Dst: hdr.Src, From: wire.None, To: wire.None, Comp: 1,
+		}, [][]uint64{op, key, vals, {0}, nil})
+		if err != nil {
+			return
+		}
+		h.Send(reply)
+	}
+
+	res := &CacheResult{}
+	var totalRT float64
+	outstandingKey := uint64(0)
+	var sentAt netsim.Time
+	reqSent := 0
+
+	var issue func()
+	issue = func() {
+		if reqSent >= cfg.Requests {
+			return
+		}
+		key := uint64(reqSent%cfg.TotalKeys) + 1
+		outstandingKey = key
+		msg, err := runtime.Pack(spec,
+			runtime.Message{Src: 1, Dst: 2, Device: 1, Comp: 1}.Header(),
+			[][]uint64{{1}, {key}, nil, nil, nil})
+		if err != nil {
+			return
+		}
+		sentAt = n.Now()
+		reqSent++
+		client.Send(msg)
+	}
+	client.Receive = func(h *netsim.Host, msg []byte) {
+		vals := make([]uint64, words)
+		hit := make([]uint64, 1)
+		if _, err := runtime.Unpack(spec, msg, [][]uint64{nil, nil, vals, hit, nil}); err != nil {
+			return
+		}
+		totalRT += float64(n.Now() - sentAt)
+		if hit[0] != 0 {
+			res.Hits++
+		} else {
+			res.Misses++
+		}
+		for w := 0; w < words; w++ {
+			if vals[w] != valueOf(outstandingKey, w) {
+				res.WrongValues++
+				break
+			}
+		}
+		issue()
+	}
+	issue()
+	if err := n.RunAll(); err != nil {
+		return nil, err
+	}
+	done := res.Hits + res.Misses
+	if done > 0 {
+		res.MeanResponseNs = totalRT / float64(done)
+		res.HitRate = float64(res.Hits) / float64(done)
+	}
+	return res, nil
+}
+
+// PaxosConfig parameterizes the in-network consensus run.
+type PaxosConfig struct {
+	Commands int
+	Target   passes.Target
+}
+
+// PaxosResult reports consensus outcomes.
+type PaxosResult struct {
+	Submitted  int
+	Delivered  int
+	WrongValue int
+}
+
+// RunPaxos builds the five-device P4xos topology (leader, three
+// acceptors, learner) and submits client commands; the learner
+// delivers each chosen command to the application host.
+func RunPaxos(cfg PaxosConfig) (*PaxosResult, error) {
+	if cfg.Commands <= 0 {
+		cfg.Commands = 16
+	}
+	app := ByName("PAXOS")
+
+	n := netsim.NewNetwork()
+	n.MaxEvents = 10_000_000
+	var specs map[uint8]*runtime.MessageSpec
+	devs := map[uint16]*netsim.Device{}
+	for _, id := range []uint16{PaxosLeader, PaxosAcceptor1, PaxosAcceptor2, PaxosAcceptor3, PaxosLearner} {
+		prog, sp, err := CompileApp(app, cfg.Target, id)
+		if err != nil {
+			return nil, fmt.Errorf("device %d: %w", id, err)
+		}
+		specs = sp
+		devs[id] = n.AddDevice(id, prog)
+	}
+	spec := specs[1]
+
+	client := n.AddHost(100)
+	appHost := n.AddHost(101)
+
+	// Star-of-stars topology: leader at the center feeding acceptors;
+	// acceptors feed the learner.
+	n.Connect(client, devs[PaxosLeader], 1)
+	n.ConnectDevices(devs[PaxosLeader], 2, devs[PaxosAcceptor1], 1)
+	n.ConnectDevices(devs[PaxosLeader], 3, devs[PaxosAcceptor2], 1)
+	n.ConnectDevices(devs[PaxosLeader], 4, devs[PaxosAcceptor3], 1)
+	n.ConnectDevices(devs[PaxosAcceptor1], 2, devs[PaxosLearner], 1)
+	n.ConnectDevices(devs[PaxosAcceptor2], 2, devs[PaxosLearner], 2)
+	n.ConnectDevices(devs[PaxosAcceptor3], 2, devs[PaxosLearner], 3)
+	n.Connect(appHost, devs[PaxosLearner], 4)
+	if err := n.AutoWire(); err != nil {
+		return nil, err
+	}
+	// Multicast groups: leader's acceptor group, acceptors' learner group.
+	devs[PaxosLeader].SetMulticastGroup(20, []int{2, 3, 4})
+	devs[PaxosAcceptor1].SetMulticastGroup(30, []int{2})
+	devs[PaxosAcceptor2].SetMulticastGroup(30, []int{2})
+	devs[PaxosAcceptor3].SetMulticastGroup(30, []int{2})
+
+	res := &PaxosResult{}
+	delivered := map[uint64]bool{}
+	appHost.Receive = func(h *netsim.Host, msg []byte) {
+		typ := make([]uint64, 1)
+		inst := make([]uint64, 1)
+		v := make([]uint64, 8)
+		if _, err := runtime.Unpack(spec, msg, [][]uint64{typ, inst, nil, nil, nil, v}); err != nil {
+			return
+		}
+		if typ[0] != 4 { // DELIVER
+			return
+		}
+		if delivered[inst[0]] {
+			return // at-most-once per instance
+		}
+		delivered[inst[0]] = true
+		res.Delivered++
+		if v[0] != 1000+inst[0]-1 {
+			res.WrongValue++
+		}
+	}
+
+	for c := 0; c < cfg.Commands; c++ {
+		vals := make([]uint64, 8)
+		vals[0] = uint64(1000 + c)
+		msg, err := runtime.Pack(spec,
+			runtime.Message{Src: 100, Dst: 101, Device: PaxosLeader, Comp: 1}.Header(),
+			[][]uint64{{1}, {0}, {0}, {0}, {0}, vals})
+		if err != nil {
+			return nil, err
+		}
+		client.Send(msg)
+		res.Submitted++
+	}
+	if err := n.RunAll(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,57 @@
+package apps
+
+import (
+	"testing"
+
+	"netcl/internal/passes"
+)
+
+// TestAggLossRecovery injects deterministic packet loss on every worker
+// link and checks that the SwitchML slot protocol (two slot versions +
+// retransmissions, paper §V-E) still aggregates every chunk correctly:
+// lost contributions are retransmitted and aggregated once; lost
+// completions are recovered by reflecting the stored result.
+func TestAggLossRecovery(t *testing.T) {
+	for _, lossNth := range []int{7, 13} {
+		res, err := RunAgg(AggConfig{
+			Workers: 3, Chunks: 20, Window: 2,
+			Target:       passes.TargetTNA,
+			LossEveryNth: lossNth,
+		})
+		if err != nil {
+			t.Fatalf("loss 1/%d: %v", lossNth, err)
+		}
+		if res.PacketsLost == 0 {
+			t.Fatalf("loss 1/%d: no packets were dropped; injection broken", lossNth)
+		}
+		if res.Retransmissions == 0 {
+			t.Fatalf("loss 1/%d: recovery never retransmitted", lossNth)
+		}
+		if res.Mismatches != 0 {
+			t.Errorf("loss 1/%d: %d aggregation mismatches despite reliability protocol", lossNth, res.Mismatches)
+		}
+		if res.Completed != 3*20 {
+			t.Errorf("loss 1/%d: %d completions, want 60", lossNth, res.Completed)
+		}
+	}
+}
+
+// TestAggLossRecoveryBaseline runs the same failure injection against
+// the handwritten P4: the reliability behavior must match.
+func TestAggLossRecoveryBaseline(t *testing.T) {
+	res, err := RunAgg(AggConfig{
+		Workers: 3, Chunks: 12, Window: 2,
+		Target:       passes.TargetTNA,
+		LossEveryNth: 9,
+		Baseline:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketsLost == 0 || res.Retransmissions == 0 {
+		t.Fatal("no loss/recovery exercised")
+	}
+	if res.Mismatches != 0 || res.Completed != 36 {
+		t.Errorf("baseline recovery failed: %d mismatches, %d completed", res.Mismatches, res.Completed)
+	}
+}

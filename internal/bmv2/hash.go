@@ -1,0 +1,111 @@
+package bmv2
+
+// Hash algorithm implementations used by the Hash externs. They hash
+// the concatenated big-endian byte representation of the input fields,
+// matching how P4 hash externs consume field lists.
+
+// crc16 implements CRC-16/ARC (poly 0x8005, reflected), the default
+// "crc16" of P4 targets.
+func crc16(data []byte) uint64 {
+	var crc uint16
+	for _, b := range data {
+		crc ^= uint16(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xA001
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return uint64(crc)
+}
+
+// crc32IEEE implements the standard reflected CRC-32.
+func crc32IEEE(data []byte) uint64 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc ^= uint32(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ 0xEDB88320
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return uint64(^crc)
+}
+
+// crc64ECMA implements CRC-64/ECMA-182 (unreflected).
+func crc64ECMA(data []byte) uint64 {
+	const poly = 0x42F0E1EBA9EA3693
+	var crc uint64
+	for _, b := range data {
+		crc ^= uint64(b) << 56
+		for i := 0; i < 8; i++ {
+			if crc&(1<<63) != 0 {
+				crc = crc<<1 ^ poly
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// xor16 folds the input into 16 bits by xor.
+func xor16(data []byte) uint64 {
+	var h uint16
+	for i := 0; i < len(data); i += 2 {
+		v := uint16(data[i]) << 8
+		if i+1 < len(data) {
+			v |= uint16(data[i+1])
+		}
+		h ^= v
+	}
+	return uint64(h)
+}
+
+// csum16 is the ones-complement 16-bit checksum.
+func csum16(data []byte) uint64 {
+	var sum uint32
+	for i := 0; i < len(data); i += 2 {
+		v := uint32(data[i]) << 8
+		if i+1 < len(data) {
+			v |= uint32(data[i+1])
+		}
+		sum += v
+		sum = (sum & 0xFFFF) + sum>>16
+	}
+	return uint64(^uint16(sum))
+}
+
+// identityHash concatenates the low bytes of the input.
+func identityHash(data []byte) uint64 {
+	var h uint64
+	for _, b := range data {
+		h = h<<8 | uint64(b)
+	}
+	return h
+}
+
+// hashBytes dispatches by algorithm name.
+func hashBytes(algo string, data []byte) uint64 {
+	switch algo {
+	case "crc16":
+		return crc16(data)
+	case "crc32":
+		return crc32IEEE(data)
+	case "crc64":
+		return crc64ECMA(data)
+	case "xor16":
+		return xor16(data)
+	case "csum16", "csum16r":
+		return csum16(data)
+	case "identity":
+		return identityHash(data)
+	}
+	// Unknown algorithms degrade to crc32 (mirrors target permissiveness).
+	return crc32IEEE(data)
+}

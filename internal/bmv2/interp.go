@@ -1,0 +1,862 @@
+// Package bmv2 executes P4 AST programs on packets, in the spirit of
+// the p4lang behavioral model: a software switch that runs any valid
+// program of our P4 subset. It serves as the testbed substrate for the
+// paper's end-to-end experiments (§VII) — both generated and
+// handwritten P4 run on this same interpreter.
+package bmv2
+
+import (
+	"fmt"
+	"sort"
+
+	"netcl/internal/p4"
+)
+
+// val is a typed interpreter value.
+type val struct {
+	v    uint64
+	bits int
+}
+
+func (x val) mask() uint64 {
+	if x.bits >= 64 || x.bits <= 0 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(x.bits)) - 1
+}
+
+func (x val) wrapped() uint64 { return x.v & x.mask() }
+
+func (x val) signed() int64 {
+	u := x.wrapped()
+	if x.bits > 0 && x.bits < 64 && u>>(uint(x.bits)-1) != 0 {
+		return int64(u | ^x.mask())
+	}
+	return int64(u)
+}
+
+// Switch is an executable P4 switch instance with mutable runtime
+// state (registers, table entries, multicast groups).
+type Switch struct {
+	Prog *p4.Program
+
+	regs    map[string][]uint64
+	entries map[string][]*p4.Entry
+	fields  map[string]int // field path -> bits (headers, metadata, locals, params)
+	rng     uint64
+
+	// Counters for observability and tests.
+	PacketsIn, PacketsOut, PacketsDropped uint64
+}
+
+// Result reports the outcome of processing one packet.
+type Result struct {
+	Data    []byte
+	Port    int
+	Mcast   int
+	Dropped bool
+	NoMatch bool // no egress selected
+}
+
+// New instantiates a switch for a program.
+func New(prog *p4.Program) *Switch {
+	s := &Switch{
+		Prog:    prog,
+		regs:    map[string][]uint64{},
+		entries: map[string][]*p4.Entry{},
+		fields:  map[string]int{},
+		rng:     0x9E3779B97F4A7C15,
+	}
+	controls := []*p4.Control{prog.Ingress}
+	if prog.Egress != nil {
+		controls = append(controls, prog.Egress)
+	}
+	for _, c := range controls {
+		for _, r := range c.Registers {
+			cells := make([]uint64, r.Size)
+			m := val{bits: r.Bits}.mask()
+			for i, v := range r.Init {
+				if i < len(cells) {
+					cells[i] = uint64(v) & m
+				}
+			}
+			s.regs[r.Name] = cells
+		}
+		for _, t := range c.Tables {
+			s.entries[t.Name] = append([]*p4.Entry(nil), t.Entries...)
+		}
+		for _, l := range c.Locals {
+			s.fields[l.Name] = l.Bits
+		}
+	}
+	for _, h := range prog.Headers {
+		for _, f := range h.Fields {
+			s.fields["hdr."+h.Name+"."+f.Name] = f.Bits
+		}
+	}
+	for _, f := range prog.Metadata {
+		s.fields["meta."+f.Name] = f.Bits
+	}
+	return s
+}
+
+// Control plane --------------------------------------------------------
+
+// RegisterRead returns a register cell.
+func (s *Switch) RegisterRead(name string, idx int) (uint64, error) {
+	cells, ok := s.regs[name]
+	if !ok {
+		return 0, fmt.Errorf("no register %q", name)
+	}
+	if idx < 0 || idx >= len(cells) {
+		return 0, fmt.Errorf("register %q index %d out of range", name, idx)
+	}
+	return cells[idx], nil
+}
+
+// RegisterWrite sets a register cell.
+func (s *Switch) RegisterWrite(name string, idx int, v uint64) error {
+	cells, ok := s.regs[name]
+	if !ok {
+		return fmt.Errorf("no register %q", name)
+	}
+	if idx < 0 || idx >= len(cells) {
+		return fmt.Errorf("register %q index %d out of range", name, idx)
+	}
+	cells[idx] = v
+	return nil
+}
+
+// RegisterSize returns the number of cells, or -1.
+func (s *Switch) RegisterSize(name string) int {
+	if cells, ok := s.regs[name]; ok {
+		return len(cells)
+	}
+	return -1
+}
+
+// InsertEntry adds a runtime table entry.
+func (s *Switch) InsertEntry(table string, e *p4.Entry) error {
+	if _, ok := s.entries[table]; !ok {
+		if s.findTable(table) == nil {
+			return fmt.Errorf("no table %q", table)
+		}
+	}
+	s.entries[table] = append(s.entries[table], e)
+	return nil
+}
+
+// DeleteEntry removes entries whose first key value matches.
+func (s *Switch) DeleteEntry(table string, keyVal uint64) int {
+	es := s.entries[table]
+	var keep []*p4.Entry
+	removed := 0
+	for _, e := range es {
+		if len(e.Keys) > 0 && e.Keys[0].Value == keyVal {
+			removed++
+			continue
+		}
+		keep = append(keep, e)
+	}
+	s.entries[table] = keep
+	return removed
+}
+
+// ClearEntries removes all runtime entries of a table.
+func (s *Switch) ClearEntries(table string) { s.entries[table] = nil }
+
+// SetDefaultAction overrides a table's default action (the control
+// plane configures e.g. the AGG baseline's worker count this way).
+func (s *Switch) SetDefaultAction(table, action string, args []uint64) error {
+	t := s.findTable(table)
+	if t == nil {
+		return fmt.Errorf("no table %q", table)
+	}
+	t.Default = &p4.ActionCall{Name: action, Args: args}
+	return nil
+}
+
+// Entries returns a copy of a table's current entries.
+func (s *Switch) Entries(table string) []*p4.Entry {
+	return append([]*p4.Entry(nil), s.entries[table]...)
+}
+
+func (s *Switch) findTable(name string) *p4.Table {
+	if t := s.Prog.Ingress.TableByName(name); t != nil {
+		return t
+	}
+	if s.Prog.Egress != nil {
+		return s.Prog.Egress.TableByName(name)
+	}
+	return nil
+}
+
+// Packet processing ----------------------------------------------------
+
+// exec carries per-packet state.
+type exec struct {
+	s       *Switch
+	env     map[string]val
+	valid   map[string]bool
+	ordered []string // extracted header order
+	payload []byte
+	exited  bool
+	frames  []map[string]val // action parameter frames
+}
+
+// Process runs one packet through parser, ingress, (egress,) deparser.
+func (s *Switch) Process(data []byte, inPort int) (*Result, error) {
+	s.PacketsIn++
+	ex := &exec{s: s, env: map[string]val{}, valid: map[string]bool{}}
+	for _, f := range s.Prog.Metadata {
+		ex.env["meta."+f.Name] = val{0, f.Bits}
+	}
+	if err := ex.parse(data); err != nil {
+		return nil, err
+	}
+	if err := ex.control(s.Prog.Ingress); err != nil {
+		return nil, err
+	}
+	if s.Prog.Egress != nil && !ex.exited {
+		if err := ex.control(s.Prog.Egress); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{
+		Port:  int(ex.env["meta.egress_port"].wrapped()),
+		Mcast: int(ex.env["meta.mcast_grp"].wrapped()),
+	}
+	if ex.env["meta.drop_flag"].wrapped() != 0 {
+		res.Dropped = true
+		s.PacketsDropped++
+		return res, nil
+	}
+	res.Data = ex.deparse()
+	if res.Port == 0 && res.Mcast == 0 {
+		res.NoMatch = true
+	}
+	s.PacketsOut++
+	return res, nil
+}
+
+// parse walks the parser FSM.
+func (ex *exec) parse(data []byte) error {
+	rest := data
+	state := ex.s.Prog.Parser.StateByName("start")
+	for steps := 0; state != nil; steps++ {
+		if steps > 64 {
+			return fmt.Errorf("parser loop")
+		}
+		for _, hn := range state.Extracts {
+			h := ex.s.Prog.HeaderByName(hn)
+			if h == nil {
+				return fmt.Errorf("parser extracts unknown header %q", hn)
+			}
+			nbytes := h.Bits() / 8
+			if len(rest) < nbytes {
+				return fmt.Errorf("packet too short for header %q (%d < %d)", hn, len(rest), nbytes)
+			}
+			bitOff := 0
+			for _, f := range h.Fields {
+				v := extractBits(rest, bitOff, f.Bits)
+				ex.env["hdr."+hn+"."+f.Name] = val{v, f.Bits}
+				bitOff += f.Bits
+			}
+			rest = rest[nbytes:]
+			ex.valid[hn] = true
+			ex.ordered = append(ex.ordered, hn)
+		}
+		next := ""
+		if state.Select != nil {
+			key := ex.eval(state.Select.Key)
+			next = state.Select.Default
+			for _, c := range state.Select.Cases {
+				if c.Mask != 0 {
+					if key.wrapped()&c.Mask == c.Value&c.Mask {
+						next = c.State
+						break
+					}
+				} else if key.wrapped() == c.Value {
+					next = c.State
+					break
+				}
+			}
+		} else {
+			next = state.Next
+			if next == "" {
+				next = "accept"
+			}
+		}
+		switch next {
+		case "accept":
+			ex.payload = rest
+			return nil
+		case "reject":
+			return fmt.Errorf("parser rejected packet")
+		}
+		state = ex.s.Prog.Parser.StateByName(next)
+		if state == nil {
+			return fmt.Errorf("parser transition to unknown state %q", next)
+		}
+	}
+	return nil
+}
+
+func extractBits(b []byte, bitOff, bits int) uint64 {
+	var v uint64
+	for i := 0; i < bits; i++ {
+		byteIdx := (bitOff + i) / 8
+		bitIdx := 7 - (bitOff+i)%8
+		v <<= 1
+		if byteIdx < len(b) && b[byteIdx]>>(uint(bitIdx))&1 != 0 {
+			v |= 1
+		}
+	}
+	return v
+}
+
+// deparse emits valid headers in extraction order plus payload.
+func (ex *exec) deparse() []byte {
+	var out []byte
+	emitted := map[string]bool{}
+	emit := func(hn string) {
+		if emitted[hn] || !ex.valid[hn] {
+			return
+		}
+		emitted[hn] = true
+		h := ex.s.Prog.HeaderByName(hn)
+		var cur uint64
+		curBits := 0
+		for _, f := range h.Fields {
+			v := ex.env["hdr."+hn+"."+f.Name]
+			remaining := f.Bits
+			for remaining > 0 {
+				take := 8 - curBits
+				if take > remaining {
+					take = remaining
+				}
+				cur = cur<<uint(take) | (v.wrapped()>>(uint(remaining-take)))&((1<<uint(take))-1)
+				curBits += take
+				remaining -= take
+				if curBits == 8 {
+					out = append(out, byte(cur))
+					cur, curBits = 0, 0
+				}
+			}
+		}
+	}
+	for _, hn := range ex.ordered {
+		emit(hn)
+	}
+	// Headers made valid by the control (not extracted) follow program
+	// order.
+	for _, h := range ex.s.Prog.Headers {
+		emit(h.Name)
+	}
+	return append(out, ex.payload...)
+}
+
+// control runs a control block's apply body.
+func (ex *exec) control(c *p4.Control) error {
+	return ex.stmts(c, c.Apply)
+}
+
+func (ex *exec) stmts(c *p4.Control, body []p4.Stmt) error {
+	for _, st := range body {
+		if ex.exited {
+			return nil
+		}
+		if err := ex.stmt(c, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ex *exec) stmt(c *p4.Control, st p4.Stmt) error {
+	switch x := st.(type) {
+	case *p4.Comment:
+		return nil
+	case *p4.Assign:
+		v := ex.eval(x.RHS)
+		ex.assign(x.LHS, v)
+		return nil
+	case *p4.If:
+		if ex.eval(x.Cond).wrapped() != 0 {
+			return ex.stmts(c, x.Then)
+		}
+		return ex.stmts(c, x.Else)
+	case *p4.ApplyTable:
+		hit, err := ex.applyTable(c, x.Table)
+		if err != nil {
+			return err
+		}
+		if x.HitVar != "" {
+			hv := uint64(0)
+			if hit {
+				hv = 1
+			}
+			ex.assign(p4.FR(x.HitVar), val{hv, 1})
+		}
+		return nil
+	case *p4.CallStmt:
+		return ex.callStmt(c, x)
+	case *p4.SetValid:
+		ex.valid[x.Header] = x.Valid
+		if x.Valid {
+			found := false
+			for _, hn := range ex.ordered {
+				if hn == x.Header {
+					found = true
+				}
+			}
+			if !found {
+				ex.ordered = append(ex.ordered, x.Header)
+			}
+		}
+		return nil
+	case *p4.Exit:
+		ex.exited = true
+		return nil
+	}
+	return fmt.Errorf("unsupported statement %T", st)
+}
+
+// assign writes a value through action frames, locals, or fields.
+func (ex *exec) assign(fr *p4.FieldRef, v val) {
+	name := fr.String()
+	if len(ex.frames) > 0 {
+		if _, ok := ex.frames[len(ex.frames)-1][name]; ok {
+			ex.frames[len(ex.frames)-1][name] = v
+			return
+		}
+	}
+	bits := ex.s.fields[name]
+	if bits == 0 {
+		bits = v.bits
+	}
+	ex.env[name] = val{v.wrapped(), bits}
+}
+
+func (ex *exec) callStmt(c *p4.Control, x *p4.CallStmt) error {
+	if x.Recv == "" {
+		// Plain action invocation.
+		a := c.ActionByName(x.Method)
+		if a == nil {
+			return fmt.Errorf("unknown action %q", x.Method)
+		}
+		var args []val
+		for _, e := range x.Args {
+			args = append(args, ex.eval(e))
+		}
+		return ex.runAction(c, a, args)
+	}
+	// Register primitives (v1model style).
+	if cells, ok := ex.s.regs[x.Recv]; ok {
+		switch x.Method {
+		case "read":
+			dst, ok := x.Args[0].(*p4.FieldRef)
+			if !ok {
+				return fmt.Errorf("register read destination must be a field")
+			}
+			idx := int(ex.eval(x.Args[1]).wrapped())
+			var v uint64
+			if idx >= 0 && idx < len(cells) {
+				v = cells[idx]
+			}
+			ex.assign(dst, val{v, ex.s.fields[dst.String()]})
+			return nil
+		case "write":
+			idx := int(ex.eval(x.Args[0]).wrapped())
+			v := ex.eval(x.Args[1])
+			if idx >= 0 && idx < len(cells) {
+				cells[idx] = v.wrapped()
+			}
+			return nil
+		}
+	}
+	// RegisterAction.execute used as a statement (result discarded).
+	if ra := c.RegActByName(x.Recv); ra != nil && x.Method == "execute" {
+		_, err := ex.execRegAction(c, ra, x.Args)
+		return err
+	}
+	return fmt.Errorf("unsupported call %s.%s", x.Recv, x.Method)
+}
+
+func (ex *exec) runAction(c *p4.Control, a *p4.ActionDecl, args []val) error {
+	frame := map[string]val{}
+	for i, p := range a.Params {
+		var v val
+		if i < len(args) {
+			v = val{args[i].wrapped(), p.Bits}
+		} else {
+			v = val{0, p.Bits}
+		}
+		frame[p.Name] = v
+	}
+	ex.frames = append(ex.frames, frame)
+	err := ex.stmts(c, a.Body)
+	ex.frames = ex.frames[:len(ex.frames)-1]
+	return err
+}
+
+// applyTable matches and executes a table.
+func (ex *exec) applyTable(c *p4.Control, name string) (bool, error) {
+	t := c.TableByName(name)
+	if t == nil {
+		return false, fmt.Errorf("unknown table %q", name)
+	}
+	var keys []val
+	for _, k := range t.Keys {
+		keys = append(keys, ex.eval(k.Expr))
+	}
+	entries := ex.s.entries[name]
+	var best *p4.Entry
+	bestScore := -(1 << 30) // priorities push ternary/range scores negative
+	for _, e := range entries {
+		if len(e.Keys) != len(keys) {
+			continue
+		}
+		ok := true
+		score := 0
+		for i, kv := range e.Keys {
+			kval := keys[i].wrapped()
+			switch t.Keys[i].Match {
+			case p4.MatchExact:
+				if kval != kv.Value {
+					ok = false
+				}
+			case p4.MatchTernary:
+				if kval&kv.Mask != kv.Value&kv.Mask {
+					ok = false
+				}
+				score -= e.Priority
+			case p4.MatchLPM:
+				bits := keys[i].bits
+				plen := kv.PrefixLen
+				if plen < 0 {
+					plen = 0
+				}
+				if plen > bits {
+					ok = false
+					break
+				}
+				shift := uint(bits - plen)
+				if plen == 0 || kval>>shift == kv.Value>>shift {
+					score = plen
+				} else {
+					ok = false
+				}
+			case p4.MatchRange:
+				if kval < kv.Value || kval > kv.Hi {
+					ok = false
+				}
+				score -= e.Priority
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok && score > bestScore {
+			best = e
+			bestScore = score
+		}
+	}
+	if best == nil {
+		if t.Default != nil && t.Default.Name != "NoAction" {
+			a := c.ActionByName(t.Default.Name)
+			if a == nil {
+				return false, fmt.Errorf("unknown default action %q", t.Default.Name)
+			}
+			var args []val
+			for _, v := range t.Default.Args {
+				args = append(args, val{v, 64})
+			}
+			if err := ex.runAction(c, a, args); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+	}
+	if best.Action.Name != "NoAction" {
+		a := c.ActionByName(best.Action.Name)
+		if a == nil {
+			return false, fmt.Errorf("unknown action %q", best.Action.Name)
+		}
+		var args []val
+		for _, v := range best.Action.Args {
+			args = append(args, val{v, 64})
+		}
+		if err := ex.runAction(c, a, args); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// execRegAction runs a SALU microprogram.
+func (ex *exec) execRegAction(c *p4.Control, ra *p4.RegisterAction, idxArgs []p4.Expr) (val, error) {
+	cells := ex.s.regs[ra.Register]
+	if cells == nil {
+		return val{}, fmt.Errorf("register action %q over unknown register", ra.Name)
+	}
+	reg := c.RegisterByName(ra.Register)
+	idx := 0
+	if len(idxArgs) > 0 {
+		idx = int(ex.eval(idxArgs[0]).wrapped())
+	}
+	var m uint64
+	if idx >= 0 && idx < len(cells) {
+		m = cells[idx]
+	}
+	frame := map[string]val{
+		"m": {m, reg.Bits},
+		"o": {0, reg.Bits},
+	}
+	ex.frames = append(ex.frames, frame)
+	err := ex.stmts(c, ra.Body)
+	out := ex.frames[len(ex.frames)-1]
+	ex.frames = ex.frames[:len(ex.frames)-1]
+	if err != nil {
+		return val{}, err
+	}
+	if idx >= 0 && idx < len(cells) {
+		cells[idx] = out["m"].wrapped()
+	}
+	return out["o"], nil
+}
+
+// eval evaluates an expression.
+func (ex *exec) eval(e p4.Expr) val {
+	switch x := e.(type) {
+	case *p4.IntLit:
+		b := x.Bits
+		if b == 0 {
+			b = 64
+		}
+		return val{x.Val, b}
+	case *p4.FieldRef:
+		name := x.String()
+		// Innermost action frame first (params, m/o of reg actions).
+		for i := len(ex.frames) - 1; i >= 0; i-- {
+			if v, ok := ex.frames[i][name]; ok {
+				return v
+			}
+		}
+		if v, ok := ex.env[name]; ok {
+			return v
+		}
+		return val{0, ex.s.fields[name]}
+	case *p4.Bin:
+		return ex.evalBin(x)
+	case *p4.Un:
+		v := ex.eval(x.X)
+		switch x.Op {
+		case "~":
+			return val{^v.wrapped() & v.mask(), v.bits}
+		case "-":
+			return val{(0 - v.wrapped()) & v.mask(), v.bits}
+		case "!":
+			if v.wrapped() == 0 {
+				return val{1, 1}
+			}
+			return val{0, 1}
+		}
+		return v
+	case *p4.Cast:
+		v := ex.eval(x.X)
+		if x.Signed && v.bits < x.Bits {
+			return val{uint64(v.signed()) & (val{bits: x.Bits}).mask(), x.Bits}
+		}
+		return val{v.wrapped() & (val{bits: x.Bits}).mask(), x.Bits}
+	case *p4.TernaryExpr:
+		if ex.eval(x.Cond).wrapped() != 0 {
+			return ex.eval(x.A)
+		}
+		return ex.eval(x.B)
+	case *p4.CallExpr:
+		v, err := ex.evalCall(x)
+		if err != nil {
+			// Errors inside expressions surface as zero; callers that
+			// care route through callStmt which propagates errors.
+			return val{0, 32}
+		}
+		return v
+	}
+	return val{}
+}
+
+func (ex *exec) evalCall(x *p4.CallExpr) (val, error) {
+	// Header validity.
+	if x.Method == "isValid" {
+		name := x.Recv
+		if len(name) > 4 && name[:4] == "hdr." {
+			name = name[4:]
+		}
+		if ex.valid[name] {
+			return val{1, 1}, nil
+		}
+		return val{0, 1}, nil
+	}
+	c := ex.s.Prog.Ingress
+	if ra := c.RegActByName(x.Recv); ra != nil && x.Method == "execute" {
+		return ex.execRegAction(c, ra, x.Args)
+	}
+	// Hash/random externs.
+	for _, h := range ex.hashDecls() {
+		if h.Name == x.Recv && x.Method == "get" {
+			if h.Algo == "random" {
+				ex.s.rng = ex.s.rng*6364136223846793005 + 1442695040888963407
+				return val{ex.s.rng >> 17 & (val{bits: h.Bits}).mask(), h.Bits}, nil
+			}
+			var data []byte
+			for _, a := range x.Args {
+				v := ex.eval(a)
+				nb := (v.bits + 7) / 8
+				if nb == 0 {
+					nb = 4
+				}
+				for i := nb - 1; i >= 0; i-- {
+					data = append(data, byte(v.wrapped()>>(8*uint(i))))
+				}
+			}
+			hv := hashBytes(h.Algo, data)
+			return val{hv & (val{bits: h.Bits}).mask(), h.Bits}, nil
+		}
+	}
+	if x.Method == "apply_hit" {
+		hit, err := ex.applyTable(c, x.Recv)
+		if err != nil {
+			return val{}, err
+		}
+		if hit {
+			return val{1, 1}, nil
+		}
+		return val{0, 1}, nil
+	}
+	return val{}, fmt.Errorf("unsupported call expression %s.%s", x.Recv, x.Method)
+}
+
+func (ex *exec) hashDecls() []*p4.HashDecl {
+	if ex.s.Prog.Egress == nil {
+		return ex.s.Prog.Ingress.Hashes
+	}
+	// Copy: never append into the program's own backing array.
+	out := make([]*p4.HashDecl, 0, len(ex.s.Prog.Ingress.Hashes)+len(ex.s.Prog.Egress.Hashes))
+	out = append(out, ex.s.Prog.Ingress.Hashes...)
+	return append(out, ex.s.Prog.Egress.Hashes...)
+}
+
+func (ex *exec) evalBin(x *p4.Bin) val {
+	a := ex.eval(x.X)
+	b := ex.eval(x.Y)
+	bits := a.bits
+	if b.bits > bits {
+		bits = b.bits
+	}
+	if bits == 0 {
+		bits = 64
+	}
+	r := val{bits: bits}
+	au, bu := a.wrapped(), b.wrapped()
+	as, bs := a.signed(), b.signed()
+	bool1 := func(c bool) val {
+		if c {
+			return val{1, 1}
+		}
+		return val{0, 1}
+	}
+	switch x.Op {
+	case "+":
+		return val{(au + bu) & r.mask(), bits}
+	case "-":
+		return val{(au - bu) & r.mask(), bits}
+	case "*":
+		return val{(au * bu) & r.mask(), bits}
+	case "/":
+		if bu == 0 {
+			return val{0, bits}
+		}
+		return val{(au / bu) & r.mask(), bits}
+	case "s/":
+		if bs == 0 {
+			return val{0, bits}
+		}
+		return val{uint64(as/bs) & r.mask(), bits}
+	case "%":
+		if bu == 0 {
+			return val{0, bits}
+		}
+		return val{(au % bu) & r.mask(), bits}
+	case "s%":
+		if bs == 0 {
+			return val{0, bits}
+		}
+		return val{uint64(as%bs) & r.mask(), bits}
+	case "&":
+		return val{au & bu, bits}
+	case "|":
+		return val{au | bu, bits}
+	case "^":
+		return val{au ^ bu, bits}
+	case "<<":
+		if bu > 63 {
+			return val{0, a.bits}
+		}
+		return val{(au << bu) & a.mask(), a.bits}
+	case ">>":
+		if bu > 63 {
+			return val{0, a.bits}
+		}
+		return val{au >> bu, a.bits}
+	case "s>>":
+		sh := bu
+		if sh > 63 {
+			sh = 63
+		}
+		return val{uint64(as>>sh) & a.mask(), a.bits}
+	case "|+|":
+		sum := au + bu
+		if sum > r.mask() || sum < au {
+			sum = r.mask()
+		}
+		return val{sum & r.mask(), bits}
+	case "|-|":
+		if bu > au {
+			return val{0, bits}
+		}
+		return val{au - bu, bits}
+	case "==":
+		return bool1(au == bu)
+	case "!=":
+		return bool1(au != bu)
+	case "<":
+		return bool1(au < bu)
+	case "<=":
+		return bool1(au <= bu)
+	case ">":
+		return bool1(au > bu)
+	case ">=":
+		return bool1(au >= bu)
+	case "s<":
+		return bool1(as < bs)
+	case "s<=":
+		return bool1(as <= bs)
+	case "s>":
+		return bool1(as > bs)
+	case "s>=":
+		return bool1(as >= bs)
+	case "&&":
+		return bool1(au != 0 && bu != 0)
+	case "||":
+		return bool1(au != 0 || bu != 0)
+	}
+	return val{0, bits}
+}
+
+// SortEntriesByPriority orders a table's runtime entries (lowest
+// priority value first); useful after bulk inserts of ternary entries.
+func (s *Switch) SortEntriesByPriority(table string) {
+	es := s.entries[table]
+	sort.SliceStable(es, func(i, j int) bool { return es[i].Priority < es[j].Priority })
+}

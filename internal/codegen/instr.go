@@ -1,0 +1,460 @@
+package codegen
+
+import (
+	"fmt"
+
+	"netcl/internal/ir"
+	"netcl/internal/p4"
+)
+
+// emitInstr translates one IR instruction into P4 statements, binding
+// the instruction's value (if any) in g.vals.
+func (g *generator) emitInstr(ks *kernelState, i *ir.Instr) []p4.Stmt {
+	switch i.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpUDiv, ir.OpSDiv, ir.OpURem,
+		ir.OpSRem, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr,
+		ir.OpAShr, ir.OpSAddSat, ir.OpSSubSat:
+		rhs := &p4.Bin{Op: binOp(i), X: g.valueExpr(i.Args[0]), Y: g.valueExpr(i.Args[1])}
+		// Single-use operations over stable operands fold into their
+		// consumer as an expression tree (like handwritten P4 writes
+		// "(share >> w) & 1" inline), spending no PHV local.
+		if ks.uses[ir.Value(i)] == 1 && stableExpr(rhs, 0) <= 4 {
+			g.vals[i] = rhs
+			return nil
+		}
+		t := g.sinkOrTemp(ks, i)
+		return []p4.Stmt{&p4.Assign{LHS: t, RHS: rhs}}
+
+	case ir.OpMin, ir.OpMax:
+		t := g.declTemp(i)
+		cmp := "<"
+		if i.Op == ir.OpMax {
+			cmp = ">"
+		}
+		if i.Ty.Signed {
+			cmp = "s" + cmp
+		}
+		return []p4.Stmt{
+			&p4.Assign{LHS: t, RHS: g.valueExpr(i.Args[0])},
+			&p4.If{
+				Cond: &p4.Bin{Op: cmp, X: g.valueExpr(i.Args[1]), Y: g.valueExpr(i.Args[0])},
+				Then: []p4.Stmt{&p4.Assign{LHS: t, RHS: g.valueExpr(i.Args[1])}},
+			},
+		}
+
+	case ir.OpICmp:
+		cmp := &p4.Bin{Op: predOp(i.Pred), X: g.valueExpr(i.Args[0]), Y: g.valueExpr(i.Args[1])}
+		// Compares consumed only as conditions (branches, selects,
+		// atomic predicates) stay expressions: Tofino evaluates them in
+		// gateways/SALU predicates for free. Only value uses (stores,
+		// arithmetic) materialize a bit<1> local.
+		if !cmpNeedsValue(ks, i) {
+			g.vals[i] = cmp
+			return nil
+		}
+		t := g.declTemp(i)
+		return []p4.Stmt{
+			&p4.Assign{LHS: t, RHS: &p4.IntLit{Val: 0, Bits: 1}},
+			&p4.If{Cond: cmp, Then: []p4.Stmt{&p4.Assign{LHS: t, RHS: &p4.IntLit{Val: 1, Bits: 1}}}},
+		}
+
+	case ir.OpSelect:
+		t := g.sinkOrTemp(ks, i)
+		return []p4.Stmt{&p4.If{
+			Cond: g.condExpr(i.Args[0]),
+			Then: []p4.Stmt{&p4.Assign{LHS: t, RHS: g.valueExpr(i.Args[1])}},
+			Else: []p4.Stmt{&p4.Assign{LHS: t, RHS: g.valueExpr(i.Args[2])}},
+		}}
+
+	case ir.OpTrunc, ir.OpZExt, ir.OpSExt:
+		// Width conversions are free on Tofino (crossbar slicing and
+		// zero-fill); alias the cast expression instead of spending a
+		// VLIW slot and a dependence level on a copy.
+		g.vals[i] = &p4.Cast{Bits: p4Bits(i.Ty), Signed: i.Op == ir.OpSExt, X: g.valueExpr(i.Args[0])}
+		return nil
+
+	case ir.OpAlloca:
+		return g.emitAlloca(ks, i)
+	case ir.OpLoad:
+		return g.emitLoad(ks, i)
+	case ir.OpStore:
+		return g.emitStore(ks, i)
+	case ir.OpLoadMsg:
+		return g.emitLoadMsg(ks, i)
+	case ir.OpStoreMsg:
+		return g.emitStoreMsg(ks, i)
+
+	case ir.OpMsgField:
+		g.vals[i] = p4.FR("hdr", "netcl", i.Field)
+		return nil
+
+	case ir.OpAtomicRMW:
+		if g.tgt == p4.TargetTNA {
+			return g.emitAtomicTNA(ks, i)
+		}
+		return g.emitAtomicV1(ks, i)
+
+	case ir.OpLookup:
+		return g.emitLookup(ks, i)
+	case ir.OpLookupVal:
+		// Bound when the paired lookup was emitted.
+		if _, ok := g.vals[i]; !ok {
+			g.fail("lookupval before lookup")
+		}
+		return nil
+
+	case ir.OpHash:
+		return g.emitHash(ks, i)
+	case ir.OpRand:
+		name := g.fresh("rnd")
+		g.ctl.Hashes = append(g.ctl.Hashes, &p4.HashDecl{Name: name, Algo: "random", Bits: p4Bits(i.Ty)})
+		t := g.declTemp(i)
+		return []p4.Stmt{&p4.Assign{LHS: t, RHS: &p4.CallExpr{Recv: name, Method: "get"}}}
+
+	case ir.OpByteSwap:
+		t := g.declTemp(i)
+		return []p4.Stmt{&p4.Assign{LHS: t, RHS: bswapExpr(g.valueExpr(i.Args[0]), p4Bits(i.Ty))}}
+
+	case ir.OpCLZ, ir.OpCTZ:
+		return g.emitCLZ(ks, i)
+	}
+	g.fail("cannot generate code for %s", i)
+	return nil
+}
+
+// stableExpr returns the leaf count of an expression whose leaves are
+// all constants or control locals (single-assignment temps), or a
+// large sentinel if any leaf is mutable header/metadata state or the
+// tree is too deep to fold.
+func stableExpr(e p4.Expr, depth int) int {
+	if depth > 4 {
+		return 1 << 10
+	}
+	switch x := e.(type) {
+	case *p4.IntLit:
+		return 1
+	case *p4.FieldRef:
+		if len(x.Parts) == 1 {
+			return 1 // control local: written before use, never after
+		}
+		return 1 << 10 // header/metadata fields are mutable
+	case *p4.Bin:
+		return stableExpr(x.X, depth+1) + stableExpr(x.Y, depth+1)
+	case *p4.Cast:
+		return stableExpr(x.X, depth+1)
+	case *p4.Un:
+		return stableExpr(x.X, depth+1)
+	}
+	return 1 << 10
+}
+
+// cmpNeedsValue reports whether any use of a compare requires a
+// materialized bit value (rather than a condition position).
+func cmpNeedsValue(ks *kernelState, i *ir.Instr) bool {
+	need := false
+	ks.f.Instrs(func(b *ir.Block, u *ir.Instr) bool {
+		for pos, a := range u.Args {
+			if a != ir.Value(i) {
+				continue
+			}
+			switch {
+			case u.Op == ir.OpBr && pos == 0:
+			case u.Op == ir.OpSelect && pos == 0:
+			case u.Op == ir.OpAtomicRMW && u.Cond && pos == u.NIdx:
+			default:
+				need = true
+				return false
+			}
+		}
+		return true
+	})
+	return need
+}
+
+func binOp(i *ir.Instr) string {
+	switch i.Op {
+	case ir.OpAdd:
+		return "+"
+	case ir.OpSub:
+		return "-"
+	case ir.OpMul:
+		return "*"
+	case ir.OpUDiv:
+		return "/"
+	case ir.OpSDiv:
+		return "s/"
+	case ir.OpURem:
+		return "%"
+	case ir.OpSRem:
+		return "s%"
+	case ir.OpAnd:
+		return "&"
+	case ir.OpOr:
+		return "|"
+	case ir.OpXor:
+		return "^"
+	case ir.OpShl:
+		return "<<"
+	case ir.OpLShr:
+		return ">>"
+	case ir.OpAShr:
+		return "s>>"
+	case ir.OpSAddSat:
+		return "|+|"
+	case ir.OpSSubSat:
+		return "|-|"
+	}
+	return "?"
+}
+
+func predOp(p ir.Pred) string {
+	switch p {
+	case ir.PredEQ:
+		return "=="
+	case ir.PredNE:
+		return "!="
+	case ir.PredULT:
+		return "<"
+	case ir.PredULE:
+		return "<="
+	case ir.PredUGT:
+		return ">"
+	case ir.PredUGE:
+		return ">="
+	case ir.PredSLT:
+		return "s<"
+	case ir.PredSLE:
+		return "s<="
+	case ir.PredSGT:
+		return "s>"
+	case ir.PredSGE:
+		return "s>="
+	}
+	return "?"
+}
+
+// bswapExpr builds a shift/mask byte swap expression of the given
+// width (Tofino does this in one stage; the single assignment keeps
+// the resource model faithful).
+func bswapExpr(x p4.Expr, bits int) p4.Expr {
+	n := bits / 8
+	var out p4.Expr
+	for b := 0; b < n; b++ {
+		// Byte b moves to position n-1-b.
+		shiftIn := uint64(8 * b)
+		shiftOut := uint64(8 * (n - 1 - b))
+		term := p4.Expr(&p4.Bin{Op: "&", X: &p4.Bin{Op: ">>", X: x, Y: &p4.IntLit{Val: shiftIn}}, Y: &p4.IntLit{Val: 0xFF}})
+		term = &p4.Bin{Op: "<<", X: term, Y: &p4.IntLit{Val: shiftOut}}
+		if out == nil {
+			out = term
+		} else {
+			out = &p4.Bin{Op: "|", X: out, Y: term}
+		}
+	}
+	return out
+}
+
+// Local memory ---------------------------------------------------------
+
+// allocaSlots names the locals backing an array alloca.
+func (g *generator) allocaSlot(i *ir.Instr, k int) string {
+	if i.Count == 1 {
+		return fmt.Sprintf("v%d_%s", i.ID, g.curKernelTag)
+	}
+	return fmt.Sprintf("v%d_%s_%d", i.ID, g.curKernelTag, k)
+}
+
+func (g *generator) emitAlloca(ks *kernelState, i *ir.Instr) []p4.Stmt {
+	for k := 0; k < i.Count; k++ {
+		g.declLocal(g.allocaSlot(i, k), p4Bits(i.Elem))
+	}
+	g.vals[i] = p4.FR(g.allocaSlot(i, 0)) // placeholder; loads/stores resolve slots
+	return nil
+}
+
+func (g *generator) emitLoad(ks *kernelState, i *ir.Instr) []p4.Stmt {
+	al, ok := i.Args[0].(*ir.Instr)
+	if !ok || al.Op != ir.OpAlloca {
+		g.fail("load from non-alloca")
+		return nil
+	}
+	if c, isConst := i.Args[1].(*ir.Const); isConst {
+		slot := int(c.Uint()) % maxInt(al.Count, 1)
+		// φ-variables are written strictly before they are read, so the
+		// value can be read in place without a copy.
+		if al.PhiVar {
+			g.vals[i] = p4.FR(g.allocaSlot(al, slot))
+			return nil
+		}
+		t := g.declTemp(i)
+		return []p4.Stmt{&p4.Assign{LHS: t, RHS: p4.FR(g.allocaSlot(al, slot))}}
+	}
+	t := g.declTemp(i)
+	// Dynamic index: per-element read actions selected by an index
+	// table (paper Fig. 9, rightmost column).
+	return g.indexTable(ks, i, al.Count, func(k int) []p4.Stmt {
+		return []p4.Stmt{&p4.Assign{LHS: t, RHS: p4.FR(g.allocaSlot(al, k))}}
+	}, i.Args[1], "r")
+}
+
+func (g *generator) emitStore(ks *kernelState, i *ir.Instr) []p4.Stmt {
+	al, ok := i.Args[0].(*ir.Instr)
+	if !ok || al.Op != ir.OpAlloca {
+		g.fail("store to non-alloca")
+		return nil
+	}
+	val := g.valueExpr(i.Args[2])
+	if c, isConst := i.Args[1].(*ir.Const); isConst {
+		slot := int(c.Uint()) % maxInt(al.Count, 1)
+		return []p4.Stmt{&p4.Assign{LHS: p4.FR(g.allocaSlot(al, slot)), RHS: val}}
+	}
+	// Stage the value in a temp so index-table actions can read it.
+	stage := g.fresh("stv")
+	g.declLocal(stage, p4Bits(al.Elem))
+	pre := []p4.Stmt{&p4.Assign{LHS: p4.FR(stage), RHS: val}}
+	return append(pre, g.indexTable(ks, i, al.Count, func(k int) []p4.Stmt {
+		return []p4.Stmt{&p4.Assign{LHS: p4.FR(g.allocaSlot(al, k)), RHS: p4.FR(stage)}}
+	}, i.Args[1], "w")...)
+}
+
+func (g *generator) emitLoadMsg(ks *kernelState, i *ir.Instr) []p4.Stmt {
+	if c, isConst := i.Args[0].(*ir.Const); isConst {
+		k := int(c.Uint()) % maxInt(i.Param.Count, 1)
+		// Alias the header field directly when no later store to the
+		// same element can be observed by a use of this load; written
+		// arguments otherwise need a copy to preserve the loaded value.
+		if !ks.stored[i.Param] || loadAliasSafe(i, k) {
+			g.vals[i] = p4.FR("hdr", ks.hdr, argField(i.Param, k))
+			return nil
+		}
+		t := g.declTemp(i)
+		return []p4.Stmt{&p4.Assign{LHS: t, RHS: p4.FR("hdr", ks.hdr, argField(i.Param, k))}}
+	}
+	t := g.declTemp(i)
+	return g.indexTable(ks, i, i.Param.Count, func(k int) []p4.Stmt {
+		return []p4.Stmt{&p4.Assign{LHS: t, RHS: p4.FR("hdr", ks.hdr, argField(i.Param, k))}}
+	}, i.Args[0], "r")
+}
+
+// loadAliasSafe reports whether a const-index LoadMsg can read its
+// header field in place: every use must sit in the load's own block
+// before any store to the same message element.
+func loadAliasSafe(ld *ir.Instr, elem int) bool {
+	blk := ld.Block()
+	if blk == nil {
+		return false
+	}
+	// Count uses and ensure they are all in this block.
+	uses := 0
+	otherBlock := false
+	ld.Block().Func().Instrs(func(b *ir.Block, u *ir.Instr) bool {
+		for _, a := range u.Args {
+			if a == ir.Value(ld) {
+				uses++
+				if b != blk {
+					otherBlock = true
+				}
+			}
+		}
+		return true
+	})
+	if otherBlock {
+		return false
+	}
+	// A store whose value may be sunk into its producer effectively
+	// writes at the producer's position; treat those producers as
+	// store events too.
+	effStore := map[*ir.Instr]bool{}
+	for _, x := range blk.Instrs {
+		if x.Op != ir.OpStoreMsg || x.Param != ld.Param {
+			continue
+		}
+		hits := false
+		if c, ok := x.Args[0].(*ir.Const); ok {
+			hits = int(c.Uint())%maxInt(ld.Param.Count, 1) == elem
+		} else {
+			hits = true
+		}
+		if !hits {
+			continue
+		}
+		effStore[x] = true
+		if v, ok := x.Args[1].(*ir.Instr); ok && v.Block() == blk {
+			effStore[v] = true
+		}
+	}
+	// Walk the block after the load: all uses must precede any
+	// (effective) store to the same element.
+	seen := false
+	remaining := uses
+	for _, x := range blk.Instrs {
+		if x == ld {
+			seen = true
+			continue
+		}
+		if !seen {
+			continue
+		}
+		for _, a := range x.Args {
+			if a == ir.Value(ld) {
+				remaining--
+			}
+		}
+		if effStore[x] && remaining > 0 {
+			return false
+		}
+	}
+	return remaining == 0
+}
+
+func (g *generator) emitStoreMsg(ks *kernelState, i *ir.Instr) []p4.Stmt {
+	val := g.valueExpr(i.Args[1])
+	if c, isConst := i.Args[0].(*ir.Const); isConst {
+		k := int(c.Uint()) % maxInt(i.Param.Count, 1)
+		return []p4.Stmt{&p4.Assign{LHS: p4.FR("hdr", ks.hdr, argField(i.Param, k)), RHS: val}}
+	}
+	stage := g.fresh("stv")
+	g.declLocal(stage, p4Bits(i.Param.Ty))
+	pre := []p4.Stmt{&p4.Assign{LHS: p4.FR(stage), RHS: val}}
+	return append(pre, g.indexTable(ks, i, i.Param.Count, func(k int) []p4.Stmt {
+		return []p4.Stmt{&p4.Assign{LHS: p4.FR("hdr", ks.hdr, argField(i.Param, k)), RHS: p4.FR(stage)}}
+	}, i.Args[0], "w")...)
+}
+
+// indexTable builds a MAT keyed on a staged index local whose actions
+// perform per-element accesses; this also provides runtime bounds
+// checking for free (out-of-range indices miss and do nothing).
+func (g *generator) indexTable(ks *kernelState, i *ir.Instr, count int, body func(k int) []p4.Stmt, idx ir.Value, mode string) []p4.Stmt {
+	tname := g.fresh(fmt.Sprintf("idx_%s", mode))
+	keyLocal := tname + "_key"
+	g.declLocal(keyLocal, 32)
+	tbl := &p4.Table{
+		Name:    tname,
+		Keys:    []*p4.TableKey{{Expr: p4.FR(keyLocal), Match: p4.MatchExact}},
+		Actions: []string{"NoAction"},
+		Default: &p4.ActionCall{Name: "NoAction"},
+		Const:   true,
+		Size:    count,
+	}
+	for k := 0; k < count; k++ {
+		an := fmt.Sprintf("%s_e%d", tname, k)
+		g.ctl.Actions = append(g.ctl.Actions, &p4.ActionDecl{Name: an, Body: body(k)})
+		tbl.Actions = append(tbl.Actions, an)
+		tbl.Entries = append(tbl.Entries, &p4.Entry{
+			Keys:   []p4.KeyValue{{Value: uint64(k), PrefixLen: -1}},
+			Action: &p4.ActionCall{Name: an},
+		})
+	}
+	g.ctl.Tables = append(g.ctl.Tables, tbl)
+	return []p4.Stmt{
+		&p4.Assign{LHS: p4.FR(keyLocal), RHS: &p4.Cast{Bits: 32, X: g.valueExpr(idx)}},
+		&p4.ApplyTable{Table: tname},
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

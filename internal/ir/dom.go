@@ -1,0 +1,298 @@
+package ir
+
+// Dominator analysis using the Cooper-Harvey-Kennedy iterative
+// algorithm over reverse postorder, plus dominance frontiers (for
+// mem2reg φ placement) and postdominators (for structured codegen).
+
+// RPO returns the blocks of f in reverse postorder from the entry.
+// Unreachable blocks are omitted.
+func RPO(f *Func) []*Block {
+	seen := map[*Block]bool{}
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if f.Entry() != nil {
+		dfs(f.Entry())
+	}
+	out := make([]*Block, len(post))
+	for i, b := range post {
+		out[len(post)-1-i] = b
+	}
+	return out
+}
+
+// DomTree holds immediate dominators and related queries.
+type DomTree struct {
+	f     *Func
+	idom  map[*Block]*Block
+	order map[*Block]int // RPO index
+	rpo   []*Block
+	// children of each block in the dominator tree
+	kids map[*Block][]*Block
+}
+
+// BuildDomTree computes the dominator tree of f.
+func BuildDomTree(f *Func) *DomTree {
+	rpo := RPO(f)
+	order := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		order[b] = i
+	}
+	idom := map[*Block]*Block{}
+	entry := f.Entry()
+	idom[entry] = entry
+	preds := predMap(f)
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range preds[b] {
+				if idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	t := &DomTree{f: f, idom: idom, order: order, rpo: rpo, kids: map[*Block][]*Block{}}
+	for b, d := range idom {
+		if b != d {
+			t.kids[d] = append(t.kids[d], b)
+		}
+	}
+	return t
+}
+
+func predMap(f *Func) map[*Block][]*Block {
+	m := map[*Block][]*Block{}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			m[s] = append(m[s], b)
+		}
+	}
+	return m
+}
+
+// IDom returns the immediate dominator of b (entry returns itself).
+func (t *DomTree) IDom(b *Block) *Block { return t.idom[b] }
+
+// Dominates reports whether a dominates b (reflexive).
+func (t *DomTree) Dominates(a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		d := t.idom[b]
+		if d == nil || d == b {
+			return false
+		}
+		b = d
+	}
+}
+
+// Children returns the dominator-tree children of b.
+func (t *DomTree) Children(b *Block) []*Block { return t.kids[b] }
+
+// RPO returns the blocks in reverse postorder.
+func (t *DomTree) RPO() []*Block { return t.rpo }
+
+// NCA returns the nearest common ancestor of a and b in the dominator
+// tree.
+func (t *DomTree) NCA(a, b *Block) *Block {
+	depth := func(x *Block) int {
+		d := 0
+		for t.idom[x] != x {
+			x = t.idom[x]
+			d++
+		}
+		return d
+	}
+	da, db := depth(a), depth(b)
+	for da > db {
+		a = t.idom[a]
+		da--
+	}
+	for db > da {
+		b = t.idom[b]
+		db--
+	}
+	for a != b {
+		a = t.idom[a]
+		b = t.idom[b]
+	}
+	return a
+}
+
+// Frontiers computes the dominance frontier of every block.
+func (t *DomTree) Frontiers() map[*Block][]*Block {
+	df := map[*Block][]*Block{}
+	preds := predMap(t.f)
+	for _, b := range t.rpo {
+		if len(preds[b]) < 2 {
+			continue
+		}
+		for _, p := range preds[b] {
+			runner := p
+			for runner != t.idom[b] && runner != nil {
+				if !containsBlock(df[runner], b) {
+					df[runner] = append(df[runner], b)
+				}
+				next := t.idom[runner]
+				if next == runner {
+					break
+				}
+				runner = next
+			}
+		}
+	}
+	return df
+}
+
+func containsBlock(s []*Block, b *Block) bool {
+	for _, x := range s {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// PostDomTree computes immediate postdominators. Because kernels end
+// with RetAction terminators there may be multiple exits, a virtual
+// exit node (represented by nil) unifies them. NetCL CFGs are small, so
+// a direct set-based fixpoint is used for clarity and robustness.
+type PostDomTree struct {
+	ipdom map[*Block]*Block // nil means the virtual exit
+}
+
+// BuildPostDomTree computes the postdominator tree of f, considering
+// only blocks reachable from the entry.
+func BuildPostDomTree(f *Func) *PostDomTree {
+	blocks := RPO(f)
+	n := len(blocks)
+	idx := make(map[*Block]int, n)
+	for i, b := range blocks {
+		idx[b] = i
+	}
+	// pdom[i] is the set of blocks postdominating blocks[i], as a
+	// bitset; the virtual exit is implicit (postdominates everything).
+	full := make([]bool, n)
+	for i := range full {
+		full[i] = true
+	}
+	pdom := make([][]bool, n)
+	for i, b := range blocks {
+		if len(b.Succs()) == 0 {
+			s := make([]bool, n)
+			s[i] = true
+			pdom[i] = s
+		} else {
+			s := make([]bool, n)
+			copy(s, full)
+			pdom[i] = s
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := blocks[i]
+			succs := b.Succs()
+			if len(succs) == 0 {
+				continue
+			}
+			s := make([]bool, n)
+			copy(s, full)
+			for _, sb := range succs {
+				j, ok := idx[sb]
+				if !ok {
+					continue
+				}
+				for k := 0; k < n; k++ {
+					s[k] = s[k] && pdom[j][k]
+				}
+			}
+			s[i] = true
+			for k := 0; k < n; k++ {
+				if s[k] != pdom[i][k] {
+					pdom[i] = s
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	// ipdom(b): the x in pdom(b)\{b} with |pdom(x)| == |pdom(b)|-1.
+	size := func(s []bool) int {
+		c := 0
+		for _, v := range s {
+			if v {
+				c++
+			}
+		}
+		return c
+	}
+	t := &PostDomTree{ipdom: map[*Block]*Block{}}
+	for i, b := range blocks {
+		want := size(pdom[i]) - 1
+		var found *Block
+		for k := 0; k < n; k++ {
+			if k != i && pdom[i][k] && size(pdom[k]) == want {
+				found = blocks[k]
+				break
+			}
+		}
+		t.ipdom[b] = found // nil = virtual exit
+	}
+	return t
+}
+
+// IPDom returns the immediate postdominator of b, or nil when b's only
+// postdominator is the virtual exit.
+func (t *PostDomTree) IPDom(b *Block) *Block { return t.ipdom[b] }
+
+// PostDominates reports whether a postdominates b (reflexive); a nil a
+// denotes the virtual exit, which postdominates everything.
+func (t *PostDomTree) PostDominates(a, b *Block) bool {
+	if a == nil {
+		return true
+	}
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = t.ipdom[b]
+	}
+	return false
+}

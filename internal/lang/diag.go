@@ -1,0 +1,97 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is a single compiler message attached to a source position.
+type Diagnostic struct {
+	Pos  Pos
+	Msg  string
+	Warn bool // warning rather than error
+}
+
+// Error implements error.
+func (d *Diagnostic) Error() string {
+	sev := "error"
+	if d.Warn {
+		sev = "warning"
+	}
+	if d.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s: %s", d.Pos, sev, d.Msg)
+	}
+	return fmt.Sprintf("%s: %s", sev, d.Msg)
+}
+
+// Diagnostics collects compiler messages. The zero value is ready to use.
+type Diagnostics struct {
+	List []*Diagnostic
+}
+
+// Errorf records an error at pos.
+func (ds *Diagnostics) Errorf(pos Pos, format string, args ...interface{}) {
+	ds.List = append(ds.List, &Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Warnf records a warning at pos.
+func (ds *Diagnostics) Warnf(pos Pos, format string, args ...interface{}) {
+	ds.List = append(ds.List, &Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...), Warn: true})
+}
+
+// HasErrors reports whether any non-warning diagnostic was recorded.
+func (ds *Diagnostics) HasErrors() bool {
+	for _, d := range ds.List {
+		if !d.Warn {
+			return true
+		}
+	}
+	return false
+}
+
+// Sort orders diagnostics by source position.
+func (ds *Diagnostics) Sort() {
+	sort.SliceStable(ds.List, func(i, j int) bool {
+		a, b := ds.List[i].Pos, ds.List[j].Pos
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+}
+
+// Err returns an error summarizing all recorded errors, or nil if none.
+func (ds *Diagnostics) Err() error {
+	if !ds.HasErrors() {
+		return nil
+	}
+	var b strings.Builder
+	n := 0
+	for _, d := range ds.List {
+		if d.Warn {
+			continue
+		}
+		if n > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.Error())
+		n++
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// String renders every diagnostic, one per line.
+func (ds *Diagnostics) String() string {
+	var b strings.Builder
+	for i, d := range ds.List {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(d.Error())
+	}
+	return b.String()
+}

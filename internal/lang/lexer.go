@@ -1,0 +1,460 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer turns NetCL-C source text into tokens. It performs a minimal
+// preprocessing step: object-like "#define NAME tokens" macros are
+// recorded and expanded at use sites (non-recursively), and #include
+// lines are skipped. This covers the preprocessor usage in the paper's
+// listings (constants like CMS_HASHES, SLOT_SIZE, NUM_WORKERS).
+type Lexer struct {
+	src     string
+	file    string
+	off     int
+	line    int
+	col     int
+	diags   *Diagnostics
+	defines map[string][]Token
+	pending []Token // expansion buffer (FIFO)
+}
+
+// NewLexer returns a lexer over src. file is used in positions.
+// diags must be non-nil.
+func NewLexer(file, src string, diags *Diagnostics) *Lexer {
+	return &Lexer{
+		src:     src,
+		file:    file,
+		line:    1,
+		col:     1,
+		diags:   diags,
+		defines: make(map[string][]Token),
+	}
+}
+
+// Define predefines an object-like macro, as if "#define name value"
+// appeared before the source. It is used to inject compile-time
+// parameters (e.g. -DNUM_WORKERS=4).
+func (lx *Lexer) Define(name string, value uint64) {
+	lx.defines[name] = []Token{{Kind: INT, Val: value, Text: strconv.FormatUint(value, 10)}}
+}
+
+func (lx *Lexer) pos() Pos { return Pos{File: lx.file, Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekByteAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// skipSpace consumes whitespace, comments, and preprocessor lines.
+func (lx *Lexer) skipSpace() {
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekByteAt(1) == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekByteAt(1) == '*':
+			lx.advance()
+			lx.advance()
+			for lx.off < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekByteAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		case c == '#' && lx.col == 1:
+			lx.directive()
+		default:
+			return
+		}
+	}
+}
+
+// directive consumes a preprocessor line starting at '#'.
+func (lx *Lexer) directive() {
+	pos := lx.pos()
+	start := lx.off
+	for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+		// Support line continuation with backslash-newline.
+		if lx.peekByte() == '\\' && lx.peekByteAt(1) == '\n' {
+			lx.advance()
+			lx.advance()
+			continue
+		}
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return
+	}
+	switch fields[0] {
+	case "#include", "#pragma", "#":
+		// Ignored: the NetCL device library is built in.
+	case "#define":
+		rest := strings.TrimPrefix(text, "#define")
+		rest = strings.TrimSpace(rest)
+		i := 0
+		for i < len(rest) && isIdentCont(rest[i]) {
+			i++
+		}
+		if i == 0 {
+			lx.diags.Errorf(pos, "malformed #define")
+			return
+		}
+		name := rest[:i]
+		if i < len(rest) && rest[i] == '(' {
+			lx.diags.Errorf(pos, "function-like macro %q is not supported", name)
+			return
+		}
+		body := strings.TrimSpace(rest[i:])
+		sub := NewLexer(lx.file, body, lx.diags)
+		sub.line = pos.Line
+		sub.defines = lx.defines
+		var toks []Token
+		for {
+			t := sub.Next()
+			if t.Kind == EOF {
+				break
+			}
+			toks = append(toks, t)
+		}
+		lx.defines[name] = toks
+	case "#undef":
+		if len(fields) >= 2 {
+			delete(lx.defines, fields[1])
+		}
+	default:
+		lx.diags.Errorf(pos, "unsupported preprocessor directive %q", fields[0])
+	}
+}
+
+// Next returns the next token, expanding macros.
+func (lx *Lexer) Next() Token {
+	if len(lx.pending) > 0 {
+		t := lx.pending[0]
+		lx.pending = lx.pending[1:]
+		return t
+	}
+	lx.skipSpace()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: EOF, Pos: pos}
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentCont(lx.peekByte()) {
+			lx.advance()
+		}
+		word := lx.src[start:lx.off]
+		if kw, ok := keywords[word]; ok {
+			return Token{Kind: kw, Text: word, Pos: pos}
+		}
+		if body, ok := lx.defines[word]; ok {
+			if len(body) == 0 {
+				return lx.Next()
+			}
+			for _, t := range body {
+				t.Pos = pos
+				lx.pending = append(lx.pending, t)
+			}
+			return lx.Next()
+		}
+		return Token{Kind: IDENT, Text: word, Pos: pos}
+	case isDigit(c):
+		return lx.number(pos)
+	case c == '\'':
+		return lx.charLit(pos)
+	case c == '"':
+		return lx.stringLit(pos)
+	default:
+		return lx.punct(pos)
+	}
+}
+
+func (lx *Lexer) number(pos Pos) Token {
+	start := lx.off
+	base := 10
+	if lx.peekByte() == '0' && (lx.peekByteAt(1) == 'x' || lx.peekByteAt(1) == 'X') {
+		base = 16
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHexDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	} else if lx.peekByte() == '0' && lx.peekByteAt(1) == 'b' {
+		base = 2
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && (lx.peekByte() == '0' || lx.peekByte() == '1') {
+			lx.advance()
+		}
+	} else {
+		for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	}
+	text := lx.src[start:lx.off]
+	digits := text
+	switch base {
+	case 16, 2:
+		digits = text[2:]
+	}
+	// Consume integer suffixes (u, l, ul, ull, ...).
+	for lx.off < len(lx.src) {
+		c := lx.peekByte()
+		if c == 'u' || c == 'U' || c == 'l' || c == 'L' {
+			lx.advance()
+		} else {
+			break
+		}
+	}
+	v, err := strconv.ParseUint(digits, base, 64)
+	if err != nil {
+		lx.diags.Errorf(pos, "invalid integer literal %q", text)
+	}
+	return Token{Kind: INT, Text: text, Val: v, Pos: pos}
+}
+
+func (lx *Lexer) charLit(pos Pos) Token {
+	lx.advance() // opening quote
+	var v uint64
+	if lx.off < len(lx.src) && lx.peekByte() == '\\' {
+		lx.advance()
+		c := lx.advance()
+		switch c {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case 'r':
+			v = '\r'
+		case '0':
+			v = 0
+		case '\\', '\'':
+			v = uint64(c)
+		default:
+			lx.diags.Errorf(pos, "unsupported escape sequence '\\%c'", c)
+		}
+	} else if lx.off < len(lx.src) {
+		v = uint64(lx.advance())
+	}
+	if lx.off < len(lx.src) && lx.peekByte() == '\'' {
+		lx.advance()
+	} else {
+		lx.diags.Errorf(pos, "unterminated character literal")
+	}
+	return Token{Kind: INT, Text: fmt.Sprintf("%d", v), Val: v, Pos: pos}
+}
+
+func (lx *Lexer) stringLit(pos Pos) Token {
+	lx.advance() // opening quote
+	start := lx.off
+	for lx.off < len(lx.src) && lx.peekByte() != '"' && lx.peekByte() != '\n' {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if lx.off < len(lx.src) && lx.peekByte() == '"' {
+		lx.advance()
+	} else {
+		lx.diags.Errorf(pos, "unterminated string literal")
+	}
+	return Token{Kind: STRING, Text: text, Pos: pos}
+}
+
+// punct lexes operators and punctuation, longest match first.
+func (lx *Lexer) punct(pos Pos) Token {
+	two := func(k Kind) Token {
+		lx.advance()
+		lx.advance()
+		return Token{Kind: k, Pos: pos}
+	}
+	three := func(k Kind) Token {
+		lx.advance()
+		lx.advance()
+		lx.advance()
+		return Token{Kind: k, Pos: pos}
+	}
+	one := func(k Kind) Token {
+		lx.advance()
+		return Token{Kind: k, Pos: pos}
+	}
+	a, b, c := lx.peekByte(), lx.peekByteAt(1), lx.peekByteAt(2)
+	switch a {
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '[':
+		return one(LBracket)
+	case ']':
+		return one(RBracket)
+	case ';':
+		return one(Semi)
+	case ',':
+		return one(Comma)
+	case '.':
+		return one(Dot)
+	case '?':
+		return one(Question)
+	case ':':
+		if b == ':' {
+			return two(ColonCol)
+		}
+		return one(Colon)
+	case '~':
+		return one(Tilde)
+	case '+':
+		if b == '+' {
+			return two(Inc)
+		}
+		if b == '=' {
+			return two(PlusEq)
+		}
+		return one(Plus)
+	case '-':
+		if b == '-' {
+			return two(Dec)
+		}
+		if b == '=' {
+			return two(MinusEq)
+		}
+		if b == '>' {
+			return two(Arrow)
+		}
+		return one(Minus)
+	case '*':
+		if b == '=' {
+			return two(StarEq)
+		}
+		return one(Star)
+	case '/':
+		if b == '=' {
+			return two(SlashEq)
+		}
+		return one(Slash)
+	case '%':
+		if b == '=' {
+			return two(PercentEq)
+		}
+		return one(Percent)
+	case '&':
+		if b == '&' {
+			return two(AndAnd)
+		}
+		if b == '=' {
+			return two(AmpEq)
+		}
+		return one(Amp)
+	case '|':
+		if b == '|' {
+			return two(OrOr)
+		}
+		if b == '=' {
+			return two(PipeEq)
+		}
+		return one(Pipe)
+	case '^':
+		if b == '=' {
+			return two(CaretEq)
+		}
+		return one(Caret)
+	case '!':
+		if b == '=' {
+			return two(NotEq)
+		}
+		return one(Not)
+	case '<':
+		if b == '<' && c == '=' {
+			return three(ShlEq)
+		}
+		if b == '<' {
+			return two(Shl)
+		}
+		if b == '=' {
+			return two(Le)
+		}
+		return one(Lt)
+	case '>':
+		if b == '>' && c == '=' {
+			return three(ShrEq)
+		}
+		if b == '>' {
+			return two(Shr)
+		}
+		if b == '=' {
+			return two(Ge)
+		}
+		return one(Gt)
+	case '=':
+		if b == '=' {
+			return two(EqEq)
+		}
+		return one(Assign)
+	}
+	lx.diags.Errorf(pos, "unexpected character %q", string(a))
+	lx.advance()
+	return lx.Next()
+}
+
+// Tokenize lexes the whole input and returns all tokens up to and
+// including EOF.
+func Tokenize(file, src string, diags *Diagnostics) []Token {
+	lx := NewLexer(file, src, diags)
+	var out []Token
+	for {
+		t := lx.Next()
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package lang
+
+import "testing"
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	var d Diagnostics
+	toks := Tokenize("test.ncl", src, &d)
+	if d.HasErrors() {
+		t.Fatalf("lex errors: %s", d.String())
+	}
+	return toks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lexAll(t, "unsigned x = 0x2A + 7;")
+	want := []Kind{KwUnsigned, IDENT, Assign, INT, Plus, INT, Semi, EOF}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+	if toks[3].Val != 42 {
+		t.Errorf("hex literal: got %d, want 42", toks[3].Val)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Kind
+	}{
+		{"<<", Shl}, {">>", Shr}, {"<<=", ShlEq}, {">>=", ShrEq},
+		{"&&", AndAnd}, {"||", OrOr}, {"==", EqEq}, {"!=", NotEq},
+		{"<=", Le}, {">=", Ge}, {"++", Inc}, {"--", Dec},
+		{"+=", PlusEq}, {"-=", MinusEq}, {"::", ColonCol}, {"->", Arrow},
+		{"&=", AmpEq}, {"|=", PipeEq}, {"^=", CaretEq}, {"%=", PercentEq},
+	}
+	for _, c := range cases {
+		toks := lexAll(t, c.src)
+		if toks[0].Kind != c.want {
+			t.Errorf("%q: got %v, want %v", c.src, toks[0].Kind, c.want)
+		}
+	}
+}
+
+func TestLexKeywordsAndSpecifiers(t *testing.T) {
+	toks := lexAll(t, "_kernel _net_ _managed_ _lookup_ _at _spec if else for return")
+	want := []Kind{KwKernel, KwNet, KwManaged, KwLookup, KwAt, KwSpec, KwIf, KwElse, KwFor, KwReturn, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexAll(t, "a /* block\ncomment */ b // line\nc")
+	var names []string
+	for _, tk := range toks {
+		if tk.Kind == IDENT {
+			names = append(names, tk.Text)
+		}
+	}
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Errorf("got idents %v, want [a b c]", names)
+	}
+}
+
+func TestLexDefineExpansion(t *testing.T) {
+	src := "#define THRESH 512\n#define N THRESH\nunsigned x = N;"
+	toks := lexAll(t, src)
+	var lit *Token
+	for i := range toks {
+		if toks[i].Kind == INT {
+			lit = &toks[i]
+		}
+	}
+	if lit == nil || lit.Val != 512 {
+		t.Fatalf("macro expansion failed: %v", toks)
+	}
+}
+
+func TestLexDefineMultiToken(t *testing.T) {
+	src := "#define TWO_N (2*21)\nint x = TWO_N;"
+	toks := lexAll(t, src)
+	want := []Kind{KwInt, IDENT, Assign, LParen, INT, Star, INT, RParen, Semi, EOF}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(toks), toks, len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexPredefine(t *testing.T) {
+	var d Diagnostics
+	lx := NewLexer("t", "x = NUM_WORKERS;", &d)
+	lx.Define("NUM_WORKERS", 6)
+	var vals []uint64
+	for {
+		tk := lx.Next()
+		if tk.Kind == EOF {
+			break
+		}
+		if tk.Kind == INT {
+			vals = append(vals, tk.Val)
+		}
+	}
+	if len(vals) != 1 || vals[0] != 6 {
+		t.Errorf("predefine: got %v, want [6]", vals)
+	}
+}
+
+func TestLexCharLiteral(t *testing.T) {
+	toks := lexAll(t, "'a' '\\n' '\\0'")
+	if toks[0].Val != 'a' || toks[1].Val != '\n' || toks[2].Val != 0 {
+		t.Errorf("char literals: got %d %d %d", toks[0].Val, toks[1].Val, toks[2].Val)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexAll(t, "a\n  b")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexIntegerSuffixes(t *testing.T) {
+	toks := lexAll(t, "1u 2UL 3ull 0x10L")
+	vals := []uint64{1, 2, 3, 16}
+	for i, v := range vals {
+		if toks[i].Kind != INT || toks[i].Val != v {
+			t.Errorf("token %d: got %v val %d, want %d", i, toks[i].Kind, toks[i].Val, v)
+		}
+	}
+}
+
+func TestLexErrorUnterminatedChar(t *testing.T) {
+	var d Diagnostics
+	Tokenize("t", "'a", &d)
+	if !d.HasErrors() {
+		t.Error("expected error for unterminated char literal")
+	}
+}
+
+func TestLexFunctionLikeMacroRejected(t *testing.T) {
+	var d Diagnostics
+	Tokenize("t", "#define F(x) x\n", &d)
+	if !d.HasErrors() {
+		t.Error("expected error for function-like macro")
+	}
+}

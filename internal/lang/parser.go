@@ -1,0 +1,797 @@
+package lang
+
+import "strings"
+
+// Parser is a recursive-descent parser for NetCL-C. It operates over a
+// pre-lexed token slice, which makes speculative parsing (casts vs.
+// parenthesized expressions) a matter of saving and restoring an index.
+type Parser struct {
+	toks  []Token
+	pos   int
+	diags *Diagnostics
+	fname string
+}
+
+// typeIdents maps identifier spellings to canonical scalar type names.
+var typeIdents = map[string]string{
+	"uint8_t": "u8", "uint16_t": "u16", "uint32_t": "u32", "uint64_t": "u64",
+	"int8_t": "i8", "int16_t": "i16", "int32_t": "i32", "int64_t": "i64",
+	"u8": "u8", "u16": "u16", "u32": "u32", "u64": "u64",
+	"size_t": "u32", "uint": "u32",
+}
+
+// templateBuiltins are device-library names that accept template
+// arguments in angle brackets (e.g. crc32<16>, rand<u8>).
+var templateBuiltins = map[string]bool{
+	"crc16": true, "crc32": true, "crc64": true, "xor16": true,
+	"identity": true, "rand": true, "hash": true, "csum16": true,
+	"csum16r": true,
+}
+
+// NewParser returns a parser for src. Definitions in defs are
+// preprocessor-style constants injected before parsing.
+func NewParser(file, src string, defs map[string]uint64, diags *Diagnostics) *Parser {
+	lx := NewLexer(file, src, diags)
+	for k, v := range defs {
+		lx.Define(k, v)
+	}
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			break
+		}
+	}
+	return &Parser{toks: toks, diags: diags, fname: file}
+}
+
+// ParseFile parses src into a File. Errors are recorded in diags; the
+// returned File contains whatever was successfully parsed.
+func ParseFile(file, src string, defs map[string]uint64, diags *Diagnostics) *File {
+	p := NewParser(file, src, defs, diags)
+	return p.File()
+}
+
+func (p *Parser) tok() Token { return p.toks[p.pos] }
+func (p *Parser) kind() Kind { return p.toks[p.pos].Kind }
+func (p *Parser) peek(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k Kind) bool { return p.kind() == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.diags.Errorf(p.tok().Pos, "expected %q, found %s", k.String(), p.tok().String())
+	return Token{Kind: k, Pos: p.tok().Pos}
+}
+
+// sync skips tokens until a likely statement/declaration boundary.
+func (p *Parser) sync() {
+	depth := 0
+	for !p.at(EOF) {
+		switch p.kind() {
+		case LBrace:
+			depth++
+		case RBrace:
+			if depth == 0 {
+				p.next()
+				return
+			}
+			depth--
+		case Semi:
+			if depth == 0 {
+				p.next()
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+// File parses the whole translation unit.
+func (p *Parser) File() *File {
+	f := &File{Name: p.fname}
+	for !p.at(EOF) {
+		before := p.pos
+		d := p.topDecl()
+		if d != nil {
+			f.Decls = append(f.Decls, d...)
+		}
+		if p.pos == before { // no progress: recover
+			p.diags.Errorf(p.tok().Pos, "unexpected %s at top level", p.tok().String())
+			p.sync()
+		}
+	}
+	return f
+}
+
+// specs holds the declaration specifiers collected before a type.
+type specs struct {
+	kernel  bool
+	comp    Expr
+	net     bool
+	managed bool
+	lookup  bool
+	konst   bool
+	static  bool
+	at      []Expr
+	pos     Pos
+	any     bool
+}
+
+func (p *Parser) parseSpecs() specs {
+	var s specs
+	s.pos = p.tok().Pos
+	for {
+		switch p.kind() {
+		case KwKernel:
+			p.next()
+			p.expect(LParen)
+			s.comp = p.expr()
+			p.expect(RParen)
+			s.kernel, s.any = true, true
+		case KwNet:
+			p.next()
+			s.net, s.any = true, true
+		case KwManaged:
+			p.next()
+			s.managed, s.any = true, true
+		case KwLookup:
+			p.next()
+			s.lookup, s.any = true, true
+		case KwAt:
+			p.next()
+			p.expect(LParen)
+			for {
+				s.at = append(s.at, p.expr())
+				if !p.accept(Comma) {
+					break
+				}
+			}
+			p.expect(RParen)
+			s.any = true
+		case KwConst:
+			p.next()
+			s.konst, s.any = true, true
+		case KwStatic:
+			p.next()
+			s.static, s.any = true, true
+		default:
+			return s
+		}
+	}
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *Parser) isTypeStart() bool {
+	switch p.kind() {
+	case KwVoid, KwChar, KwBool, KwShort, KwInt, KwLong, KwUnsigned, KwSigned, KwAuto:
+		return true
+	case IDENT:
+		name := p.tok().Text
+		if _, ok := typeIdents[name]; ok {
+			return true
+		}
+		if name == "kv" || name == "rv" {
+			return true
+		}
+		if name == "ncl" && p.peek(1).Kind == ColonCol && p.peek(2).Kind == IDENT {
+			n2 := p.peek(2).Text
+			return n2 == "kv" || n2 == "rv"
+		}
+	}
+	return false
+}
+
+// parseType parses a type. Returns nil (with a diagnostic) on failure.
+func (p *Parser) parseType() *TypeExpr {
+	pos := p.tok().Pos
+	switch p.kind() {
+	case KwVoid:
+		p.next()
+		return &TypeExpr{TypePos: pos, Name: "void"}
+	case KwBool:
+		p.next()
+		return &TypeExpr{TypePos: pos, Name: "bool"}
+	case KwAuto:
+		p.next()
+		return &TypeExpr{TypePos: pos, Name: "auto"}
+	case KwChar:
+		p.next()
+		return &TypeExpr{TypePos: pos, Name: "i8"}
+	case KwShort:
+		p.next()
+		p.accept(KwInt)
+		return &TypeExpr{TypePos: pos, Name: "i16"}
+	case KwInt:
+		p.next()
+		return &TypeExpr{TypePos: pos, Name: "i32"}
+	case KwLong:
+		p.next()
+		p.accept(KwLong)
+		p.accept(KwInt)
+		return &TypeExpr{TypePos: pos, Name: "i64"}
+	case KwSigned:
+		p.next()
+		t := p.parseSignedBase(pos, false)
+		return t
+	case KwUnsigned:
+		p.next()
+		t := p.parseSignedBase(pos, true)
+		return t
+	case IDENT:
+		name := p.tok().Text
+		if name == "ncl" && p.peek(1).Kind == ColonCol {
+			p.next()
+			p.next()
+			name = p.tok().Text
+		}
+		if canon, ok := typeIdents[name]; ok {
+			p.next()
+			return &TypeExpr{TypePos: pos, Name: canon}
+		}
+		if name == "kv" || name == "rv" {
+			p.next()
+			t := &TypeExpr{TypePos: pos, Name: name}
+			p.expect(Lt)
+			t.Args = append(t.Args, p.parseType())
+			p.expect(Comma)
+			t.Args = append(t.Args, p.parseType())
+			p.expect(Gt)
+			return t
+		}
+	}
+	p.diags.Errorf(pos, "expected type, found %s", p.tok().String())
+	p.next()
+	return &TypeExpr{TypePos: pos, Name: "i32"}
+}
+
+// parseSignedBase handles the tail after "signed"/"unsigned".
+func (p *Parser) parseSignedBase(pos Pos, unsigned bool) *TypeExpr {
+	name := "i32"
+	switch p.kind() {
+	case KwChar:
+		p.next()
+		name = "i8"
+	case KwShort:
+		p.next()
+		p.accept(KwInt)
+		name = "i16"
+	case KwInt:
+		p.next()
+		name = "i32"
+	case KwLong:
+		p.next()
+		p.accept(KwLong)
+		p.accept(KwInt)
+		name = "i64"
+	}
+	if unsigned {
+		name = "u" + name[1:]
+	}
+	return &TypeExpr{TypePos: pos, Name: name}
+}
+
+// topDecl parses one top-level declaration (possibly expanding to
+// several VarDecls for comma-separated declarators).
+func (p *Parser) topDecl() []Decl {
+	if p.accept(Semi) {
+		return nil
+	}
+	s := p.parseSpecs()
+	if !p.isTypeStart() {
+		if s.any {
+			p.diags.Errorf(p.tok().Pos, "expected type after declaration specifiers")
+			p.sync()
+		}
+		return nil
+	}
+	typ := p.parseType()
+	name := p.expect(IDENT)
+
+	if p.at(LParen) {
+		fd := &FuncDecl{
+			DeclPos: s.pos, Kernel: s.kernel, Comp: s.comp, Net: s.net,
+			At: s.at, Ret: typ, Name: name.Text,
+		}
+		if s.managed || s.lookup {
+			p.diags.Errorf(s.pos, "_managed_/_lookup_ may not be applied to functions")
+		}
+		p.next() // (
+		if !p.at(RParen) {
+			for {
+				fd.Params = append(fd.Params, p.parseParam())
+				if !p.accept(Comma) {
+					break
+				}
+			}
+		}
+		p.expect(RParen)
+		if p.at(LBrace) {
+			fd.Body = p.block()
+		} else {
+			p.expect(Semi)
+		}
+		return []Decl{fd}
+	}
+
+	var out []Decl
+	for {
+		vd := &VarDecl{
+			DeclPos: s.pos, Net: s.net, Managed: s.managed, Lookup: s.lookup,
+			Const: s.konst, Static: s.static, At: s.at, Type: typ, Name: name.Text,
+		}
+		p.parseDims(vd)
+		if p.accept(Assign) {
+			vd.Init = p.initializer()
+		}
+		out = append(out, vd)
+		if !p.accept(Comma) {
+			break
+		}
+		name = p.expect(IDENT)
+	}
+	p.expect(Semi)
+	return out
+}
+
+func (p *Parser) parseDims(vd *VarDecl) {
+	for p.at(LBracket) {
+		p.next()
+		if p.at(RBracket) {
+			vd.Dims = append(vd.Dims, nil)
+		} else {
+			vd.Dims = append(vd.Dims, p.expr())
+		}
+		p.expect(RBracket)
+	}
+}
+
+func (p *Parser) parseParam() *Param {
+	pos := p.tok().Pos
+	pr := &Param{ParamPos: pos}
+	p.accept(KwConst)
+	pr.Type = p.parseType()
+	if p.at(KwSpec) {
+		p.next()
+		p.expect(LParen)
+		pr.Spec = p.expr()
+		p.expect(RParen)
+	}
+	for {
+		if p.accept(Star) {
+			pr.Ptr = true
+			continue
+		}
+		if p.accept(Amp) {
+			pr.ByRef = true
+			continue
+		}
+		break
+	}
+	if p.at(IDENT) {
+		pr.Name = p.next().Text
+	}
+	for p.at(LBracket) {
+		p.next()
+		if p.at(RBracket) {
+			pr.Dims = append(pr.Dims, nil)
+		} else {
+			pr.Dims = append(pr.Dims, p.expr())
+		}
+		p.expect(RBracket)
+	}
+	return pr
+}
+
+// Statements ----------------------------------------------------------
+
+func (p *Parser) block() *BlockStmt {
+	b := &BlockStmt{LBracePos: p.tok().Pos}
+	p.expect(LBrace)
+	for !p.at(RBrace) && !p.at(EOF) {
+		before := p.pos
+		b.Stmts = append(b.Stmts, p.stmts()...)
+		if p.pos == before {
+			p.diags.Errorf(p.tok().Pos, "unexpected %s in block", p.tok().String())
+			p.sync()
+		}
+	}
+	p.expect(RBrace)
+	return b
+}
+
+// stmts parses one statement, which may expand to several (multi-
+// declarator local declarations).
+func (p *Parser) stmts() []Stmt {
+	switch p.kind() {
+	case LBrace:
+		return []Stmt{p.block()}
+	case Semi:
+		pos := p.next().Pos
+		return []Stmt{&EmptyStmt{SemiPos: pos}}
+	case KwIf:
+		return []Stmt{p.ifStmt()}
+	case KwFor:
+		return []Stmt{p.forStmt()}
+	case KwWhile:
+		return []Stmt{p.whileStmt()}
+	case KwReturn:
+		pos := p.next().Pos
+		r := &ReturnStmt{RetPos: pos}
+		if !p.at(Semi) {
+			r.X = p.expr()
+		}
+		p.expect(Semi)
+		return []Stmt{r}
+	case KwBreak:
+		pos := p.next().Pos
+		p.expect(Semi)
+		return []Stmt{&BreakStmt{KwPos: pos}}
+	case KwContinue:
+		pos := p.next().Pos
+		p.expect(Semi)
+		return []Stmt{&ContinueStmt{KwPos: pos}}
+	case KwGoto:
+		p.diags.Errorf(p.tok().Pos, "goto is not supported in NetCL device code")
+		p.sync()
+		return []Stmt{&EmptyStmt{SemiPos: p.tok().Pos}}
+	case KwConst, KwStatic:
+		return p.localDecl()
+	default:
+		if p.isTypeStart() && !p.castAhead() {
+			return p.localDecl()
+		}
+		x := p.expr()
+		p.expect(Semi)
+		return []Stmt{&ExprStmt{X: x}}
+	}
+}
+
+// castAhead distinguishes "unsigned(...)" style casts (not supported)
+// from declarations; it exists for future-proofing and currently always
+// returns false because a type-start token in statement position always
+// begins a declaration in NetCL-C.
+func (p *Parser) castAhead() bool { return false }
+
+func (p *Parser) localDecl() []Stmt {
+	s := p.parseSpecs()
+	if s.kernel || s.net || s.managed || s.at != nil {
+		p.diags.Errorf(s.pos, "NetCL specifiers are not allowed on local declarations (except static _net_)")
+	}
+	typ := p.parseType()
+	var out []Stmt
+	for {
+		name := p.expect(IDENT)
+		vd := &VarDecl{
+			DeclPos: s.pos, Const: s.konst, Static: s.static,
+			Lookup: s.lookup, Type: typ, Name: name.Text,
+		}
+		if !s.any {
+			vd.DeclPos = typ.TypePos
+		}
+		p.parseDims(vd)
+		if p.accept(Assign) {
+			vd.Init = p.initializer()
+		}
+		out = append(out, &DeclStmt{D: vd})
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	p.expect(Semi)
+	return out
+}
+
+func (p *Parser) ifStmt() *IfStmt {
+	pos := p.expect(KwIf).Pos
+	p.expect(LParen)
+	cond := p.expr()
+	p.expect(RParen)
+	st := &IfStmt{IfPos: pos, Cond: cond, Then: p.oneStmt()}
+	if p.accept(KwElse) {
+		st.Else = p.oneStmt()
+	}
+	return st
+}
+
+// oneStmt parses a single statement, wrapping multi-statement
+// expansions in a block.
+func (p *Parser) oneStmt() Stmt {
+	ss := p.stmts()
+	if len(ss) == 1 {
+		return ss[0]
+	}
+	return &BlockStmt{LBracePos: ss[0].Pos(), Stmts: ss}
+}
+
+func (p *Parser) forStmt() *ForStmt {
+	pos := p.expect(KwFor).Pos
+	p.expect(LParen)
+	st := &ForStmt{ForPos: pos}
+	if !p.at(Semi) {
+		if p.isTypeStart() || p.at(KwConst) {
+			ds := p.localDecl() // consumes ';'
+			if len(ds) == 1 {
+				st.Init = ds[0]
+			} else {
+				st.Init = &BlockStmt{LBracePos: pos, Stmts: ds}
+			}
+		} else {
+			st.Init = &ExprStmt{X: p.expr()}
+			p.expect(Semi)
+		}
+	} else {
+		p.expect(Semi)
+	}
+	if !p.at(Semi) {
+		st.Cond = p.expr()
+	}
+	p.expect(Semi)
+	if !p.at(RParen) {
+		st.Post = &ExprStmt{X: p.expr()}
+	}
+	p.expect(RParen)
+	st.Body = p.oneStmt()
+	return st
+}
+
+func (p *Parser) whileStmt() *WhileStmt {
+	pos := p.expect(KwWhile).Pos
+	p.expect(LParen)
+	cond := p.expr()
+	p.expect(RParen)
+	return &WhileStmt{WhilePos: pos, Cond: cond, Body: p.oneStmt()}
+}
+
+// Expressions ---------------------------------------------------------
+
+// initializer parses either a braced initializer list or an expression.
+func (p *Parser) initializer() Expr {
+	if p.at(LBrace) {
+		il := &InitList{LBracePos: p.next().Pos}
+		if !p.at(RBrace) {
+			for {
+				il.Elems = append(il.Elems, p.initializer())
+				if !p.accept(Comma) {
+					break
+				}
+				if p.at(RBrace) { // trailing comma
+					break
+				}
+			}
+		}
+		p.expect(RBrace)
+		return il
+	}
+	return p.assign()
+}
+
+// expr parses a full expression (assignment level, no comma operator).
+func (p *Parser) expr() Expr { return p.assign() }
+
+// Expr parses a standalone expression; it is exported for tools and
+// tests that need to parse expression fragments.
+func (p *Parser) Expr() Expr { return p.expr() }
+
+func isAssignOp(k Kind) bool {
+	switch k {
+	case Assign, PlusEq, MinusEq, StarEq, SlashEq, PercentEq, AmpEq, PipeEq, CaretEq, ShlEq, ShrEq:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) assign() Expr {
+	lhs := p.ternary()
+	if isAssignOp(p.kind()) {
+		op := p.next()
+		rhs := p.assign()
+		return &AssignExpr{Op: op.Kind, LHS: lhs, RHS: rhs, OpPos: op.Pos}
+	}
+	return lhs
+}
+
+func (p *Parser) ternary() Expr {
+	cond := p.binary(0)
+	if p.at(Question) {
+		q := p.next()
+		then := p.assign()
+		p.expect(Colon)
+		els := p.assign()
+		return &CondExpr{Cond: cond, Then: then, Else: els, QPos: q.Pos}
+	}
+	return cond
+}
+
+// binPrec returns the binding power of a binary operator, or -1.
+func binPrec(k Kind) int {
+	switch k {
+	case OrOr:
+		return 1
+	case AndAnd:
+		return 2
+	case Pipe:
+		return 3
+	case Caret:
+		return 4
+	case Amp:
+		return 5
+	case EqEq, NotEq:
+		return 6
+	case Lt, Gt, Le, Ge:
+		return 7
+	case Shl, Shr:
+		return 8
+	case Plus, Minus:
+		return 9
+	case Star, Slash, Percent:
+		return 10
+	}
+	return -1
+}
+
+func (p *Parser) binary(minPrec int) Expr {
+	lhs := p.unary()
+	for {
+		prec := binPrec(p.kind())
+		if prec < 0 || prec < minPrec {
+			return lhs
+		}
+		op := p.next()
+		rhs := p.binary(prec + 1)
+		lhs = &BinaryExpr{Op: op.Kind, X: lhs, Y: rhs, OpPos: op.Pos}
+	}
+}
+
+func (p *Parser) unary() Expr {
+	switch p.kind() {
+	case Minus, Tilde, Not, Amp, Star, Inc, Dec:
+		op := p.next()
+		x := p.unary()
+		return &UnaryExpr{Op: op.Kind, X: x, OpPos: op.Pos}
+	case Plus:
+		p.next()
+		return p.unary()
+	case LParen:
+		// Try a cast: "(type) unary-expr".
+		save := p.pos
+		lp := p.next()
+		if p.isTypeStart() {
+			t := p.parseType()
+			if p.accept(RParen) {
+				return &CastExpr{LParenPos: lp.Pos, Type: t, X: p.unary()}
+			}
+		}
+		p.pos = save
+		return p.postfix()
+	default:
+		return p.postfix()
+	}
+}
+
+func (p *Parser) postfix() Expr {
+	x := p.primary()
+	for {
+		switch p.kind() {
+		case LBracket:
+			lb := p.next()
+			idx := p.expr()
+			p.expect(RBracket)
+			x = &IndexExpr{X: x, Index: idx, LBrack: lb.Pos}
+		case Dot:
+			dot := p.next()
+			sel := p.expect(IDENT)
+			x = &MemberExpr{X: x, Sel: sel.Text, Dot: dot.Pos}
+		case Inc, Dec:
+			op := p.next()
+			x = &PostfixExpr{Op: op.Kind, X: x, OpPos: op.Pos}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) primary() Expr {
+	switch p.kind() {
+	case INT:
+		t := p.next()
+		return &IntLit{LitPos: t.Pos, Val: t.Val}
+	case KwTrue:
+		t := p.next()
+		return &BoolLit{LitPos: t.Pos, Val: true}
+	case KwFalse:
+		t := p.next()
+		return &BoolLit{LitPos: t.Pos, Val: false}
+	case LParen:
+		p.next()
+		x := p.expr()
+		p.expect(RParen)
+		return x
+	case IDENT:
+		return p.qualified()
+	case KwSizeof:
+		p.diags.Errorf(p.tok().Pos, "sizeof is not supported in NetCL device code")
+		p.next()
+		return &IntLit{LitPos: p.tok().Pos}
+	default:
+		p.diags.Errorf(p.tok().Pos, "expected expression, found %s", p.tok().String())
+		t := p.next()
+		return &IntLit{LitPos: t.Pos}
+	}
+}
+
+// qualified parses "a::b::c" names, template arguments, and calls.
+func (p *Parser) qualified() Expr {
+	first := p.expect(IDENT)
+	parts := []string{first.Text}
+	for p.at(ColonCol) && p.peek(1).Kind == IDENT {
+		p.next()
+		parts = append(parts, p.next().Text)
+	}
+	if parts[0] == "ncl" {
+		parts = parts[1:]
+	}
+	if len(parts) == 0 {
+		p.diags.Errorf(first.Pos, "incomplete qualified name")
+		return &IntLit{LitPos: first.Pos}
+	}
+	name := parts[len(parts)-1]
+	ns := strings.Join(parts[:len(parts)-1], "::")
+	id := &Ident{NamePos: first.Pos, NS: ns, Name: name}
+
+	var targs []Expr
+	if p.at(Lt) && templateBuiltins[name] {
+		p.next()
+		for {
+			// Parse above relational precedence so the closing '>' is
+			// not consumed as a comparison operator.
+			targs = append(targs, p.binary(8))
+			if !p.accept(Comma) {
+				break
+			}
+		}
+		p.expect(Gt)
+	}
+	if p.at(LParen) {
+		p.next()
+		call := &CallExpr{Fun: id, TArgs: targs}
+		if !p.at(RParen) {
+			for {
+				call.Args = append(call.Args, p.expr())
+				if !p.accept(Comma) {
+					break
+				}
+			}
+		}
+		p.expect(RParen)
+		return call
+	}
+	if targs != nil {
+		p.diags.Errorf(first.Pos, "template arguments require a call")
+	}
+	return id
+}

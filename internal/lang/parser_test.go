@@ -1,0 +1,302 @@
+package lang
+
+import "testing"
+
+// fig4 is the NetCL device code of the paper's Figure 4 (in-network
+// read-only cache with a count-min sketch).
+const fig4 = `
+#define CMS_HASHES 3
+#define THRESH 512
+#define GET_REQ 1
+
+_managed_ unsigned cms[CMS_HASHES][65536];
+
+_net_ void sketch(unsigned k, unsigned &hot) {
+  unsigned c[CMS_HASHES];
+  c[0] = ncl::atomic_sadd_new(&cms[0][ncl::xor16(k)], 1);
+  c[1] = ncl::atomic_sadd_new(&cms[1][ncl::crc32<16>(k)], 1);
+  c[2] = ncl::atomic_sadd_new(&cms[2][ncl::crc16(k)], 1);
+  for (auto i = 1; i < CMS_HASHES; ++i)
+    if (c[i] < c[0]) c[0] = c[i];
+  hot = c[0] > THRESH ? c[0] : 0;
+}
+
+_net_ _lookup_ ncl::kv<unsigned, unsigned> cache[] = {{1,42}, {2,42},
+                                                      {3,42}, {4,42}};
+
+_kernel(1) _at(1) void query(char op, unsigned k, unsigned &v,
+                             char &hit, unsigned &hot) {
+  if (op == GET_REQ) {
+    hit = ncl::lookup(cache, k, v);
+    return hit ? ncl::reflect() : sketch(k, hot);
+  }
+}
+`
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	var d Diagnostics
+	f := ParseFile("test.ncl", src, nil, &d)
+	if d.HasErrors() {
+		t.Fatalf("parse errors:\n%s", d.String())
+	}
+	return f
+}
+
+func TestParseFig4(t *testing.T) {
+	f := parseOK(t, fig4)
+	if len(f.Decls) != 4 {
+		t.Fatalf("got %d decls, want 4", len(f.Decls))
+	}
+	cms, ok := f.Decls[0].(*VarDecl)
+	if !ok || cms.Name != "cms" || !cms.Managed {
+		t.Fatalf("decl 0: got %#v", f.Decls[0])
+	}
+	if len(cms.Dims) != 2 {
+		t.Errorf("cms dims: got %d, want 2", len(cms.Dims))
+	}
+	sketch, ok := f.Decls[1].(*FuncDecl)
+	if !ok || sketch.Name != "sketch" || !sketch.Net || sketch.Kernel {
+		t.Fatalf("decl 1: got %#v", f.Decls[1])
+	}
+	if len(sketch.Params) != 2 || !sketch.Params[1].ByRef {
+		t.Errorf("sketch params wrong: %+v", sketch.Params)
+	}
+	cache, ok := f.Decls[2].(*VarDecl)
+	if !ok || !cache.Lookup || !cache.Net || cache.Type.Name != "kv" {
+		t.Fatalf("decl 2: got %#v", f.Decls[2])
+	}
+	if len(cache.Dims) != 1 || cache.Dims[0] != nil {
+		t.Errorf("cache should have one inferred dim")
+	}
+	q, ok := f.Decls[3].(*FuncDecl)
+	if !ok || !q.Kernel || q.Name != "query" {
+		t.Fatalf("decl 3: got %#v", f.Decls[3])
+	}
+	if c, ok := q.Comp.(*IntLit); !ok || c.Val != 1 {
+		t.Errorf("kernel computation id: got %#v", q.Comp)
+	}
+	if len(q.At) != 1 {
+		t.Errorf("kernel _at: got %d locations", len(q.At))
+	}
+	if len(q.Params) != 5 {
+		t.Errorf("query params: got %d, want 5", len(q.Params))
+	}
+}
+
+// fig7 is the paper's Figure 7 (reliable in-network AllReduce).
+const fig7 = `
+#define NUM_SLOTS 1024
+#define SLOT_SIZE 32
+#define NUM_WORKERS 4
+
+_net_ uint16_t Bitmap[2][NUM_SLOTS];
+_net_ uint32_t Agg[SLOT_SIZE][NUM_SLOTS * 2];
+_net_ uint8_t Count[NUM_SLOTS * 2];
+
+_kernel(1) void allreduce( uint8_t ver, uint16_t bmp_idx,
+                           uint16_t agg_idx, uint16_t mask,
+                           uint32_t _spec(SLOT_SIZE) *v) {
+  uint16_t bitmap;
+  if (ver == 0) {
+    bitmap = ncl::atomic_or(&Bitmap[0][bmp_idx], mask);
+    ncl::atomic_and(&Bitmap[1][bmp_idx], ~mask);
+  } else {
+    ncl::atomic_and(&Bitmap[0][bmp_idx], ~mask);
+    bitmap = ncl::atomic_or(&Bitmap[1][bmp_idx], mask);
+  }
+
+  if (bitmap == 0) {
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      Agg[i][agg_idx] = v[i];
+    Count[agg_idx] = NUM_WORKERS - 1;
+  } else {
+    auto seen = bitmap & mask;
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      v[i] = ncl::atomic_cond_add_new(&Agg[i][agg_idx], !seen, v[i]);
+
+    auto cnt = ncl::atomic_cond_dec(&Count[agg_idx], !seen);
+    if (cnt == 0)
+      return ncl::reflect();
+    if (cnt == 1)
+      return ncl::multicast(42);
+  }
+  return ncl::drop();
+}
+`
+
+func TestParseFig7(t *testing.T) {
+	f := parseOK(t, fig7)
+	if len(f.Decls) != 4 {
+		t.Fatalf("got %d decls, want 4", len(f.Decls))
+	}
+	k, ok := f.Decls[3].(*FuncDecl)
+	if !ok || !k.Kernel || k.Name != "allreduce" {
+		t.Fatalf("kernel decl: %#v", f.Decls[3])
+	}
+	v := k.Params[4]
+	if !v.Ptr || v.Spec == nil {
+		t.Errorf("param v should be a pointer with _spec: %+v", v)
+	}
+	if spec, ok := v.Spec.(*IntLit); !ok || spec.Val != 32 {
+		t.Errorf("spec should expand to 32 via #define: %#v", v.Spec)
+	}
+}
+
+func TestParseMultiDeclarator(t *testing.T) {
+	f := parseOK(t, "_net_ int m1[42], m2[42];")
+	if len(f.Decls) != 2 {
+		t.Fatalf("got %d decls, want 2", len(f.Decls))
+	}
+	for i, name := range []string{"m1", "m2"} {
+		vd := f.Decls[i].(*VarDecl)
+		if vd.Name != name || !vd.Net || len(vd.Dims) != 1 {
+			t.Errorf("decl %d: %+v", i, vd)
+		}
+	}
+}
+
+func TestParseMultiLocationAt(t *testing.T) {
+	f := parseOK(t, "_at(1,2) _net_ uint16_t Round[65536];")
+	vd := f.Decls[0].(*VarDecl)
+	if len(vd.At) != 2 {
+		t.Fatalf("at list: got %d, want 2", len(vd.At))
+	}
+}
+
+func TestParseRangeLookup(t *testing.T) {
+	f := parseOK(t, "_net_ _lookup_ ncl::rv<int,int> b[] = { {{1,10},1}, {{11,20},2} };")
+	vd := f.Decls[0].(*VarDecl)
+	if vd.Type.Name != "rv" || len(vd.Type.Args) != 2 {
+		t.Fatalf("type: %v", vd.Type)
+	}
+	il := vd.Init.(*InitList)
+	if len(il.Elems) != 2 {
+		t.Fatalf("init entries: got %d", len(il.Elems))
+	}
+	first := il.Elems[0].(*InitList)
+	if len(first.Elems) != 2 {
+		t.Fatalf("rv entry should be {range, value}")
+	}
+	if _, ok := first.Elems[0].(*InitList); !ok {
+		t.Error("rv range should itself be an init list")
+	}
+}
+
+func TestParseTernaryActionReturn(t *testing.T) {
+	f := parseOK(t, `_kernel(1) void k(char hit) { return hit ? ncl::reflect() : ncl::drop(); }`)
+	fd := f.Decls[0].(*FuncDecl)
+	ret := fd.Body.Stmts[0].(*ReturnStmt)
+	ce, ok := ret.X.(*CondExpr)
+	if !ok {
+		t.Fatalf("return expr: %#v", ret.X)
+	}
+	if call, ok := ce.Then.(*CallExpr); !ok || call.Fun.Name != "reflect" {
+		t.Errorf("then branch: %#v", ce.Then)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := parseOK(t, "_net_ void f(int a, int b, int c) { int x = a + b * c; int y = a << 2 | b & c; }")
+	fd := f.Decls[0].(*FuncDecl)
+	x := fd.Body.Stmts[0].(*DeclStmt).D.Init.(*BinaryExpr)
+	if x.Op != Plus {
+		t.Errorf("a+b*c should parse as a+(b*c), got top op %v", x.Op)
+	}
+	if inner, ok := x.Y.(*BinaryExpr); !ok || inner.Op != Star {
+		t.Errorf("rhs should be b*c: %#v", x.Y)
+	}
+	y := fd.Body.Stmts[1].(*DeclStmt).D.Init.(*BinaryExpr)
+	if y.Op != Pipe {
+		t.Errorf("| should bind loosest of <<, &: got %v", y.Op)
+	}
+}
+
+func TestParseMemberAndDeviceID(t *testing.T) {
+	f := parseOK(t, "_kernel(1) void k(int x) { if (device.id == 2) { x = 1; } }")
+	fd := f.Decls[0].(*FuncDecl)
+	ifs := fd.Body.Stmts[0].(*IfStmt)
+	cmp := ifs.Cond.(*BinaryExpr)
+	m, ok := cmp.X.(*MemberExpr)
+	if !ok || m.Sel != "id" {
+		t.Fatalf("device.id: %#v", cmp.X)
+	}
+}
+
+func TestParseCast(t *testing.T) {
+	f := parseOK(t, "_net_ void f(int a) { unsigned x = (unsigned)a; int y = (a); }")
+	fd := f.Decls[0].(*FuncDecl)
+	if _, ok := fd.Body.Stmts[0].(*DeclStmt).D.Init.(*CastExpr); !ok {
+		t.Error("(unsigned)a should be a cast")
+	}
+	if _, ok := fd.Body.Stmts[1].(*DeclStmt).D.Init.(*Ident); !ok {
+		t.Error("(a) should be a parenthesized ident")
+	}
+}
+
+func TestParseTargetIntrinsicNamespace(t *testing.T) {
+	f := parseOK(t, "_net_ void f(unsigned k, unsigned &o) { o = ncl::tna::crc64(k); }")
+	fd := f.Decls[0].(*FuncDecl)
+	as := fd.Body.Stmts[0].(*ExprStmt).X.(*AssignExpr)
+	call := as.RHS.(*CallExpr)
+	if call.Fun.NS != "tna" || call.Fun.Name != "crc64" {
+		t.Errorf("intrinsic: NS=%q Name=%q", call.Fun.NS, call.Fun.Name)
+	}
+}
+
+func TestParseGotoRejected(t *testing.T) {
+	var d Diagnostics
+	ParseFile("t", "_net_ void f() { goto done; }", nil, &d)
+	if !d.HasErrors() {
+		t.Error("goto should be rejected")
+	}
+}
+
+func TestParseErrorRecovery(t *testing.T) {
+	var d Diagnostics
+	f := ParseFile("t", "_net_ int x = @; _net_ int y = 2;", nil, &d)
+	if !d.HasErrors() {
+		t.Error("expected a parse error")
+	}
+	// The second declaration should still be parsed.
+	found := false
+	for _, decl := range f.Decls {
+		if vd, ok := decl.(*VarDecl); ok && vd.Name == "y" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("parser did not recover to parse decl y")
+	}
+}
+
+func TestParseCompoundAssignAndIncDec(t *testing.T) {
+	f := parseOK(t, "_net_ void f(int a) { a += 2; a <<= 1; a++; --a; }")
+	fd := f.Decls[0].(*FuncDecl)
+	if as := fd.Body.Stmts[0].(*ExprStmt).X.(*AssignExpr); as.Op != PlusEq {
+		t.Errorf("a += 2: op %v", as.Op)
+	}
+	if as := fd.Body.Stmts[1].(*ExprStmt).X.(*AssignExpr); as.Op != ShlEq {
+		t.Errorf("a <<= 1: op %v", as.Op)
+	}
+	if px := fd.Body.Stmts[2].(*ExprStmt).X.(*PostfixExpr); px.Op != Inc {
+		t.Errorf("a++: op %v", px.Op)
+	}
+	if ux := fd.Body.Stmts[3].(*ExprStmt).X.(*UnaryExpr); ux.Op != Dec {
+		t.Errorf("--a: op %v", ux.Op)
+	}
+}
+
+func TestWalkVisitsAllKernelCalls(t *testing.T) {
+	f := parseOK(t, fig4)
+	calls := 0
+	Walk(f, func(n Node) bool {
+		if _, ok := n.(*CallExpr); ok {
+			calls++
+		}
+		return true
+	})
+	if calls < 7 {
+		t.Errorf("Walk found %d calls, want >= 7", calls)
+	}
+}

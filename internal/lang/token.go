@@ -1,0 +1,186 @@
+// Package lang implements the NetCL-C source language: tokens, lexer,
+// abstract syntax tree, and parser.
+//
+// NetCL-C is the C subset used throughout the NetCL paper (SC'24,
+// Figures 4, 6, 7, 11) extended with the NetCL specifiers _kernel,
+// _net_, _managed_, _lookup_, _at and _spec, the lookup types kv<K,V>
+// and rv<R,V>, and the ncl:: device library. The lexer includes a tiny
+// preprocessor handling #define of object-like constant macros, which
+// replaces the only preprocessor usage found in the paper's listings.
+package lang
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Punctuation kinds are named after their symbol.
+const (
+	EOF Kind = iota
+	IDENT
+	INT    // 123, 0x7B, 'a'
+	STRING // "..." (used only in diagnostics pragmas)
+
+	// Keywords.
+	KwVoid
+	KwChar
+	KwBool
+	KwShort
+	KwInt
+	KwLong
+	KwUnsigned
+	KwSigned
+	KwAuto
+	KwConst
+	KwStatic
+	KwIf
+	KwElse
+	KwFor
+	KwWhile
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+	KwGoto
+	KwTrue
+	KwFalse
+	KwStruct
+	KwEnum
+	KwSizeof
+
+	// NetCL specifiers.
+	KwKernel  // _kernel
+	KwNet     // _net_
+	KwManaged // _managed_
+	KwLookup  // _lookup_
+	KwAt      // _at
+	KwSpec    // _spec
+
+	// Punctuation and operators.
+	LParen    // (
+	RParen    // )
+	LBrace    // {
+	RBrace    // }
+	LBracket  // [
+	RBracket  // ]
+	Semi      // ;
+	Comma     // ,
+	Dot       // .
+	Arrow     // ->
+	ColonCol  // ::
+	Question  // ?
+	Colon     // :
+	Assign    // =
+	Plus      // +
+	Minus     // -
+	Star      // *
+	Slash     // /
+	Percent   // %
+	Amp       // &
+	Pipe      // |
+	Caret     // ^
+	Tilde     // ~
+	Not       // !
+	Shl       // <<
+	Shr       // >>
+	Lt        // <
+	Gt        // >
+	Le        // <=
+	Ge        // >=
+	EqEq      // ==
+	NotEq     // !=
+	AndAnd    // &&
+	OrOr      // ||
+	PlusEq    // +=
+	MinusEq   // -=
+	StarEq    // *=
+	SlashEq   // /=
+	PercentEq // %=
+	AmpEq     // &=
+	PipeEq    // |=
+	CaretEq   // ^=
+	ShlEq     // <<=
+	ShrEq     // >>=
+	Inc       // ++
+	Dec       // --
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "integer literal", STRING: "string literal",
+	KwVoid: "void", KwChar: "char", KwBool: "bool", KwShort: "short", KwInt: "int",
+	KwLong: "long", KwUnsigned: "unsigned", KwSigned: "signed", KwAuto: "auto",
+	KwConst: "const", KwStatic: "static", KwIf: "if", KwElse: "else", KwFor: "for",
+	KwWhile: "while", KwDo: "do", KwReturn: "return", KwBreak: "break",
+	KwContinue: "continue", KwGoto: "goto", KwTrue: "true", KwFalse: "false",
+	KwStruct: "struct", KwEnum: "enum", KwSizeof: "sizeof",
+	KwKernel: "_kernel", KwNet: "_net_", KwManaged: "_managed_", KwLookup: "_lookup_",
+	KwAt: "_at", KwSpec: "_spec",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBracket: "[", RBracket: "]",
+	Semi: ";", Comma: ",", Dot: ".", Arrow: "->", ColonCol: "::", Question: "?",
+	Colon: ":", Assign: "=", Plus: "+", Minus: "-", Star: "*", Slash: "/",
+	Percent: "%", Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Not: "!",
+	Shl: "<<", Shr: ">>", Lt: "<", Gt: ">", Le: "<=", Ge: ">=", EqEq: "==",
+	NotEq: "!=", AndAnd: "&&", OrOr: "||", PlusEq: "+=", MinusEq: "-=",
+	StarEq: "*=", SlashEq: "/=", PercentEq: "%=", AmpEq: "&=", PipeEq: "|=",
+	CaretEq: "^=", ShlEq: "<<=", ShrEq: ">>=", Inc: "++", Dec: "--",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"void": KwVoid, "char": KwChar, "bool": KwBool, "short": KwShort,
+	"int": KwInt, "long": KwLong, "unsigned": KwUnsigned, "signed": KwSigned,
+	"auto": KwAuto, "const": KwConst, "static": KwStatic, "if": KwIf,
+	"else": KwElse, "for": KwFor, "while": KwWhile, "do": KwDo,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+	"goto": KwGoto, "true": KwTrue, "false": KwFalse, "struct": KwStruct,
+	"enum": KwEnum, "sizeof": KwSizeof,
+	"_kernel": KwKernel, "_net_": KwNet, "_managed_": KwManaged,
+	"_lookup_": KwLookup, "_at": KwAt, "_spec": KwSpec,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+// String formats the position as file:line:col.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether p refers to an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw text for IDENT, STRING; normalized for INT
+	Val  uint64 // value for INT
+	Pos  Pos
+}
+
+// String returns a readable rendering of the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case INT:
+		return fmt.Sprintf("integer %d", t.Val)
+	case STRING:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}

@@ -1,0 +1,791 @@
+package lower
+
+import (
+	"netcl/internal/ir"
+	"netcl/internal/lang"
+	"netcl/internal/sema"
+)
+
+// inlineCtx tracks state while lowering an inlined net-function body.
+type inlineCtx struct {
+	fn     *sema.Function
+	exit   *ir.Block
+	result *ir.Instr // alloca for non-void results
+	parent *inlineCtx
+}
+
+// lvalue abstracts assignable places.
+type lvalue interface {
+	load(fl *fnLowerer) ir.Value
+	store(fl *fnLowerer, v ir.Value)
+	elem() ir.Type
+}
+
+// lvLocal is an alloca slot.
+type lvLocal struct {
+	alloca *ir.Instr
+	index  ir.Value
+	ty     ir.Type
+}
+
+func (lv *lvLocal) elem() ir.Type { return lv.ty }
+
+func (lv *lvLocal) load(fl *fnLowerer) ir.Value {
+	return fl.emit(&ir.Instr{Op: ir.OpLoad, Ty: lv.ty, Args: []ir.Value{lv.alloca, lv.index}})
+}
+
+func (lv *lvLocal) store(fl *fnLowerer, v ir.Value) {
+	fl.emit(&ir.Instr{Op: ir.OpStore, Args: []ir.Value{lv.alloca, lv.index, fl.convert(v, lv.ty)}})
+}
+
+// lvMsg is a message (kernel argument) slot.
+type lvMsg struct {
+	p     *ir.MsgParam
+	index ir.Value
+}
+
+func (lv *lvMsg) elem() ir.Type { return lv.p.Ty }
+
+func (lv *lvMsg) load(fl *fnLowerer) ir.Value {
+	return fl.emit(&ir.Instr{Op: ir.OpLoadMsg, Ty: lv.p.Ty, Param: lv.p, Args: []ir.Value{lv.index}})
+}
+
+func (lv *lvMsg) store(fl *fnLowerer, v ir.Value) {
+	fl.emit(&ir.Instr{Op: ir.OpStoreMsg, Param: lv.p, Args: []ir.Value{lv.index, fl.convert(v, lv.p.Ty)}})
+}
+
+// lvGlobal is a device global-memory element; plain reads and writes
+// lower to atomic read/write transactions (§V-B).
+type lvGlobal struct {
+	mem  *ir.MemRef
+	idxs []ir.Value
+}
+
+func (lv *lvGlobal) elem() ir.Type { return lv.mem.Elem }
+
+func (lv *lvGlobal) load(fl *fnLowerer) ir.Value {
+	return fl.emit(&ir.Instr{
+		Op: ir.OpAtomicRMW, Ty: lv.mem.Elem, G: lv.mem, AOp: "read",
+		Args: append([]ir.Value{}, lv.idxs...), NIdx: len(lv.idxs),
+	})
+}
+
+func (lv *lvGlobal) store(fl *fnLowerer, v ir.Value) {
+	args := append([]ir.Value{}, lv.idxs...)
+	args = append(args, fl.convert(v, lv.mem.Elem))
+	fl.emit(&ir.Instr{
+		Op: ir.OpAtomicRMW, G: lv.mem, AOp: "write",
+		Args: args, NIdx: len(lv.idxs),
+	})
+}
+
+// convert adjusts v to type to (zext/sext/trunc as needed).
+func (fl *fnLowerer) convert(v ir.Value, to ir.Type) ir.Value {
+	from := v.Type()
+	if from == to {
+		return v
+	}
+	if c, ok := v.(*ir.Const); ok {
+		return ir.ConstOf(to, c.Val)
+	}
+	switch {
+	case from.Bits == to.Bits:
+		// Same width, signedness change only: a no-op at the bit level.
+		// Reuse zext/trunc-free path by emitting a zero-width op; use
+		// OpZExt with equal widths as a "bitcast".
+		return fl.emit(&ir.Instr{Op: ir.OpZExt, Ty: to, Args: []ir.Value{v}})
+	case from.Bits < to.Bits:
+		op := ir.OpZExt
+		if from.Signed && from.Bits > 1 {
+			op = ir.OpSExt
+		}
+		return fl.emit(&ir.Instr{Op: op, Ty: to, Args: []ir.Value{v}})
+	default:
+		return fl.emit(&ir.Instr{Op: ir.OpTrunc, Ty: to, Args: []ir.Value{v}})
+	}
+}
+
+// cond lowers e to an i1 value.
+func (fl *fnLowerer) cond(e lang.Expr) ir.Value {
+	v := fl.expr(e)
+	if v.Type() == ir.I1 {
+		return v
+	}
+	if c, ok := v.(*ir.Const); ok {
+		if c.Val != 0 {
+			return ir.ConstOf(ir.I1, 1)
+		}
+		return ir.ConstOf(ir.I1, 0)
+	}
+	return fl.emit(&ir.Instr{
+		Op: ir.OpICmp, Ty: ir.I1, Pred: ir.PredNE,
+		Args: []ir.Value{v, ir.ConstOf(v.Type(), 0)},
+	})
+}
+
+// commonType computes the arithmetic result type of two IR types.
+func commonType(a, b ir.Type) ir.Type {
+	if a == ir.I1 {
+		a = ir.U8
+	}
+	if b == ir.I1 {
+		b = ir.U8
+	}
+	switch {
+	case a.Bits > b.Bits:
+		return a
+	case b.Bits > a.Bits:
+		return b
+	case !a.Signed:
+		return a
+	default:
+		return b
+	}
+}
+
+// expr lowers an expression to a value.
+func (fl *fnLowerer) expr(e lang.Expr) ir.Value {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		t := ir.S32
+		if x.Val > 0x7FFFFFFF {
+			t = ir.S64
+		}
+		if x.Val > 0x7FFFFFFFFFFFFFFF {
+			t = ir.U64
+		}
+		return ir.ConstOf(t, int64(x.Val))
+	case *lang.BoolLit:
+		v := int64(0)
+		if x.Val {
+			v = 1
+		}
+		return ir.ConstOf(ir.I1, v)
+	case *lang.Ident:
+		return fl.identValue(x)
+	case *lang.MemberExpr:
+		return fl.memberValue(x)
+	case *lang.BinaryExpr:
+		return fl.binary(x)
+	case *lang.UnaryExpr:
+		return fl.unary(x)
+	case *lang.PostfixExpr:
+		lv := fl.lvalue(x.X)
+		if lv == nil {
+			return ir.ConstOf(ir.U32, 0)
+		}
+		old := lv.load(fl)
+		op := ir.OpAdd
+		if x.Op == lang.Dec {
+			op = ir.OpSub
+		}
+		nv := fl.emit(&ir.Instr{Op: op, Ty: old.Type(), Args: []ir.Value{old, ir.ConstOf(old.Type(), 1)}})
+		lv.store(fl, nv)
+		return old
+	case *lang.AssignExpr:
+		return fl.assign(x)
+	case *lang.CondExpr:
+		return fl.ternary(x)
+	case *lang.CallExpr:
+		return fl.call(x)
+	case *lang.IndexExpr:
+		lv := fl.lvalue(x)
+		if lv == nil {
+			return ir.ConstOf(ir.U32, 0)
+		}
+		return lv.load(fl)
+	case *lang.CastExpr:
+		v := fl.expr(x.X)
+		b := sema.BasicByName(x.Type.Name)
+		if b == nil {
+			return v
+		}
+		return fl.convert(v, irType(b))
+	}
+	fl.errorf(e.Pos(), "unsupported expression in device code")
+	return ir.ConstOf(ir.U32, 0)
+}
+
+func (fl *fnLowerer) identValue(x *lang.Ident) ir.Value {
+	b := fl.lookupName(x.Name)
+	switch bd := b.(type) {
+	case *constBinding:
+		return ir.ConstOf(bd.ty, bd.val)
+	case *localBinding:
+		if len(bd.dims) > 0 {
+			fl.errorf(x.NamePos, "array %q used as a value", x.Name)
+			return ir.ConstOf(ir.U32, 0)
+		}
+		return fl.emit(&ir.Instr{Op: ir.OpLoad, Ty: bd.elem, Args: []ir.Value{bd.alloca, ir.ConstOf(ir.U32, 0)}})
+	case *paramBinding:
+		if bd.shadow != nil {
+			return fl.emit(&ir.Instr{Op: ir.OpLoad, Ty: bd.p.Ty, Args: []ir.Value{bd.shadow, ir.ConstOf(ir.U32, 0)}})
+		}
+		if bd.p.Count > 1 {
+			fl.errorf(x.NamePos, "pointer parameter %q used as a scalar value", x.Name)
+			return ir.ConstOf(ir.U32, 0)
+		}
+		return fl.emit(&ir.Instr{Op: ir.OpLoadMsg, Ty: bd.p.Ty, Param: bd.p, Args: []ir.Value{ir.ConstOf(ir.U32, 0)}})
+	case *refBinding:
+		return bd.lv.load(fl)
+	case *globalBinding:
+		if len(bd.mem.Dims) > 0 {
+			fl.errorf(x.NamePos, "memory %q used as a scalar value", x.Name)
+			return ir.ConstOf(ir.U32, 0)
+		}
+		lv := &lvGlobal{mem: bd.mem}
+		return lv.load(fl)
+	}
+	fl.errorf(x.NamePos, "cannot lower identifier %q", x.Name)
+	return ir.ConstOf(ir.U32, 0)
+}
+
+func (fl *fnLowerer) memberValue(x *lang.MemberExpr) ir.Value {
+	id, _ := x.X.(*lang.Ident)
+	if id == nil {
+		return ir.ConstOf(ir.U16, 0)
+	}
+	switch id.Name {
+	case "device":
+		// Materialized at compile time (§VI-B).
+		switch x.Sel {
+		case "id":
+			return ir.ConstOf(ir.U16, int64(fl.l.deviceID))
+		case "kind":
+			return ir.ConstOf(ir.U8, 1) // 1 = switch
+		}
+	case "msg":
+		return fl.emit(&ir.Instr{Op: ir.OpMsgField, Ty: ir.U16, Field: x.Sel})
+	}
+	fl.errorf(x.Dot, "unsupported member access")
+	return ir.ConstOf(ir.U16, 0)
+}
+
+func (fl *fnLowerer) binary(x *lang.BinaryExpr) ir.Value {
+	a := fl.expr(x.X)
+	b := fl.expr(x.Y)
+	// Constant fold eagerly: unrolled loops produce heaps of constant
+	// arithmetic; folding here keeps the IR small before simplify runs.
+	if ca, ok := a.(*ir.Const); ok {
+		if cb, ok2 := b.(*ir.Const); ok2 {
+			if v, ok3 := foldBinary(x.Op, ca, cb); ok3 {
+				return v
+			}
+		}
+	}
+	switch x.Op {
+	case lang.AndAnd, lang.OrOr:
+		ai := fl.toI1(a)
+		bi := fl.toI1(b)
+		op := ir.OpAnd
+		if x.Op == lang.OrOr {
+			op = ir.OpOr
+		}
+		return fl.emit(&ir.Instr{Op: op, Ty: ir.I1, Args: []ir.Value{ai, bi}})
+	case lang.EqEq, lang.NotEq, lang.Lt, lang.Gt, lang.Le, lang.Ge:
+		ct := commonType(a.Type(), b.Type())
+		a = fl.convert(a, ct)
+		b = fl.convert(b, ct)
+		return fl.emit(&ir.Instr{Op: ir.OpICmp, Ty: ir.I1, Pred: cmpPred(x.Op, ct.Signed), Args: []ir.Value{a, b}})
+	case lang.Shl, lang.Shr:
+		t := a.Type()
+		if t == ir.I1 {
+			t = ir.U8
+			a = fl.convert(a, t)
+		}
+		b = fl.convert(b, t)
+		op := ir.OpShl
+		if x.Op == lang.Shr {
+			if t.Signed {
+				op = ir.OpAShr
+			} else {
+				op = ir.OpLShr
+			}
+		}
+		return fl.emit(&ir.Instr{Op: op, Ty: t, Args: []ir.Value{a, b}})
+	default:
+		ct := commonType(a.Type(), b.Type())
+		a = fl.convert(a, ct)
+		b = fl.convert(b, ct)
+		var op ir.Op
+		switch x.Op {
+		case lang.Plus:
+			op = ir.OpAdd
+		case lang.Minus:
+			op = ir.OpSub
+		case lang.Star:
+			op = ir.OpMul
+		case lang.Slash:
+			if ct.Signed {
+				op = ir.OpSDiv
+			} else {
+				op = ir.OpUDiv
+			}
+		case lang.Percent:
+			if ct.Signed {
+				op = ir.OpSRem
+			} else {
+				op = ir.OpURem
+			}
+		case lang.Amp:
+			op = ir.OpAnd
+		case lang.Pipe:
+			op = ir.OpOr
+		case lang.Caret:
+			op = ir.OpXor
+		default:
+			fl.errorf(x.OpPos, "unsupported binary operator %s", x.Op)
+			return ir.ConstOf(ct, 0)
+		}
+		return fl.emit(&ir.Instr{Op: op, Ty: ct, Args: []ir.Value{a, b}})
+	}
+}
+
+func foldBinary(op lang.Kind, a, b *ir.Const) (ir.Value, bool) {
+	t := commonType(a.Ty, b.Ty)
+	av, bv := t.Wrap(a.Val), t.Wrap(b.Val)
+	bool1 := func(c bool) (ir.Value, bool) {
+		v := int64(0)
+		if c {
+			v = 1
+		}
+		return ir.ConstOf(ir.I1, v), true
+	}
+	switch op {
+	case lang.Plus:
+		return ir.ConstOf(t, av+bv), true
+	case lang.Minus:
+		return ir.ConstOf(t, av-bv), true
+	case lang.Star:
+		return ir.ConstOf(t, av*bv), true
+	case lang.Slash:
+		if bv == 0 {
+			return nil, false
+		}
+		if t.Signed {
+			return ir.ConstOf(t, av/bv), true
+		}
+		return ir.ConstOf(t, int64(uint64(av)&t.Mask()/(uint64(bv)&t.Mask()))), true
+	case lang.Percent:
+		if bv == 0 {
+			return nil, false
+		}
+		if t.Signed {
+			return ir.ConstOf(t, av%bv), true
+		}
+		return ir.ConstOf(t, int64(uint64(av)&t.Mask()%(uint64(bv)&t.Mask()))), true
+	case lang.Amp:
+		return ir.ConstOf(t, av&bv), true
+	case lang.Pipe:
+		return ir.ConstOf(t, av|bv), true
+	case lang.Caret:
+		return ir.ConstOf(t, av^bv), true
+	case lang.Shl:
+		if bv < 0 || bv > 63 {
+			return nil, false
+		}
+		return ir.ConstOf(a.Ty, a.Val<<uint(bv)), true
+	case lang.Shr:
+		if bv < 0 || bv > 63 {
+			return nil, false
+		}
+		if a.Ty.Signed {
+			return ir.ConstOf(a.Ty, a.Val>>uint(bv)), true
+		}
+		return ir.ConstOf(a.Ty, int64(a.Uint()>>uint(bv))), true
+	case lang.EqEq:
+		return bool1(av == bv)
+	case lang.NotEq:
+		return bool1(av != bv)
+	case lang.Lt:
+		if t.Signed {
+			return bool1(av < bv)
+		}
+		return bool1(uint64(av)&t.Mask() < uint64(bv)&t.Mask())
+	case lang.Gt:
+		if t.Signed {
+			return bool1(av > bv)
+		}
+		return bool1(uint64(av)&t.Mask() > uint64(bv)&t.Mask())
+	case lang.Le:
+		if t.Signed {
+			return bool1(av <= bv)
+		}
+		return bool1(uint64(av)&t.Mask() <= uint64(bv)&t.Mask())
+	case lang.Ge:
+		if t.Signed {
+			return bool1(av >= bv)
+		}
+		return bool1(uint64(av)&t.Mask() >= uint64(bv)&t.Mask())
+	case lang.AndAnd:
+		return bool1(av != 0 && bv != 0)
+	case lang.OrOr:
+		return bool1(av != 0 || bv != 0)
+	}
+	return nil, false
+}
+
+func cmpPred(op lang.Kind, signed bool) ir.Pred {
+	switch op {
+	case lang.EqEq:
+		return ir.PredEQ
+	case lang.NotEq:
+		return ir.PredNE
+	case lang.Lt:
+		if signed {
+			return ir.PredSLT
+		}
+		return ir.PredULT
+	case lang.Le:
+		if signed {
+			return ir.PredSLE
+		}
+		return ir.PredULE
+	case lang.Gt:
+		if signed {
+			return ir.PredSGT
+		}
+		return ir.PredUGT
+	default:
+		if signed {
+			return ir.PredSGE
+		}
+		return ir.PredUGE
+	}
+}
+
+func (fl *fnLowerer) toI1(v ir.Value) ir.Value {
+	if v.Type() == ir.I1 {
+		return v
+	}
+	if c, ok := v.(*ir.Const); ok {
+		if c.Val != 0 {
+			return ir.ConstOf(ir.I1, 1)
+		}
+		return ir.ConstOf(ir.I1, 0)
+	}
+	return fl.emit(&ir.Instr{Op: ir.OpICmp, Ty: ir.I1, Pred: ir.PredNE, Args: []ir.Value{v, ir.ConstOf(v.Type(), 0)}})
+}
+
+func (fl *fnLowerer) unary(x *lang.UnaryExpr) ir.Value {
+	switch x.Op {
+	case lang.Minus:
+		v := fl.expr(x.X)
+		t := v.Type()
+		if t == ir.I1 {
+			t = ir.U8
+			v = fl.convert(v, t)
+		}
+		if c, ok := v.(*ir.Const); ok {
+			return ir.ConstOf(t, -c.Val)
+		}
+		return fl.emit(&ir.Instr{Op: ir.OpSub, Ty: t, Args: []ir.Value{ir.ConstOf(t, 0), v}})
+	case lang.Tilde:
+		v := fl.expr(x.X)
+		t := v.Type()
+		if t == ir.I1 {
+			t = ir.U8
+			v = fl.convert(v, t)
+		}
+		if c, ok := v.(*ir.Const); ok {
+			return ir.ConstOf(t, ^c.Val)
+		}
+		return fl.emit(&ir.Instr{Op: ir.OpXor, Ty: t, Args: []ir.Value{v, ir.ConstOf(t, -1)}})
+	case lang.Not:
+		v := fl.cond(x.X)
+		if c, ok := v.(*ir.Const); ok {
+			return ir.ConstOf(ir.I1, 1-(c.Val&1))
+		}
+		return fl.emit(&ir.Instr{Op: ir.OpXor, Ty: ir.I1, Args: []ir.Value{v, ir.ConstOf(ir.I1, 1)}})
+	case lang.Inc, lang.Dec:
+		lv := fl.lvalue(x.X)
+		if lv == nil {
+			return ir.ConstOf(ir.U32, 0)
+		}
+		old := lv.load(fl)
+		op := ir.OpAdd
+		if x.Op == lang.Dec {
+			op = ir.OpSub
+		}
+		nv := fl.emit(&ir.Instr{Op: op, Ty: old.Type(), Args: []ir.Value{old, ir.ConstOf(old.Type(), 1)}})
+		lv.store(fl, nv)
+		return nv
+	case lang.Star:
+		// *p is p[0].
+		lv := fl.ptrElem(x.X, ir.ConstOf(ir.U32, 0))
+		if lv == nil {
+			fl.errorf(x.OpPos, "cannot dereference this expression")
+			return ir.ConstOf(ir.U32, 0)
+		}
+		return lv.load(fl)
+	case lang.Amp:
+		fl.errorf(x.OpPos, "address-of may only appear as an atomic-operation argument")
+		return ir.ConstOf(ir.U32, 0)
+	}
+	fl.errorf(x.OpPos, "unsupported unary operator %s", x.Op)
+	return ir.ConstOf(ir.U32, 0)
+}
+
+// ptrElem resolves expressions denoting pointer-parameter elements.
+func (fl *fnLowerer) ptrElem(e lang.Expr, idx ir.Value) lvalue {
+	id, ok := e.(*lang.Ident)
+	if !ok {
+		return nil
+	}
+	if pb, ok2 := fl.lookupName(id.Name).(*paramBinding); ok2 && pb.shadow == nil {
+		return &lvMsg{p: pb.p, index: idx}
+	}
+	return nil
+}
+
+// sideEffecting reports whether lowering e may emit memory writes or
+// atomics (used to decide select vs. branch for ternaries).
+func (fl *fnLowerer) sideEffecting(e lang.Expr) bool {
+	found := false
+	lang.Walk(e, func(n lang.Node) bool {
+		switch x := n.(type) {
+		case *lang.AssignExpr, *lang.PostfixExpr:
+			found = true
+		case *lang.UnaryExpr:
+			if x.Op == lang.Inc || x.Op == lang.Dec {
+				found = true
+			}
+		case *lang.CallExpr:
+			if b := fl.l.prog.Builtins[x]; b != nil {
+				if b.Cat == sema.CatAtomic {
+					found = true
+				}
+			} else if fl.l.prog.CalledFns[x] != nil {
+				found = true // conservatively: user calls may write
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (fl *fnLowerer) ternary(x *lang.CondExpr) ir.Value {
+	cond := fl.cond(x.Cond)
+	if c, ok := cond.(*ir.Const); ok {
+		if c.Val != 0 {
+			return fl.expr(x.Then)
+		}
+		return fl.expr(x.Else)
+	}
+	if !fl.sideEffecting(x.Then) && !fl.sideEffecting(x.Else) {
+		a := fl.expr(x.Then)
+		b := fl.expr(x.Else)
+		ct := commonType(a.Type(), b.Type())
+		a = fl.convert(a, ct)
+		b = fl.convert(b, ct)
+		return fl.emit(&ir.Instr{Op: ir.OpSelect, Ty: ct, Args: []ir.Value{cond, a, b}})
+	}
+	// Side-effecting arms: lower as a diamond through a temporary.
+	ty := fl.semaType(x)
+	tmp := fl.emit(&ir.Instr{Op: ir.OpAlloca, Ty: ty, Elem: ty, Count: 1, Name: "ternary"})
+	thenB := fl.fn.NewBlock("tern_t")
+	elseB := fl.fn.NewBlock("tern_f")
+	joinB := fl.fn.NewBlock("tern_j")
+	fl.emit(&ir.Instr{Op: ir.OpBr, Args: []ir.Value{cond}, Targets: []*ir.Block{thenB, elseB}})
+	fl.blk = thenB
+	av := fl.convert(fl.expr(x.Then), ty)
+	fl.emit(&ir.Instr{Op: ir.OpStore, Args: []ir.Value{tmp, ir.ConstOf(ir.U32, 0), av}})
+	fl.emit(&ir.Instr{Op: ir.OpJmp, Targets: []*ir.Block{joinB}})
+	fl.blk = elseB
+	bv := fl.convert(fl.expr(x.Else), ty)
+	fl.emit(&ir.Instr{Op: ir.OpStore, Args: []ir.Value{tmp, ir.ConstOf(ir.U32, 0), bv}})
+	fl.emit(&ir.Instr{Op: ir.OpJmp, Targets: []*ir.Block{joinB}})
+	fl.blk = joinB
+	return fl.emit(&ir.Instr{Op: ir.OpLoad, Ty: ty, Args: []ir.Value{tmp, ir.ConstOf(ir.U32, 0)}})
+}
+
+// semaType returns the IR type the checker assigned to e.
+func (fl *fnLowerer) semaType(e lang.Expr) ir.Type {
+	if t, ok := fl.l.prog.Types[e]; ok {
+		if b, ok2 := t.(*sema.Basic); ok2 {
+			return irType(b)
+		}
+	}
+	return ir.U32
+}
+
+func (fl *fnLowerer) assign(x *lang.AssignExpr) ir.Value {
+	lv := fl.lvalue(x.LHS)
+	if lv == nil {
+		fl.expr(x.RHS)
+		return ir.ConstOf(ir.U32, 0)
+	}
+	if x.Op == lang.Assign {
+		v := fl.convert(fl.expr(x.RHS), lv.elem())
+		lv.store(fl, v)
+		return v
+	}
+	old := lv.load(fl)
+	rhs := fl.expr(x.RHS)
+	t := lv.elem()
+	rhs = fl.convert(rhs, t)
+	var op ir.Op
+	switch x.Op {
+	case lang.PlusEq:
+		op = ir.OpAdd
+	case lang.MinusEq:
+		op = ir.OpSub
+	case lang.StarEq:
+		op = ir.OpMul
+	case lang.SlashEq:
+		if t.Signed {
+			op = ir.OpSDiv
+		} else {
+			op = ir.OpUDiv
+		}
+	case lang.PercentEq:
+		if t.Signed {
+			op = ir.OpSRem
+		} else {
+			op = ir.OpURem
+		}
+	case lang.AmpEq:
+		op = ir.OpAnd
+	case lang.PipeEq:
+		op = ir.OpOr
+	case lang.CaretEq:
+		op = ir.OpXor
+	case lang.ShlEq:
+		op = ir.OpShl
+	case lang.ShrEq:
+		if t.Signed {
+			op = ir.OpAShr
+		} else {
+			op = ir.OpLShr
+		}
+	default:
+		fl.errorf(x.OpPos, "unsupported compound assignment")
+		return old
+	}
+	nv := fl.emit(&ir.Instr{Op: op, Ty: t, Args: []ir.Value{old, rhs}})
+	lv.store(fl, nv)
+	return nv
+}
+
+// lvalue resolves an assignable expression.
+func (fl *fnLowerer) lvalue(e lang.Expr) lvalue {
+	switch x := e.(type) {
+	case *lang.Ident:
+		switch bd := fl.lookupName(x.Name).(type) {
+		case *localBinding:
+			if len(bd.dims) > 0 {
+				fl.errorf(x.NamePos, "cannot assign to array %q as a whole", x.Name)
+				return nil
+			}
+			return &lvLocal{alloca: bd.alloca, index: ir.ConstOf(ir.U32, 0), ty: bd.elem}
+		case *paramBinding:
+			if bd.shadow != nil {
+				return &lvLocal{alloca: bd.shadow, index: ir.ConstOf(ir.U32, 0), ty: bd.p.Ty}
+			}
+			return &lvMsg{p: bd.p, index: ir.ConstOf(ir.U32, 0)}
+		case *refBinding:
+			return bd.lv
+		case *globalBinding:
+			if len(bd.mem.Dims) > 0 {
+				fl.errorf(x.NamePos, "cannot assign to memory %q as a whole", x.Name)
+				return nil
+			}
+			return &lvGlobal{mem: bd.mem}
+		}
+		fl.errorf(x.NamePos, "%q is not assignable", x.Name)
+		return nil
+	case *lang.IndexExpr:
+		return fl.indexLvalue(x)
+	case *lang.UnaryExpr:
+		if x.Op == lang.Star {
+			return fl.ptrElem(x.X, ir.ConstOf(ir.U32, 0))
+		}
+	}
+	fl.errorf(e.Pos(), "expression is not assignable")
+	return nil
+}
+
+// indexLvalue resolves base[i]...[k] chains.
+func (fl *fnLowerer) indexLvalue(x *lang.IndexExpr) lvalue {
+	// Collect the index chain innermost-last.
+	var idxExprs []lang.Expr
+	base := lang.Expr(x)
+	for {
+		ix, ok := base.(*lang.IndexExpr)
+		if !ok {
+			break
+		}
+		idxExprs = append([]lang.Expr{ix.Index}, idxExprs...)
+		base = ix.X
+	}
+	id, ok := base.(*lang.Ident)
+	if !ok {
+		fl.errorf(x.Pos(), "unsupported indexed expression")
+		return nil
+	}
+	switch bd := fl.lookupName(id.Name).(type) {
+	case *globalBinding:
+		if len(idxExprs) != len(bd.mem.Dims) {
+			fl.errorf(x.Pos(), "memory %q requires %d indices", id.Name, len(bd.mem.Dims))
+			return nil
+		}
+		var idxs []ir.Value
+		for _, ie := range idxExprs {
+			idxs = append(idxs, fl.expr(ie))
+		}
+		return &lvGlobal{mem: bd.mem, idxs: idxs}
+	case *localBinding:
+		if len(idxExprs) != len(bd.dims) {
+			fl.errorf(x.Pos(), "array %q requires %d indices", id.Name, len(bd.dims))
+			return nil
+		}
+		idx := fl.flattenIndex(idxExprs, bd.dims)
+		return &lvLocal{alloca: bd.alloca, index: idx, ty: bd.elem}
+	case *paramBinding:
+		if bd.shadow != nil || len(idxExprs) != 1 {
+			fl.errorf(x.Pos(), "cannot index scalar parameter %q", id.Name)
+			return nil
+		}
+		return &lvMsg{p: bd.p, index: fl.convert(fl.expr(idxExprs[0]), ir.U32)}
+	case *refBinding:
+		fl.errorf(x.Pos(), "cannot index reference parameter %q", id.Name)
+		return nil
+	}
+	fl.errorf(x.Pos(), "cannot index %q", id.Name)
+	return nil
+}
+
+// flattenIndex folds a multi-dimensional index into a single linear
+// index value.
+func (fl *fnLowerer) flattenIndex(idxExprs []lang.Expr, dims []int) ir.Value {
+	var total ir.Value
+	for i, ie := range idxExprs {
+		v := fl.convert(fl.expr(ie), ir.U32)
+		stride := 1
+		for _, d := range dims[i+1:] {
+			stride *= d
+		}
+		if stride != 1 {
+			if c, ok := v.(*ir.Const); ok {
+				v = ir.ConstOf(ir.U32, c.Val*int64(stride))
+			} else {
+				v = fl.emit(&ir.Instr{Op: ir.OpMul, Ty: ir.U32, Args: []ir.Value{v, ir.ConstOf(ir.U32, int64(stride))}})
+			}
+		}
+		if total == nil {
+			total = v
+		} else {
+			ca, aok := total.(*ir.Const)
+			cb, bok := v.(*ir.Const)
+			if aok && bok {
+				total = ir.ConstOf(ir.U32, ca.Val+cb.Val)
+			} else {
+				total = fl.emit(&ir.Instr{Op: ir.OpAdd, Ty: ir.U32, Args: []ir.Value{total, v}})
+			}
+		}
+	}
+	if total == nil {
+		total = ir.ConstOf(ir.U32, 0)
+	}
+	return total
+}

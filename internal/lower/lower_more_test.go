@@ -1,0 +1,188 @@
+package lower
+
+import (
+	"testing"
+
+	"netcl/internal/ir"
+)
+
+func TestLowerSideEffectingTernary(t *testing.T) {
+	// An atomic inside a ternary arm must lower as a guarded diamond,
+	// not an eagerly-evaluated select.
+	src := `
+_net_ unsigned C[4];
+_kernel(1) void k(unsigned c, unsigned &out) {
+  out = c ? ncl::atomic_add_new(&C[0], 1) : 7;
+}
+`
+	mod := lowerSrc(t, src, 1)
+	f := mod.Funcs[0]
+	// The atomic must be control-dependent: not in the entry block.
+	f.Instrs(func(b *ir.Block, i *ir.Instr) bool {
+		if i.Op == ir.OpAtomicRMW && b == f.Entry() {
+			t.Error("side-effecting ternary arm evaluated unconditionally")
+		}
+		return true
+	})
+	if err := ir.Verify(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerPureTernaryUsesSelect(t *testing.T) {
+	mod := lowerSrc(t, `
+_kernel(1) void k(unsigned a, unsigned b, unsigned &out) {
+  out = a > b ? a : b;
+}
+`, 1)
+	if countOps(mod, ir.OpSelect) != 1 {
+		t.Error("pure ternary should lower to select")
+	}
+	if len(mod.Funcs[0].Blocks) != 1 {
+		t.Error("pure ternary should not branch")
+	}
+}
+
+func TestLowerCompoundAssignsAndIncDec(t *testing.T) {
+	mod := lowerSrc(t, `
+_kernel(1) void k(unsigned &x, unsigned y) {
+  x += y;
+  x -= 1;
+  x *= 2;
+  x /= 3;
+  x %= 5;
+  x &= 0xFF;
+  x |= 0x10;
+  x ^= 0x3;
+  x <<= 1;
+  x >>= 2;
+  x++;
+  --x;
+}
+`, 1)
+	want := map[ir.Op]int{
+		ir.OpAdd: 2, ir.OpSub: 2, ir.OpMul: 1, ir.OpUDiv: 1, ir.OpURem: 1,
+		ir.OpAnd: 1, ir.OpOr: 1, ir.OpXor: 1, ir.OpShl: 1, ir.OpLShr: 1,
+	}
+	for op, n := range want {
+		if got := countOps(mod, op); got != n {
+			t.Errorf("%v: %d ops, want %d", op, got, n)
+		}
+	}
+}
+
+func TestLowerCastsAndWidths(t *testing.T) {
+	mod := lowerSrc(t, `
+_kernel(1) void k(uint8_t a, uint64_t b, uint16_t &s, uint64_t &w) {
+  s = (uint16_t)b;
+  w = (uint64_t)a + b;
+}
+`, 1)
+	if countOps(mod, ir.OpTrunc) < 1 {
+		t.Error("narrowing cast should truncate")
+	}
+	if countOps(mod, ir.OpZExt) < 1 {
+		t.Error("widening should zero-extend")
+	}
+}
+
+func TestLowerSignedExtension(t *testing.T) {
+	mod := lowerSrc(t, `
+_kernel(1) void k(char a, int &w) { w = a; }
+`, 1)
+	if countOps(mod, ir.OpSExt) != 1 {
+		t.Errorf("signed widening should sign-extend:\n%s", mod.Funcs[0])
+	}
+}
+
+func TestLowerMsgFields(t *testing.T) {
+	mod := lowerSrc(t, `
+_kernel(1) void k(uint16_t &a, uint16_t &b, uint16_t &c, uint16_t &d) {
+  a = msg.src; b = msg.dst; c = msg.from; d = msg.to;
+}
+`, 1)
+	if countOps(mod, ir.OpMsgField) != 4 {
+		t.Errorf("msg fields: %d", countOps(mod, ir.OpMsgField))
+	}
+}
+
+func TestLowerWhileFalseElided(t *testing.T) {
+	mod := lowerSrc(t, `
+#define NEVER 0
+_kernel(1) void k(unsigned &x) {
+  while (NEVER) { x = x + 1; }
+  x = 5;
+}
+`, 1)
+	if countOps(mod, ir.OpAdd) != 0 {
+		t.Error("constant-false while should vanish")
+	}
+}
+
+func TestLowerNestedNetFunctions(t *testing.T) {
+	mod := lowerSrc(t, `
+_net_ unsigned double_it(unsigned v) { return v * 2; }
+_net_ unsigned quad(unsigned v) { return double_it(double_it(v)); }
+_kernel(1) void k(unsigned x, unsigned &out) { out = quad(x); }
+`, 1)
+	if countOps(mod, ir.OpMul) != 2 {
+		t.Errorf("nested inlining: %d muls, want 2", countOps(mod, ir.OpMul))
+	}
+}
+
+func TestLowerNetFunctionScopeIsolation(t *testing.T) {
+	// The callee must see the GLOBAL g, not the caller's local g.
+	src := `
+_net_ unsigned g;
+_net_ unsigned readG() { return ncl::atomic_read(&g); }
+_kernel(1) void k(unsigned &out) {
+  unsigned g = 999;
+  out = readG() + g;
+}
+`
+	mod := lowerSrc(t, src, 1)
+	found := false
+	mod.Funcs[0].Instrs(func(b *ir.Block, i *ir.Instr) bool {
+		if i.Op == ir.OpAtomicRMW && i.G.Name == "g" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("inlined net function should read the global g")
+	}
+}
+
+func TestLowerShortCircuitAndNestsIfs(t *testing.T) {
+	mod := lowerSrc(t, `
+_net_ unsigned C;
+_kernel(1) void k(unsigned a, unsigned b) {
+  if (a > 1 && b > 2) { ncl::atomic_inc(&C); }
+}
+`, 1)
+	// Nested lowering: two conditional branches, not a bitwise AND.
+	brs := 0
+	mod.Funcs[0].Instrs(func(bk *ir.Block, i *ir.Instr) bool {
+		if i.Op == ir.OpBr {
+			brs++
+		}
+		return true
+	})
+	if brs != 2 {
+		t.Errorf("short-circuit && should nest: %d branches", brs)
+	}
+	if countOps(mod, ir.OpAnd) != 0 {
+		t.Error("no bitwise AND expected for statement-level &&")
+	}
+}
+
+func TestLowerOrStillBitwise(t *testing.T) {
+	mod := lowerSrc(t, `
+_kernel(1) void k(unsigned a, unsigned b, uint8_t &r) {
+  r = (a > 1) || (b > 2);
+}
+`, 1)
+	if countOps(mod, ir.OpOr) != 1 {
+		t.Error("value-level || lowers to a bitwise i1 or")
+	}
+}

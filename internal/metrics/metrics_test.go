@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"netcl/internal/p4"
+)
+
+func TestLoC(t *testing.T) {
+	src := `
+// comment only
+int a;  // trailing comment
+
+/* block
+   comment */
+int b; /* inline */ int c;
+`
+	if got := LoC(src); got != 2 {
+		t.Errorf("LoC = %d, want 2", got)
+	}
+	if LoC("") != 0 || LoC("\n\n") != 0 {
+		t.Error("empty source should be 0")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	got := Geomean([]float64{2, 8})
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %f", got)
+	}
+	if Geomean(nil) != 0 || Geomean([]float64{0, 1}) != 0 {
+		t.Error("degenerate cases")
+	}
+}
+
+func TestBreakdownSumsTo100(t *testing.T) {
+	prog := &p4.Program{Name: "t", Target: p4.TargetTNA}
+	prog.Headers = []*p4.HeaderDecl{{Name: "h", Fields: []*p4.Field{{Name: "x", Bits: 8}}}}
+	prog.Parser = &p4.Parser{Name: "P", States: []*p4.ParserState{
+		{Name: "start", Extracts: []string{"h"}, Next: "accept"},
+	}}
+	prog.Ingress = &p4.Control{Name: "In", Apply: []p4.Stmt{
+		&p4.Assign{LHS: p4.FR("hdr", "h", "x"), RHS: &p4.IntLit{Val: 1, Bits: 8}},
+	}}
+	bd := Breakdown(prog)
+	sum := 0.0
+	for _, v := range bd {
+		sum += v
+	}
+	if math.Abs(sum-100) > 0.01 {
+		t.Errorf("breakdown sums to %f", sum)
+	}
+	if bd[CatHeadersParsing] <= 0 {
+		t.Error("headers+parsing share missing")
+	}
+}

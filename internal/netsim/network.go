@@ -1,0 +1,301 @@
+package netsim
+
+import (
+	"fmt"
+
+	"netcl/internal/bmv2"
+	"netcl/internal/p4"
+	"netcl/internal/runtime"
+)
+
+// Network is a topology of hosts and P4 devices over links.
+type Network struct {
+	Sim
+	hosts   map[uint16]*Host
+	devices map[uint16]*Device
+	// Stats.
+	PacketsDelivered uint64
+	PacketsDropped   uint64
+}
+
+// NewNetwork creates an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		hosts:   map[uint16]*Host{},
+		devices: map[uint16]*Device{},
+	}
+}
+
+// Link is a full-duplex link with latency and bandwidth; each
+// direction serializes independently.
+type Link struct {
+	LatencyNs     Time
+	BandwidthGbps float64
+	// DropNth deterministically drops every Nth packet crossing the
+	// link (0 = lossless); used for failure injection.
+	DropNth int
+	Dropped uint64
+	crossed uint64
+	// busyUntil per direction (0: a->b, 1: b->a).
+	busyUntil [2]Time
+	ends      [2]port
+}
+
+type port struct {
+	node interface{} // *Host or *Device
+	port int         // device port number (hosts ignore)
+}
+
+// serialization returns the wire time of n bytes.
+func (l *Link) serialization(n int) Time {
+	if l.BandwidthGbps <= 0 {
+		return 0
+	}
+	return Time(float64(n*8) / l.BandwidthGbps) // ns for Gbit/s
+}
+
+// Host is an end system. Receive is invoked (in simulated time) for
+// every delivered NetCL message, already deframed.
+type Host struct {
+	ID  uint16
+	net *Network
+	lnk *Link
+	// Receive gets the raw NetCL message (header + data).
+	Receive func(h *Host, msg []byte)
+	// ProcessingNs models per-message host-side cost (socket wakeup,
+	// packing); applied before Receive runs and on each Send.
+	ProcessingNs Time
+
+	Sent, Received uint64
+}
+
+// Device is a P4 switch instance.
+type Device struct {
+	ID    uint16
+	SW    *bmv2.Switch
+	net   *Network
+	ports map[int]*Link
+	mcast map[int][]int
+	// PipelineNs is the device forwarding latency (from the p4c
+	// latency model or a default).
+	PipelineNs Time
+
+	Processed uint64
+}
+
+// AddHost registers a host.
+func (n *Network) AddHost(id uint16) *Host {
+	h := &Host{ID: id, net: n, ProcessingNs: 2 * Microsecond}
+	n.hosts[id] = h
+	return h
+}
+
+// AddDevice registers a device running the given P4 program.
+func (n *Network) AddDevice(id uint16, prog *p4.Program) *Device {
+	d := &Device{
+		ID: id, SW: bmv2.New(prog), net: n,
+		ports: map[int]*Link{}, mcast: map[int][]int{},
+		PipelineNs: 400,
+	}
+	n.devices[id] = d
+	return d
+}
+
+// Host returns a host by id.
+func (n *Network) Host(id uint16) *Host { return n.hosts[id] }
+
+// Device returns a device by id.
+func (n *Network) Device(id uint16) *Device { return n.devices[id] }
+
+// Connect joins a host to a device port (100G, 1µs default latency).
+func (n *Network) Connect(h *Host, d *Device, devPort int) *Link {
+	l := &Link{LatencyNs: 1 * Microsecond, BandwidthGbps: 100}
+	l.ends[0] = port{node: h}
+	l.ends[1] = port{node: d, port: devPort}
+	h.lnk = l
+	d.ports[devPort] = l
+	return l
+}
+
+// ConnectDevices joins two devices.
+func (n *Network) ConnectDevices(a *Device, aPort int, b *Device, bPort int) *Link {
+	l := &Link{LatencyNs: 1 * Microsecond, BandwidthGbps: 100}
+	l.ends[0] = port{node: a, port: aPort}
+	l.ends[1] = port{node: b, port: bPort}
+	a.ports[aPort] = l
+	b.ports[bPort] = l
+	return l
+}
+
+// SetMulticastGroup installs a replication group on the device.
+func (d *Device) SetMulticastGroup(gid int, ports []int) {
+	d.mcast[gid] = append([]int(nil), ports...)
+}
+
+// AutoWire installs netcl_fwd entries on every device: each node id is
+// mapped to the local egress port on the shortest path toward it. This
+// plays the role of the paper's operator-managed deployment step
+// (§III: "the assumed topology gets mapped to the real network").
+func (n *Network) AutoWire() error {
+	for _, d := range n.devices {
+		// BFS from d over the device graph.
+		nexthopPort := map[uint16]int{}
+		type item struct {
+			dev  *Device
+			port int // first-hop port at d
+		}
+		visited := map[*Device]bool{d: true}
+		var queue []item
+		for p, l := range d.ports {
+			peerNode, _ := l.peer(port{node: d, port: p})
+			switch peer := peerNode.(type) {
+			case *Host:
+				nexthopPort[peer.ID] = p
+			case *Device:
+				if !visited[peer] {
+					visited[peer] = true
+					nexthopPort[peer.ID] = p
+					queue = append(queue, item{dev: peer, port: p})
+				}
+			}
+		}
+		for len(queue) > 0 {
+			it := queue[0]
+			queue = queue[1:]
+			for p2, l := range it.dev.ports {
+				peerNode, _ := l.peer(port{node: it.dev, port: p2})
+				switch peer := peerNode.(type) {
+				case *Host:
+					if _, ok := nexthopPort[peer.ID]; !ok {
+						nexthopPort[peer.ID] = it.port
+					}
+				case *Device:
+					if !visited[peer] {
+						visited[peer] = true
+						nexthopPort[peer.ID] = it.port
+						queue = append(queue, item{dev: peer, port: it.port})
+					}
+				}
+			}
+		}
+		for id, p := range nexthopPort {
+			err := d.SW.InsertEntry("netcl_fwd", &p4.Entry{
+				Keys:   []p4.KeyValue{{Value: uint64(id), PrefixLen: -1}},
+				Action: &p4.ActionCall{Name: "set_port", Args: []uint64{uint64(p)}},
+			})
+			if err != nil {
+				return fmt.Errorf("device %d: %w", d.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// peer returns the node on the other end of the link from p.
+func (l *Link) peer(p port) (interface{}, int) {
+	if l.ends[0].node == p.node && l.ends[0].port == p.port {
+		return l.ends[1].node, l.ends[1].port
+	}
+	return l.ends[0].node, l.ends[0].port
+}
+
+func (l *Link) dirIndex(from port) int {
+	if l.ends[0].node == from.node && l.ends[0].port == from.port {
+		return 0
+	}
+	return 1
+}
+
+// transmit schedules pkt across l starting at from; deliver runs at
+// the arrival time.
+func (n *Network) transmit(l *Link, from port, pkt []byte, deliver func()) {
+	l.crossed++
+	if l.DropNth > 0 && l.crossed%uint64(l.DropNth) == 0 {
+		l.Dropped++
+		n.PacketsDropped++
+		return
+	}
+	dir := l.dirIndex(from)
+	ser := l.serialization(len(pkt))
+	start := n.Now()
+	if l.busyUntil[dir] > start {
+		start = l.busyUntil[dir]
+	}
+	done := start + ser
+	l.busyUntil[dir] = done
+	n.At(done-n.Now()+l.LatencyNs, deliver)
+}
+
+// Send transmits a NetCL message from the host into the network.
+func (h *Host) Send(msg []byte) {
+	if h.lnk == nil {
+		return
+	}
+	h.Sent++
+	pkt := runtime.Frame(msg, uint64(h.ID), 0)
+	me := port{node: h}
+	peerNode, peerPort := h.lnk.peer(me)
+	dev, ok := peerNode.(*Device)
+	if !ok {
+		return
+	}
+	h.net.At(h.ProcessingNs, func() {
+		h.net.transmit(h.lnk, me, pkt, func() {
+			dev.receive(pkt, peerPort)
+		})
+	})
+}
+
+// receive runs the P4 pipeline and forwards the result.
+func (d *Device) receive(pkt []byte, inPort int) {
+	d.Processed++
+	res, err := d.SW.Process(pkt, inPort)
+	if err != nil || res.Dropped || res == nil {
+		d.net.PacketsDropped++
+		return
+	}
+	deliver := func(outPort int, data []byte) {
+		l := d.ports[outPort]
+		if l == nil {
+			d.net.PacketsDropped++
+			return
+		}
+		me := port{node: d, port: outPort}
+		peerNode, peerPort := l.peer(me)
+		d.net.transmit(l, me, data, func() {
+			switch peer := peerNode.(type) {
+			case *Host:
+				peer.deliver(data)
+			case *Device:
+				peer.receive(data, peerPort)
+			}
+		})
+	}
+	d.net.At(d.PipelineNs, func() {
+		if res.Mcast != 0 {
+			ports := d.mcast[res.Mcast]
+			for _, p := range ports {
+				cp := append([]byte(nil), res.Data...)
+				deliver(p, cp)
+			}
+			if len(ports) == 0 {
+				d.net.PacketsDropped++
+			}
+			return
+		}
+		deliver(res.Port, res.Data)
+	})
+}
+
+// deliver hands a frame to the host callback after host processing.
+func (h *Host) deliver(pkt []byte) {
+	msg, ok := runtime.Deframe(pkt)
+	if !ok {
+		return
+	}
+	h.Received++
+	h.net.PacketsDelivered++
+	if h.Receive != nil {
+		h.net.At(h.ProcessingNs, func() { h.Receive(h, msg) })
+	}
+}

@@ -1,0 +1,97 @@
+// Package netsim is a deterministic discrete-event network simulator:
+// hosts running Go callbacks, devices running P4 programs on the bmv2
+// interpreter, and links with latency and bandwidth. It substitutes
+// for the paper's physical testbed (six servers and a Tofino switch,
+// §VII) in the end-to-end experiments of Figure 14.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in nanoseconds.
+type Time float64
+
+// Microsecond/Millisecond helpers.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1e3
+	Millisecond Time = 1e6
+	Second      Time = 1e9
+)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is the event engine. Events at equal times run in scheduling
+// order, so runs are reproducible.
+type Sim struct {
+	q   eventQueue
+	now Time
+	seq uint64
+	// Processed counts executed events (a runaway guard for tests).
+	Processed uint64
+	// MaxEvents aborts runs beyond this many events (0 = no limit).
+	MaxEvents uint64
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn after delay.
+func (s *Sim) At(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.q, &event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Run processes events until the queue is empty or the given horizon
+// is reached. It returns an error if MaxEvents is exceeded.
+func (s *Sim) Run(until Time) error {
+	for len(s.q) > 0 {
+		e := s.q[0]
+		if until > 0 && e.at > until {
+			s.now = until
+			return nil
+		}
+		heap.Pop(&s.q)
+		s.now = e.at
+		s.Processed++
+		if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
+			return fmt.Errorf("netsim: event budget exceeded (%d)", s.MaxEvents)
+		}
+		e.fn()
+	}
+	return nil
+}
+
+// RunAll processes every pending event.
+func (s *Sim) RunAll() error { return s.Run(0) }
+
+// Pending reports queued events.
+func (s *Sim) Pending() int { return len(s.q) }

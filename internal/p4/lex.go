@@ -1,0 +1,185 @@
+package p4
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tok is a P4 lexer token.
+type tok struct {
+	kind string // "ident", "int", "punct", "eof"
+	text string
+	val  uint64
+	bits int // for sized literals like 16w42
+	line int
+}
+
+// lexP4 tokenizes P4-16 source. Preprocessor lines and comments are
+// skipped; annotations (@pragma, @name) are skipped through their
+// argument list.
+func lexP4(src string) ([]tok, error) {
+	var out []tok
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			i += 2
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '@':
+			// Skip annotation name and optional (...) argument.
+			i++
+			for i < n && (isP4IdentChar(src[i])) {
+				i++
+			}
+			for i < n && (src[i] == ' ' || src[i] == '\t') {
+				i++
+			}
+			if i < n && src[i] == '(' {
+				depth := 0
+				for i < n {
+					if src[i] == '(' {
+						depth++
+					}
+					if src[i] == ')' {
+						depth--
+						if depth == 0 {
+							i++
+							break
+						}
+					}
+					if src[i] == '\n' {
+						line++
+					}
+					i++
+				}
+			}
+		case isP4IdentStart(c):
+			start := i
+			for i < n && isP4IdentChar(src[i]) {
+				i++
+			}
+			out = append(out, tok{kind: "ident", text: src[start:i], line: line})
+		case c >= '0' && c <= '9':
+			t, ni, err := lexP4Number(src, i, line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+			i = ni
+		case c == '"':
+			i++
+			start := i
+			for i < n && src[i] != '"' {
+				i++
+			}
+			out = append(out, tok{kind: "string", text: src[start:i], line: line})
+			i++
+		default:
+			// Multi-char operators, longest first.
+			ops := []string{"|+|", "|-|", "&&&", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "..", "++"}
+			matched := false
+			for _, op := range ops {
+				if strings.HasPrefix(src[i:], op) {
+					out = append(out, tok{kind: "punct", text: op, line: line})
+					i += len(op)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				out = append(out, tok{kind: "punct", text: string(c), line: line})
+				i++
+			}
+		}
+	}
+	out = append(out, tok{kind: "eof", line: line})
+	return out, nil
+}
+
+func isP4IdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isP4IdentChar(c byte) bool { return isP4IdentStart(c) || (c >= '0' && c <= '9') }
+
+// lexP4Number handles decimal, hex, and width-prefixed (16w42, 8w0xFF)
+// literals.
+func lexP4Number(src string, i, line int) (tok, int, error) {
+	n := len(src)
+	start := i
+	for i < n && (src[i] >= '0' && src[i] <= '9') {
+		i++
+	}
+	// Width prefix?
+	if i < n && (src[i] == 'w' || src[i] == 's') {
+		bits, err := strconv.Atoi(src[start:i])
+		if err != nil {
+			return tok{}, i, fmt.Errorf("line %d: bad width %q", line, src[start:i])
+		}
+		i++ // w
+		vstart := i
+		base := 10
+		if i+1 < n && src[i] == '0' && (src[i+1] == 'x' || src[i+1] == 'X') {
+			base = 16
+			i += 2
+			vstart = i
+			for i < n && isHex(src[i]) {
+				i++
+			}
+		} else {
+			for i < n && (src[i] >= '0' && src[i] <= '9') {
+				i++
+			}
+		}
+		v, err := strconv.ParseUint(src[vstart:i], base, 64)
+		if err != nil {
+			return tok{}, i, fmt.Errorf("line %d: bad literal", line)
+		}
+		return tok{kind: "int", val: v, bits: bits, line: line}, i, nil
+	}
+	// Hex?
+	if i-start == 1 && src[start] == '0' && i < n && (src[i] == 'x' || src[i] == 'X') {
+		i++
+		vstart := i
+		for i < n && isHex(src[i]) {
+			i++
+		}
+		v, err := strconv.ParseUint(src[vstart:i], 16, 64)
+		if err != nil {
+			return tok{}, i, fmt.Errorf("line %d: bad hex literal", line)
+		}
+		return tok{kind: "int", val: v, line: line}, i, nil
+	}
+	v, err := strconv.ParseUint(src[start:i], 10, 64)
+	if err != nil {
+		return tok{}, i, fmt.Errorf("line %d: bad literal %q", line, src[start:i])
+	}
+	return tok{kind: "int", val: v, line: line}, i, nil
+}
+
+func isHex(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

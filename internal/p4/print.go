@@ -1,0 +1,388 @@
+package p4
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LineCat classifies a printed P4 line by construct, following the
+// categories of the paper's Figure 12 code-breakdown.
+type LineCat string
+
+// Line categories.
+const (
+	CatHeader    LineCat = "header"    // header definitions
+	CatParser    LineCat = "parser"    // parser states and deparsers
+	CatMAT       LineCat = "mat"       // tables and their actions
+	CatRegAction LineCat = "regaction" // registers, register actions, hashes
+	CatControl   LineCat = "control"   // apply blocks and control locals
+	CatOther     LineCat = "other"     // includes, structs, pipeline decls
+	CatBlank     LineCat = "blank"
+)
+
+// printer accumulates categorized lines.
+type printer struct {
+	lines []string
+	cats  []LineCat
+	ind   int
+}
+
+func (pr *printer) w(cat LineCat, format string, args ...interface{}) {
+	pr.lines = append(pr.lines, strings.Repeat("    ", pr.ind)+fmt.Sprintf(format, args...))
+	pr.cats = append(pr.cats, cat)
+}
+
+func (pr *printer) blank() {
+	pr.lines = append(pr.lines, "")
+	pr.cats = append(pr.cats, CatBlank)
+}
+
+// Print renders the program as P4-16 source for its target.
+func Print(p *Program) string {
+	text, _ := PrintClassified(p)
+	return text
+}
+
+// PrintClassified renders the program and reports each line's
+// construct category (for the Figure 12 breakdown).
+func PrintClassified(p *Program) (string, []LineCat) {
+	pr := &printer{}
+	pr.w(CatOther, "// Generated or handwritten P4-16 program %q for %s.", p.Name, p.Target)
+	pr.w(CatOther, "#include <core.p4>")
+	if p.Target == TargetTNA {
+		pr.w(CatOther, "#include <tna.p4>")
+	} else {
+		pr.w(CatOther, "#include <v1model.p4>")
+	}
+	pr.blank()
+
+	for _, h := range p.Headers {
+		pr.w(CatHeader, "header %s_t {", h.Name)
+		pr.ind++
+		for _, f := range h.Fields {
+			pr.w(CatHeader, "bit<%d> %s;", f.Bits, f.Name)
+		}
+		pr.ind--
+		pr.w(CatHeader, "}")
+	}
+	pr.blank()
+
+	pr.w(CatOther, "struct headers_t {")
+	pr.ind++
+	for _, h := range p.Headers {
+		pr.w(CatOther, "%s_t %s;", h.Name, h.Name)
+	}
+	pr.ind--
+	pr.w(CatOther, "}")
+	pr.w(CatOther, "struct metadata_t {")
+	pr.ind++
+	for _, f := range p.Metadata {
+		pr.w(CatOther, "bit<%d> %s;", f.Bits, f.Name)
+	}
+	pr.ind--
+	pr.w(CatOther, "}")
+	pr.blank()
+
+	printParser(pr, p)
+	pr.blank()
+	printControl(pr, p, p.Ingress)
+	if p.Egress != nil {
+		pr.blank()
+		printControl(pr, p, p.Egress)
+	}
+	pr.blank()
+	printDeparser(pr, p)
+	pr.blank()
+	if p.Target == TargetTNA {
+		pr.w(CatOther, "Pipeline(IgParser(), %s(), IgDeparser(), EgParser(), %s(), EgDeparser()) pipe;",
+			p.Ingress.Name, egressName(p))
+		pr.w(CatOther, "Switch(pipe) main;")
+	} else {
+		pr.w(CatOther, "V1Switch(IgParser(), verifyChecksum(), %s(), %s(), computeChecksum(), IgDeparser()) main;",
+			p.Ingress.Name, egressName(p))
+	}
+	return strings.Join(pr.lines, "\n") + "\n", pr.cats
+}
+
+func egressName(p *Program) string {
+	if p.Egress != nil {
+		return p.Egress.Name
+	}
+	return "EmptyEgress"
+}
+
+func printParser(pr *printer, p *Program) {
+	if p.Target == TargetTNA {
+		pr.w(CatParser, "parser IgParser(packet_in pkt, out headers_t hdr, out metadata_t meta,")
+		pr.w(CatParser, "                out ingress_intrinsic_metadata_t ig_intr_md) {")
+	} else {
+		pr.w(CatParser, "parser IgParser(packet_in pkt, out headers_t hdr, inout metadata_t meta,")
+		pr.w(CatParser, "                inout standard_metadata_t standard_metadata) {")
+	}
+	pr.ind++
+	for _, s := range p.Parser.States {
+		pr.w(CatParser, "state %s {", s.Name)
+		pr.ind++
+		for _, ext := range s.Extracts {
+			pr.w(CatParser, "pkt.extract(hdr.%s);", ext)
+		}
+		if s.Select != nil {
+			pr.w(CatParser, "transition select(%s) {", exprString(s.Select.Key))
+			pr.ind++
+			for _, c := range s.Select.Cases {
+				if c.Mask != 0 {
+					pr.w(CatParser, "0x%x &&& 0x%x : %s;", c.Value, c.Mask, c.State)
+				} else {
+					pr.w(CatParser, "%d : %s;", c.Value, c.State)
+				}
+			}
+			pr.w(CatParser, "default : %s;", s.Select.Default)
+			pr.ind--
+			pr.w(CatParser, "}")
+		} else {
+			next := s.Next
+			if next == "" {
+				next = "accept"
+			}
+			pr.w(CatParser, "transition %s;", next)
+		}
+		pr.ind--
+		pr.w(CatParser, "}")
+	}
+	pr.ind--
+	pr.w(CatParser, "}")
+}
+
+func printDeparser(pr *printer, p *Program) {
+	pr.w(CatParser, "control IgDeparser(packet_out pkt, inout headers_t hdr) {")
+	pr.ind++
+	pr.w(CatParser, "apply {")
+	pr.ind++
+	for _, h := range p.Headers {
+		pr.w(CatParser, "pkt.emit(hdr.%s);", h.Name)
+	}
+	pr.ind--
+	pr.w(CatParser, "}")
+	pr.ind--
+	pr.w(CatParser, "}")
+}
+
+func printControl(pr *printer, p *Program, c *Control) {
+	if p.Target == TargetTNA {
+		pr.w(CatControl, "control %s(inout headers_t hdr, inout metadata_t meta,", c.Name)
+		pr.w(CatControl, "        in ingress_intrinsic_metadata_t ig_intr_md,")
+		pr.w(CatControl, "        inout ingress_intrinsic_metadata_for_tm_t ig_tm_md) {")
+	} else {
+		pr.w(CatControl, "control %s(inout headers_t hdr, inout metadata_t meta,", c.Name)
+		pr.w(CatControl, "        inout standard_metadata_t standard_metadata) {")
+	}
+	pr.ind++
+	for _, l := range c.Locals {
+		pr.w(CatControl, "bit<%d> %s;", l.Bits, l.Name)
+	}
+	for _, h := range c.Hashes {
+		if h.Algo == "random" {
+			pr.w(CatRegAction, "Random<bit<%d>>() %s;", h.Bits, h.Name)
+		} else if p.Target == TargetTNA {
+			pr.w(CatRegAction, "Hash<bit<%d>>(HashAlgorithm_t.%s) %s;", h.Bits, strings.ToUpper(h.Algo), h.Name)
+		} else {
+			pr.w(CatRegAction, "Hash<bit<%d>>(HashAlgorithm.%s) %s;", h.Bits, h.Algo, h.Name)
+		}
+	}
+	for _, r := range c.Registers {
+		if p.Target == TargetTNA {
+			pr.w(CatRegAction, "Register<bit<%d>, bit<32>>(%d) %s;", r.Bits, r.Size, r.Name)
+		} else {
+			pr.w(CatRegAction, "register<bit<%d>>(%d) %s;", r.Bits, r.Size, r.Name)
+		}
+	}
+	for _, ra := range c.RegActs {
+		printRegAct(pr, p, c, ra)
+	}
+	for _, a := range c.Actions {
+		var params []string
+		for _, f := range a.Params {
+			params = append(params, fmt.Sprintf("bit<%d> %s", f.Bits, f.Name))
+		}
+		pr.w(CatMAT, "action %s(%s) {", a.Name, strings.Join(params, ", "))
+		pr.ind++
+		printStmts(pr, CatMAT, a.Body)
+		pr.ind--
+		pr.w(CatMAT, "}")
+	}
+	for _, t := range c.Tables {
+		printTable(pr, t)
+	}
+	pr.w(CatControl, "apply {")
+	pr.ind++
+	printStmts(pr, CatControl, c.Apply)
+	pr.ind--
+	pr.w(CatControl, "}")
+	pr.ind--
+	pr.w(CatControl, "}")
+}
+
+func printRegAct(pr *printer, p *Program, c *Control, ra *RegisterAction) {
+	reg := c.RegisterByName(ra.Register)
+	bits := 32
+	if reg != nil {
+		bits = reg.Bits
+	}
+	if p.Target == TargetTNA {
+		pr.w(CatRegAction, "RegisterAction<bit<%d>, bit<32>, bit<%d>>(%s) %s = {", bits, bits, ra.Register, ra.Name)
+		pr.ind++
+		pr.w(CatRegAction, "void apply(inout bit<%d> m, out bit<%d> o) {", bits, bits)
+		pr.ind++
+		printStmts(pr, CatRegAction, ra.Body)
+		pr.ind--
+		pr.w(CatRegAction, "}")
+		pr.ind--
+		pr.w(CatRegAction, "};")
+	} else {
+		pr.w(CatRegAction, "// register action %s over %s (expanded to read/modify/write)", ra.Name, ra.Register)
+	}
+}
+
+func printTable(pr *printer, t *Table) {
+	pr.w(CatMAT, "table %s {", t.Name)
+	pr.ind++
+	if len(t.Keys) > 0 {
+		pr.w(CatMAT, "key = {")
+		pr.ind++
+		for _, k := range t.Keys {
+			pr.w(CatMAT, "%s : %s;", exprString(k.Expr), k.Match)
+		}
+		pr.ind--
+		pr.w(CatMAT, "}")
+	}
+	pr.w(CatMAT, "actions = { %s; }", strings.Join(t.Actions, "; "))
+	if len(t.Entries) > 0 {
+		kw := "entries"
+		if t.Const {
+			kw = "const entries"
+		}
+		pr.w(CatMAT, "%s = {", kw)
+		pr.ind++
+		for _, e := range t.Entries {
+			pr.w(CatMAT, "%s : %s;", entryKeyString(e), actionCallString(e.Action))
+		}
+		pr.ind--
+		pr.w(CatMAT, "}")
+	}
+	if t.Default != nil {
+		pr.w(CatMAT, "default_action = %s;", actionCallString(t.Default))
+	}
+	if t.Size > 0 {
+		pr.w(CatMAT, "size = %d;", t.Size)
+	}
+	pr.ind--
+	pr.w(CatMAT, "}")
+}
+
+func entryKeyString(e *Entry) string {
+	var parts []string
+	for _, kv := range e.Keys {
+		switch {
+		case kv.Mask != 0:
+			parts = append(parts, fmt.Sprintf("0x%x &&& 0x%x", kv.Value, kv.Mask))
+		case kv.Hi != 0 && kv.Hi != kv.Value:
+			parts = append(parts, fmt.Sprintf("%d..%d", kv.Value, kv.Hi))
+		case kv.PrefixLen > 0:
+			parts = append(parts, fmt.Sprintf("0x%x/%d", kv.Value, kv.PrefixLen))
+		default:
+			parts = append(parts, fmt.Sprintf("%d", kv.Value))
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func actionCallString(a *ActionCall) string {
+	var args []string
+	for _, v := range a.Args {
+		args = append(args, fmt.Sprintf("%d", v))
+	}
+	return fmt.Sprintf("%s(%s)", a.Name, strings.Join(args, ", "))
+}
+
+func printStmts(pr *printer, cat LineCat, body []Stmt) {
+	for _, s := range body {
+		switch st := s.(type) {
+		case *Assign:
+			pr.w(cat, "%s = %s;", st.LHS.String(), exprString(st.RHS))
+		case *If:
+			pr.w(cat, "if (%s) {", exprString(st.Cond))
+			pr.ind++
+			printStmts(pr, cat, st.Then)
+			pr.ind--
+			if len(st.Else) > 0 {
+				pr.w(cat, "} else {")
+				pr.ind++
+				printStmts(pr, cat, st.Else)
+				pr.ind--
+			}
+			pr.w(cat, "}")
+		case *ApplyTable:
+			if st.HitVar != "" {
+				pr.w(cat, "%s = (bit<1>)(%s.apply().hit ? 1w1 : 1w0);", st.HitVar, st.Table)
+			} else {
+				pr.w(cat, "%s.apply();", st.Table)
+			}
+		case *CallStmt:
+			var args []string
+			for _, a := range st.Args {
+				args = append(args, exprString(a))
+			}
+			if st.Recv != "" {
+				pr.w(cat, "%s.%s(%s);", st.Recv, st.Method, strings.Join(args, ", "))
+			} else {
+				pr.w(cat, "%s(%s);", st.Method, strings.Join(args, ", "))
+			}
+		case *SetValid:
+			m := "setInvalid"
+			if st.Valid {
+				m = "setValid"
+			}
+			pr.w(cat, "hdr.%s.%s();", st.Header, m)
+		case *Exit:
+			pr.w(cat, "exit;")
+		case *Comment:
+			pr.w(cat, "// %s", st.Text)
+		}
+	}
+}
+
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case *FieldRef:
+		return x.String()
+	case *IntLit:
+		if x.Bits > 0 {
+			return fmt.Sprintf("%dw%d", x.Bits, x.Val)
+		}
+		return fmt.Sprintf("%d", x.Val)
+	case *Bin:
+		return fmt.Sprintf("(%s %s %s)", exprString(x.X), x.Op, exprString(x.Y))
+	case *Un:
+		return fmt.Sprintf("(%s%s)", x.Op, exprString(x.X))
+	case *Cast:
+		if x.Signed {
+			return fmt.Sprintf("(bit<%d>)(int<%d>)%s", x.Bits, x.Bits, exprString(x.X))
+		}
+		return fmt.Sprintf("(bit<%d>)%s", x.Bits, exprString(x.X))
+	case *CallExpr:
+		var args []string
+		for _, a := range x.Args {
+			args = append(args, exprString(a))
+		}
+		if x.Method == "apply_hit" {
+			return fmt.Sprintf("%s.apply().hit", x.Recv)
+		}
+		return fmt.Sprintf("%s.%s(%s)", x.Recv, x.Method, strings.Join(args, ", "))
+	case *TernaryExpr:
+		return fmt.Sprintf("(%s ? %s : %s)", exprString(x.Cond), exprString(x.A), exprString(x.B))
+	}
+	return "/*?*/"
+}

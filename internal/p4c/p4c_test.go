@@ -1,0 +1,281 @@
+package p4c
+
+import (
+	"testing"
+
+	"netcl/internal/p4"
+)
+
+// chainProg builds a program whose apply body is a dependence chain of
+// n assignments (each reads the previous result).
+func chainProg(n int) *p4.Program {
+	prog := &p4.Program{Name: "chain", Target: p4.TargetTNA}
+	prog.Headers = []*p4.HeaderDecl{{Name: "h", Fields: []*p4.Field{{Name: "x", Bits: 32}}}}
+	prog.Parser = &p4.Parser{Name: "P", States: []*p4.ParserState{
+		{Name: "start", Extracts: []string{"h"}, Next: "accept"},
+	}}
+	ctl := &p4.Control{Name: "In"}
+	var prev p4.Expr = p4.FR("hdr", "h", "x")
+	for i := 0; i < n; i++ {
+		name := tname(i)
+		ctl.Locals = append(ctl.Locals, &p4.Field{Name: name, Bits: 32})
+		ctl.Apply = append(ctl.Apply, &p4.Assign{
+			LHS: p4.FR(name),
+			RHS: &p4.Bin{Op: "+", X: prev, Y: &p4.IntLit{Val: 1, Bits: 32}},
+		})
+		prev = p4.FR(name)
+	}
+	prog.Ingress = ctl
+	return prog
+}
+
+func tname(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestChainStages(t *testing.T) {
+	rep := Fit(chainProg(5), Tofino1())
+	if !rep.Fits {
+		t.Fatalf("should fit: %s", rep.Reason)
+	}
+	if rep.StagesUsed != 5 {
+		t.Errorf("5-deep chain should need 5 stages, got %d", rep.StagesUsed)
+	}
+	rep = Fit(chainProg(13), Tofino1())
+	if rep.Fits {
+		t.Error("13-deep chain must not fit 12 stages")
+	}
+}
+
+func TestIndependentOpsShareStage(t *testing.T) {
+	prog := chainProg(1)
+	ctl := prog.Ingress
+	// Add independent assignments: all can go to stage 0.
+	for i := 0; i < 4; i++ {
+		name := "ind" + tname(i)
+		ctl.Locals = append(ctl.Locals, &p4.Field{Name: name, Bits: 32})
+		ctl.Apply = append(ctl.Apply, &p4.Assign{
+			LHS: p4.FR(name), RHS: p4.FR("hdr", "h", "x"),
+		})
+	}
+	rep := Fit(prog, Tofino1())
+	if rep.StagesUsed != 1 {
+		t.Errorf("independent ops should share a stage, got %d stages", rep.StagesUsed)
+	}
+	if rep.PerStage[0].VLIWSlots != 5 {
+		t.Errorf("VLIW slots: %d, want 5", rep.PerStage[0].VLIWSlots)
+	}
+}
+
+func regProg() *p4.Program {
+	prog := chainProg(1)
+	ctl := prog.Ingress
+	ctl.Registers = []*p4.Register{{Name: "r", Bits: 32, Size: 65536}}
+	ctl.RegActs = []*p4.RegisterAction{{
+		Name: "bump", Register: "r",
+		Body: []p4.Stmt{
+			&p4.Assign{LHS: p4.FR("m"), RHS: &p4.Bin{Op: "+", X: p4.FR("m"), Y: &p4.IntLit{Val: 1}}},
+			&p4.Assign{LHS: p4.FR("o"), RHS: p4.FR("m")},
+		},
+	}}
+	ctl.Locals = append(ctl.Locals, &p4.Field{Name: "rv", Bits: 32})
+	return prog
+}
+
+func TestRegisterAccounting(t *testing.T) {
+	prog := regProg()
+	prog.Ingress.Apply = append(prog.Ingress.Apply, &p4.Assign{
+		LHS: p4.FR("rv"),
+		RHS: &p4.CallExpr{Recv: "bump", Method: "execute", Args: []p4.Expr{&p4.IntLit{Val: 0, Bits: 32}}},
+	})
+	rep := Fit(prog, Tofino1())
+	if !rep.Fits {
+		t.Fatalf("fit: %s", rep.Reason)
+	}
+	if rep.SALUs != 1 {
+		t.Errorf("SALUs: %d", rep.SALUs)
+	}
+	// 65536 x 32b = 64 rows of 1 word => 64 blocks... (32 bits -> 1
+	// word of 128b, 65536/1024 = 64 rows).
+	// 65536 cells x 32b pack 4 per 128b row: 65536/4096 = 16 blocks.
+	if rep.SRAMBlocks < 16 {
+		t.Errorf("register SRAM blocks: %d, want >= 16", rep.SRAMBlocks)
+	}
+}
+
+func TestRegisterStageConflict(t *testing.T) {
+	// Two dependent accesses to the same register cannot be placed.
+	prog := regProg()
+	ctl := prog.Ingress
+	ctl.Apply = append(ctl.Apply,
+		&p4.Assign{LHS: p4.FR("rv"),
+			RHS: &p4.CallExpr{Recv: "bump", Method: "execute", Args: []p4.Expr{&p4.IntLit{Val: 0, Bits: 32}}}},
+		// Second access whose index depends on the first result.
+		&p4.Assign{LHS: p4.FR("rv"),
+			RHS: &p4.CallExpr{Recv: "bump", Method: "execute", Args: []p4.Expr{p4.FR("rv")}}},
+	)
+	rep := Fit(prog, Tofino1())
+	if rep.Fits {
+		t.Error("dependent same-register accesses must fail to fit")
+	}
+}
+
+func TestExactVsTernaryMemories(t *testing.T) {
+	prog := chainProg(1)
+	ctl := prog.Ingress
+	ctl.Actions = append(ctl.Actions, &p4.ActionDecl{Name: "nop"})
+	ctl.Tables = []*p4.Table{
+		{
+			Name:    "ex",
+			Keys:    []*p4.TableKey{{Expr: p4.FR("hdr", "h", "x"), Match: p4.MatchExact}},
+			Actions: []string{"nop"},
+			Size:    1024,
+		},
+		{
+			Name:    "tern",
+			Keys:    []*p4.TableKey{{Expr: p4.FR("hdr", "h", "x"), Match: p4.MatchTernary}},
+			Actions: []string{"nop"},
+			Size:    512,
+		},
+	}
+	ctl.Apply = append(ctl.Apply,
+		&p4.ApplyTable{Table: "ex"},
+		&p4.ApplyTable{Table: "tern"},
+	)
+	rep := Fit(prog, Tofino1())
+	if rep.TCAMBlocks == 0 {
+		t.Error("ternary table should consume TCAM")
+	}
+	if rep.SRAMBlocks == 0 {
+		t.Error("exact table should consume SRAM")
+	}
+}
+
+func TestBranchesShareStages(t *testing.T) {
+	prog := chainProg(1)
+	ctl := prog.Ingress
+	ctl.Locals = append(ctl.Locals, &p4.Field{Name: "y", Bits: 32}, &p4.Field{Name: "z", Bits: 32})
+	ctl.Apply = []p4.Stmt{
+		&p4.If{
+			Cond: &p4.Bin{Op: "==", X: p4.FR("hdr", "h", "x"), Y: &p4.IntLit{Val: 0, Bits: 32}},
+			Then: []p4.Stmt{&p4.Assign{LHS: p4.FR("y"), RHS: &p4.IntLit{Val: 1, Bits: 32}}},
+			Else: []p4.Stmt{&p4.Assign{LHS: p4.FR("z"), RHS: &p4.IntLit{Val: 2, Bits: 32}}},
+		},
+	}
+	rep := Fit(prog, Tofino1())
+	if rep.StagesUsed != 1 {
+		t.Errorf("predicated branches should share stage 0, got %d", rep.StagesUsed)
+	}
+}
+
+func TestLatencyModel(t *testing.T) {
+	opts := Tofino1()
+	r1 := Fit(chainProg(1), opts)
+	r6 := Fit(chainProg(6), opts)
+	if r6.LatencyCycles <= r1.LatencyCycles {
+		t.Error("more stages must cost more cycles")
+	}
+	if r6.LatencyNs >= 1000 {
+		t.Errorf("latency should stay under 1us, got %.0fns", r6.LatencyNs)
+	}
+}
+
+func TestPHVModel(t *testing.T) {
+	if got := containerBits(1); got != 8 {
+		t.Errorf("1 bit -> %d", got)
+	}
+	if got := containerBits(16); got != 16 {
+		t.Errorf("16 bits -> %d", got)
+	}
+	if got := containerBits(48); got != 48 {
+		t.Errorf("48 bits -> %d (32+16)", got)
+	}
+	if got := containerBits(33); got != 40 {
+		t.Errorf("33 bits -> %d (32+8)", got)
+	}
+	prog := chainProg(2)
+	bits := PHVBits(prog)
+	// header x (32) + two 32-bit locals.
+	if bits != 96 {
+		t.Errorf("PHV bits: %d, want 96", bits)
+	}
+	lm := Locals(prog)
+	if lm.HeaderBits != 32 || lm.LocalVarBits != 64 {
+		t.Errorf("locals: %+v", lm)
+	}
+}
+
+// TestIterativeRegisterFloor: a register touched on two exclusive paths
+// whose dependence floors differ must settle at the deeper floor
+// (multi-pass placement), not fail.
+func TestIterativeRegisterFloor(t *testing.T) {
+	prog := chainProg(3) // locals a0(stage0) -> b0(1) -> c0(2)
+	ctl := prog.Ingress
+	ctl.Registers = append(ctl.Registers, &p4.Register{Name: "rr", Bits: 32, Size: 8})
+	ctl.RegActs = append(ctl.RegActs,
+		&p4.RegisterAction{Name: "ra1", Register: "rr", Body: []p4.Stmt{
+			&p4.Assign{LHS: p4.FR("o"), RHS: p4.FR("m")},
+		}},
+		&p4.RegisterAction{Name: "ra2", Register: "rr", Body: []p4.Stmt{
+			&p4.Assign{LHS: p4.FR("o"), RHS: p4.FR("m")},
+		}},
+	)
+	ctl.Locals = append(ctl.Locals, &p4.Field{Name: "r1", Bits: 32}, &p4.Field{Name: "r2", Bits: 32})
+	// Path 1 uses the register early (index available at stage 0);
+	// path 2 indexes with the chain result (floor 3).
+	ctl.Apply = append(ctl.Apply, &p4.If{
+		Cond: &p4.Bin{Op: "==", X: p4.FR("hdr", "h", "x"), Y: &p4.IntLit{Val: 0, Bits: 32}},
+		Then: []p4.Stmt{&p4.Assign{LHS: p4.FR("r1"),
+			RHS: &p4.CallExpr{Recv: "ra1", Method: "execute", Args: []p4.Expr{p4.FR("hdr", "h", "x")}}}},
+		Else: []p4.Stmt{&p4.Assign{LHS: p4.FR("r2"),
+			RHS: &p4.CallExpr{Recv: "ra2", Method: "execute", Args: []p4.Expr{p4.FR("c0")}}}},
+	})
+	rep := Fit(prog, Tofino1())
+	if !rep.Fits {
+		t.Fatalf("iterative floor should converge: %s", rep.Reason)
+	}
+	// The register must sit in one stage at/after the deep floor.
+	placed := -1
+	for i, st := range rep.PerStage {
+		for _, r := range st.Registers {
+			if r == "rr" {
+				if placed >= 0 {
+					t.Fatal("register placed twice")
+				}
+				placed = i
+			}
+		}
+	}
+	if placed < 3 {
+		t.Errorf("register placed at stage %d, want >= 3 (deep-path floor)", placed)
+	}
+}
+
+// TestVLIWOverflowSpillsStages: more parallel assignments than VLIW
+// slots spread across stages instead of failing.
+func TestVLIWOverflowSpillsStages(t *testing.T) {
+	prog := chainProg(1)
+	ctl := prog.Ingress
+	opts := Tofino1()
+	for i := 0; i < opts.VLIWSlotsPerStage+5; i++ {
+		name := "p" + tname(i)
+		ctl.Locals = append(ctl.Locals, &p4.Field{Name: name, Bits: 8})
+		ctl.Apply = append(ctl.Apply, &p4.Assign{LHS: p4.FR(name), RHS: &p4.IntLit{Val: 1, Bits: 8}})
+	}
+	rep := Fit(prog, opts)
+	if !rep.Fits {
+		t.Fatalf("VLIW overflow should spill, not fail: %s", rep.Reason)
+	}
+	if rep.StagesUsed < 2 {
+		t.Errorf("expected spill into a second stage, used %d", rep.StagesUsed)
+	}
+	if rep.PerStage[0].VLIWSlots > opts.VLIWSlotsPerStage {
+		t.Error("stage 0 over capacity")
+	}
+}
+
+// TestDefaultOptions fills zero options with the Tofino-1 model.
+func TestDefaultOptionsApplied(t *testing.T) {
+	rep := Fit(chainProg(1), Options{})
+	if rep.LatencyCycles == 0 || rep.LatencyNs == 0 {
+		t.Error("zero options should default to Tofino1")
+	}
+}

@@ -1,0 +1,88 @@
+package p4c
+
+import "netcl/internal/p4"
+
+// PHV allocation model: Tofino-1 carries parsed headers, metadata, and
+// control-local temporaries in containers of 8, 16, and 32 bits. Each
+// field occupies whole containers (fields cannot straddle containers
+// in this model, which matches the conservative end of real PHV
+// allocation).
+
+// containerBits returns the container capacity consumed by one field.
+func containerBits(bits int) int {
+	total := 0
+	for bits > 0 {
+		switch {
+		case bits > 16:
+			total += 32
+			bits -= 32
+		case bits > 8:
+			total += 16
+			bits -= 16
+		default:
+			total += 8
+			bits = 0
+		}
+	}
+	return total
+}
+
+// PHVBits computes the PHV container bits demanded by a program:
+// every header field, every metadata field, and every control-scope
+// local variable.
+func PHVBits(prog *p4.Program) int {
+	total := 0
+	for _, h := range prog.Headers {
+		for _, f := range h.Fields {
+			total += containerBits(f.Bits)
+		}
+	}
+	for _, f := range prog.Metadata {
+		total += containerBits(f.Bits)
+	}
+	controls := []*p4.Control{prog.Ingress}
+	if prog.Egress != nil {
+		controls = append(controls, prog.Egress)
+	}
+	for _, c := range controls {
+		if c == nil {
+			continue
+		}
+		for _, l := range c.Locals {
+			total += containerBits(l.Bits)
+		}
+	}
+	return total
+}
+
+// LocalMemory breaks down the sources of PHV demand the way Table VI
+// does: P4-level local variables, header bits, and metadata bits.
+type LocalMemory struct {
+	LocalVarBits int
+	HeaderBits   int
+	MetadataBits int
+}
+
+// Locals reports the program's local-memory breakdown.
+func Locals(prog *p4.Program) LocalMemory {
+	var lm LocalMemory
+	for _, h := range prog.Headers {
+		lm.HeaderBits += h.Bits()
+	}
+	for _, f := range prog.Metadata {
+		lm.MetadataBits += f.Bits
+	}
+	controls := []*p4.Control{prog.Ingress}
+	if prog.Egress != nil {
+		controls = append(controls, prog.Egress)
+	}
+	for _, c := range controls {
+		if c == nil {
+			continue
+		}
+		for _, l := range c.Locals {
+			lm.LocalVarBits += l.Bits
+		}
+	}
+	return lm
+}

@@ -1,0 +1,224 @@
+// Package p4rt is the control-plane interface of NetCL devices, in the
+// spirit of the P4Runtime API the paper's host runtime uses for
+// _managed_ memory (§V-B, requirement R6): register access and table
+// entry management, over a direct in-process binding or a TCP
+// transport for real deployments.
+package p4rt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"netcl/internal/bmv2"
+	"netcl/internal/p4"
+)
+
+// Client is the control-plane surface used by the host runtime.
+type Client interface {
+	RegisterRead(name string, idx int) (uint64, error)
+	RegisterWrite(name string, idx int, v uint64) error
+	InsertEntry(table string, e *p4.Entry) error
+	DeleteEntry(table string, keyVal uint64) (int, error)
+}
+
+// Direct is an in-process client bound to a behavioral-model switch.
+type Direct struct {
+	SW *bmv2.Switch
+	mu sync.Mutex
+}
+
+// RegisterRead implements Client.
+func (d *Direct) RegisterRead(name string, idx int) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.SW.RegisterRead(name, idx)
+}
+
+// RegisterWrite implements Client.
+func (d *Direct) RegisterWrite(name string, idx int, v uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.SW.RegisterWrite(name, idx, v)
+}
+
+// InsertEntry implements Client.
+func (d *Direct) InsertEntry(table string, e *p4.Entry) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.SW.InsertEntry(table, e)
+}
+
+// DeleteEntry implements Client.
+func (d *Direct) DeleteEntry(table string, keyVal uint64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.SW.DeleteEntry(table, keyVal), nil
+}
+
+// Wire protocol (gob-encoded request/response over TCP).
+
+type request struct {
+	Op     string // "rread", "rwrite", "insert", "delete"
+	Name   string
+	Idx    int
+	Val    uint64
+	KeyVal uint64
+	Entry  *p4.Entry
+}
+
+type response struct {
+	Val     uint64
+	Removed int
+	Err     string
+}
+
+// Server exposes a switch's control plane on a TCP listener.
+type Server struct {
+	lis net.Listener
+	cl  Client
+	wg  sync.WaitGroup
+}
+
+// Serve starts a control-plane server on addr (e.g. "127.0.0.1:0").
+func Serve(addr string, cl Client) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{lis: lis, cl: cl}
+	s.wg.Add(1)
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		var resp response
+		switch req.Op {
+		case "rread":
+			v, err := s.cl.RegisterRead(req.Name, req.Idx)
+			resp.Val = v
+			resp.Err = errString(err)
+		case "rwrite":
+			resp.Err = errString(s.cl.RegisterWrite(req.Name, req.Idx, req.Val))
+		case "insert":
+			resp.Err = errString(s.cl.InsertEntry(req.Name, req.Entry))
+		case "delete":
+			n, err := s.cl.DeleteEntry(req.Name, req.KeyVal)
+			resp.Removed = n
+			resp.Err = errString(err)
+		default:
+			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// TCPClient is a Client over a TCP control-plane connection.
+type TCPClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a device control plane.
+func Dial(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *TCPClient) Close() error { return c.conn.Close() }
+
+func (c *TCPClient) roundTrip(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return &resp, fmt.Errorf("%s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// RegisterRead implements Client.
+func (c *TCPClient) RegisterRead(name string, idx int) (uint64, error) {
+	resp, err := c.roundTrip(&request{Op: "rread", Name: name, Idx: idx})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Val, nil
+}
+
+// RegisterWrite implements Client.
+func (c *TCPClient) RegisterWrite(name string, idx int, v uint64) error {
+	_, err := c.roundTrip(&request{Op: "rwrite", Name: name, Idx: idx, Val: v})
+	return err
+}
+
+// InsertEntry implements Client.
+func (c *TCPClient) InsertEntry(table string, e *p4.Entry) error {
+	_, err := c.roundTrip(&request{Op: "insert", Name: table, Entry: e})
+	return err
+}
+
+// DeleteEntry implements Client.
+func (c *TCPClient) DeleteEntry(table string, keyVal uint64) (int, error) {
+	resp, err := c.roundTrip(&request{Op: "delete", Name: table, KeyVal: keyVal})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Removed, nil
+}

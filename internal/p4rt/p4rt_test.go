@@ -1,0 +1,86 @@
+package p4rt
+
+import (
+	"testing"
+
+	"netcl/internal/bmv2"
+	"netcl/internal/p4"
+	"netcl/internal/passes"
+	"netcl/internal/testutil"
+)
+
+func newSwitch(t *testing.T) *bmv2.Switch {
+	t.Helper()
+	prog, _, err := testutil.CompileOne(testutil.CounterKernel, passes.TargetTNA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bmv2.New(prog)
+}
+
+func TestDirectClient(t *testing.T) {
+	sw := newSwitch(t)
+	var cl Client = &Direct{SW: sw}
+	if err := cl.RegisterWrite("reg_hits", 3, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.RegisterRead("reg_hits", 3)
+	if err != nil || v != 42 {
+		t.Fatalf("read: %d %v", v, err)
+	}
+	if _, err := cl.RegisterRead("nope", 0); err == nil {
+		t.Error("unknown register must fail")
+	}
+	if err := cl.InsertEntry("netcl_fwd", &p4.Entry{
+		Keys:   []p4.KeyValue{{Value: 5}},
+		Action: &p4.ActionCall{Name: "set_port", Args: []uint64{2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := cl.DeleteEntry("netcl_fwd", 5)
+	if err != nil || n != 1 {
+		t.Fatalf("delete: %d %v", n, err)
+	}
+}
+
+func TestTCPControlPlane(t *testing.T) {
+	sw := newSwitch(t)
+	srv, err := Serve("127.0.0.1:0", &Direct{SW: sw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.RegisterWrite("reg_hits", 7, 1234); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.RegisterRead("reg_hits", 7)
+	if err != nil || v != 1234 {
+		t.Fatalf("tcp read: %d %v", v, err)
+	}
+	// Errors cross the wire.
+	if _, err := cl.RegisterRead("bogus", 0); err == nil {
+		t.Error("remote error not propagated")
+	}
+	// Entries cross the wire (gob round trip of p4.Entry).
+	if err := cl.InsertEntry("netcl_fwd", &p4.Entry{
+		Keys:   []p4.KeyValue{{Value: 9, PrefixLen: -1}},
+		Action: &p4.ActionCall{Name: "set_port", Args: []uint64{4}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := sw.Entries("netcl_fwd")
+	if len(got) != 1 || got[0].Action.Args[0] != 4 {
+		t.Fatalf("entry did not arrive: %+v", got)
+	}
+	n, err := cl.DeleteEntry("netcl_fwd", 9)
+	if err != nil || n != 1 {
+		t.Fatalf("tcp delete: %d %v", n, err)
+	}
+}

@@ -1,0 +1,158 @@
+package passes
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netcl/internal/ir"
+)
+
+// TestFoldMatchesInterpretation cross-checks the optimizer's constant
+// folder against direct evaluation for every binary op and width: for
+// random operands, fold(op, a, b) must equal the wrapped arithmetic the
+// bmv2 interpreter performs. This pins the compile-time and run-time
+// semantics together.
+func TestFoldMatchesInterpretation(t *testing.T) {
+	types := []ir.Type{ir.U8, ir.U16, ir.U32, ir.S8, ir.S16, ir.S32}
+	ops := []ir.Op{
+		ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpUDiv, ir.OpURem, ir.OpAnd,
+		ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr,
+		ir.OpSAddSat, ir.OpSSubSat, ir.OpMin, ir.OpMax,
+	}
+	ref := func(op ir.Op, t ir.Type, a, b int64) (int64, bool) {
+		au := uint64(a) & t.Mask()
+		bu := uint64(b) & t.Mask()
+		switch op {
+		case ir.OpAdd:
+			return t.Wrap(int64(au + bu)), true
+		case ir.OpSub:
+			return t.Wrap(int64(au - bu)), true
+		case ir.OpMul:
+			return t.Wrap(int64(au * bu)), true
+		case ir.OpUDiv:
+			if bu == 0 {
+				return 0, false
+			}
+			return t.Wrap(int64(au / bu)), true
+		case ir.OpURem:
+			if bu == 0 {
+				return 0, false
+			}
+			return t.Wrap(int64(au % bu)), true
+		case ir.OpAnd:
+			return t.Wrap(int64(au & bu)), true
+		case ir.OpOr:
+			return t.Wrap(int64(au | bu)), true
+		case ir.OpXor:
+			return t.Wrap(int64(au ^ bu)), true
+		case ir.OpShl:
+			if bu > 63 {
+				return 0, true
+			}
+			return t.Wrap(int64(au << bu)), true
+		case ir.OpLShr:
+			if bu > 63 {
+				return 0, true
+			}
+			return t.Wrap(int64(au >> bu)), true
+		case ir.OpAShr:
+			sh := bu
+			if sh > 63 {
+				sh = 63
+			}
+			return t.Wrap(t.Wrap(a) >> sh), true
+		case ir.OpSAddSat:
+			s := au + bu
+			if s > t.Mask() {
+				s = t.Mask()
+			}
+			return t.Wrap(int64(s)), true
+		case ir.OpSSubSat:
+			if bu > au {
+				return 0, true
+			}
+			return t.Wrap(int64(au - bu)), true
+		case ir.OpMin:
+			if t.Signed {
+				if t.Wrap(a) < t.Wrap(b) {
+					return t.Wrap(a), true
+				}
+				return t.Wrap(b), true
+			}
+			if au < bu {
+				return int64(au), true
+			}
+			return int64(bu), true
+		case ir.OpMax:
+			if t.Signed {
+				if t.Wrap(a) > t.Wrap(b) {
+					return t.Wrap(a), true
+				}
+				return t.Wrap(b), true
+			}
+			if au > bu {
+				return int64(au), true
+			}
+			return int64(bu), true
+		}
+		return 0, false
+	}
+	f := func(aRaw, bRaw int64, opPick, tyPick uint8) bool {
+		op := ops[int(opPick)%len(ops)]
+		ty := types[int(tyPick)%len(types)]
+		a := ir.ConstOf(ty, aRaw)
+		b := ir.ConstOf(ty, bRaw)
+		got, gotOK := evalBinConst(op, ty, a, b)
+		want, wantOK := ref(op, ty, aRaw, bRaw)
+		if gotOK != wantOK {
+			t.Logf("op=%v ty=%v a=%d b=%d: ok mismatch (%v vs %v)", op, ty, aRaw, bRaw, gotOK, wantOK)
+			return false
+		}
+		if !gotOK {
+			return true
+		}
+		gc := got.(*ir.Const)
+		if gc.Val != want {
+			t.Logf("op=%v ty=%v a=%d b=%d: %d vs %d", op, ty, aRaw, bRaw, gc.Val, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPredEvalProperties checks comparison trichotomy and inversion on
+// random operands.
+func TestPredEvalProperties(t *testing.T) {
+	f := func(a, b int64, signedPick bool) bool {
+		ty := ir.U16
+		if signedPick {
+			ty = ir.S16
+		}
+		lt, gt, eq := ir.PredULT, ir.PredUGT, ir.PredEQ
+		if signedPick {
+			lt, gt = ir.PredSLT, ir.PredSGT
+		}
+		nLt := evalPred(lt, ty, a, b)
+		nGt := evalPred(gt, ty, a, b)
+		nEq := evalPred(eq, ty, a, b)
+		// Exactly one of <, >, == holds.
+		count := 0
+		for _, v := range []bool{nLt, nGt, nEq} {
+			if v {
+				count++
+			}
+		}
+		if count != 1 {
+			return false
+		}
+		// Inversion: p(a,b) == !invert(p)(a,b).
+		return evalPred(lt.Invert(), ty, a, b) == !nLt &&
+			evalPred(gt.Swap(), ty, b, a) == nGt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package passes
+
+import (
+	"netcl/internal/ir"
+)
+
+// HoistCommon moves pure instructions that compute the same value in
+// sibling blocks up to their nearest common dominator, provided their
+// operands are available there (§VI-B "hoist instructions computing
+// the same value to a common dominator"). Returns hoisted count.
+func HoistCommon(f *ir.Func) int {
+	dt := ir.BuildDomTree(f)
+	moved := 0
+	for again := true; again; {
+		again = false
+		keyed := map[string][]*ir.Instr{}
+		blockOf := map[*ir.Instr]*ir.Block{}
+		for _, b := range f.Blocks {
+			for _, i := range b.Instrs {
+				if i.Pure() {
+					k := cseKey(i)
+					keyed[k] = append(keyed[k], i)
+					blockOf[i] = b
+				}
+			}
+		}
+		for _, group := range keyed {
+			if len(group) < 2 {
+				continue
+			}
+			a, b := group[0], group[1]
+			ba, bb := blockOf[a], blockOf[b]
+			if ba == bb || dt.Dominates(ba, bb) || dt.Dominates(bb, ba) {
+				continue // CSE's job
+			}
+			nca := dt.NCA(ba, bb)
+			if !operandsAvailable(a, nca, dt) {
+				continue
+			}
+			// Move a to the NCA, replace b with a.
+			ba.Remove(a)
+			nca.InsertBeforeTerm(a)
+			nca.Adopt(a)
+			f.ReplaceAllUses(b, a)
+			bb.Remove(b)
+			moved++
+			again = true
+			break
+		}
+	}
+	return moved
+}
+
+// Speculate aggressively hoists pure instructions to the earliest
+// block where their operands are available (§VI-B "aggressive
+// speculation ... hoisting them to the earliest possible block").
+// It may execute instructions on paths that do not need them — that is
+// the point: it shortens dependence chains and thus stage counts, at
+// the cost of PHV pressure. Returns the number of moved instructions.
+func Speculate(f *ir.Func) int {
+	dt := ir.BuildDomTree(f)
+	moved := 0
+	for _, b := range dt.RPO() {
+		for _, i := range append([]*ir.Instr(nil), b.Instrs...) {
+			if !i.Pure() {
+				continue
+			}
+			dest := earliestBlock(i, dt, f)
+			if dest == nil || dest == b || !dt.Dominates(dest, b) {
+				continue
+			}
+			b.Remove(i)
+			dest.InsertBeforeTerm(i)
+			dest.Adopt(i)
+			moved++
+		}
+	}
+	return moved
+}
+
+// earliestBlock returns the deepest dominator-tree block among the
+// defining blocks of i's operands (entry for all-constant operands).
+func earliestBlock(i *ir.Instr, dt *ir.DomTree, f *ir.Func) *ir.Block {
+	dest := f.Entry()
+	for _, a := range i.Args {
+		ai, ok := a.(*ir.Instr)
+		if !ok {
+			continue
+		}
+		ab := ai.Block()
+		if ab == nil {
+			return nil
+		}
+		if dt.Dominates(dest, ab) {
+			dest = ab
+		} else if !dt.Dominates(ab, dest) {
+			return nil // operands on divergent paths
+		}
+	}
+	return dest
+}
+
+// operandsAvailable reports whether every instruction operand of i is
+// defined in a block dominating dst.
+func operandsAvailable(i *ir.Instr, dst *ir.Block, dt *ir.DomTree) bool {
+	for _, a := range i.Args {
+		ai, ok := a.(*ir.Instr)
+		if !ok {
+			continue
+		}
+		if ai.Block() == nil || !dt.Dominates(ai.Block(), dst) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,593 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"netcl/internal/ir"
+)
+
+// Simplify runs constant folding, algebraic simplification, CFG
+// cleanup, dead-code elimination, and dominance-scoped CSE to a
+// fixpoint. It corresponds to the paper's "peephole optimization,
+// instruction simplification and DCE passes" stage.
+func Simplify(f *ir.Func) {
+	for iter := 0; iter < 16; iter++ {
+		changed := foldAll(f)
+		changed = simplifyCFG(f) || changed
+		changed = DCE(f) || changed
+		changed = CSE(f) || changed
+		if !changed {
+			return
+		}
+	}
+}
+
+// foldAll folds constants and applies algebraic identities.
+func foldAll(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for _, i := range append([]*ir.Instr(nil), b.Instrs...) {
+			if v := foldInstr(i); v != nil && v != ir.Value(i) {
+				f.ReplaceAllUses(i, v)
+				b.Remove(i)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func constArg(i *ir.Instr, n int) (*ir.Const, bool) {
+	if n >= len(i.Args) {
+		return nil, false
+	}
+	c, ok := i.Args[n].(*ir.Const)
+	return c, ok
+}
+
+// foldInstr returns a replacement value for i, or nil.
+func foldInstr(i *ir.Instr) ir.Value {
+	switch i.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpUDiv, ir.OpSDiv, ir.OpURem,
+		ir.OpSRem, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr,
+		ir.OpAShr, ir.OpSAddSat, ir.OpSSubSat, ir.OpMin, ir.OpMax:
+		a, aok := constArg(i, 0)
+		b, bok := constArg(i, 1)
+		if aok && bok {
+			if v, ok := evalBinConst(i.Op, i.Ty, a, b); ok {
+				return v
+			}
+		}
+		// !(a cmp b) → inverted compare (shortens condition chains).
+		if i.Op == ir.OpXor && i.Ty == ir.I1 && bok && b.Val == 1 {
+			if cmp, ok2 := i.Args[0].(*ir.Instr); ok2 && cmp.Op == ir.OpICmp {
+				inv := &ir.Instr{Op: ir.OpICmp, Ty: ir.I1, Pred: cmp.Pred.Invert(),
+					Args: []ir.Value{cmp.Args[0], cmp.Args[1]}}
+				if blk := i.Block(); blk != nil {
+					replaceInPlace(blk, i, inv)
+					return inv
+				}
+			}
+		}
+		return foldIdentity(i, a, aok, b, bok)
+	case ir.OpICmp:
+		a, aok := constArg(i, 0)
+		b, bok := constArg(i, 1)
+		if aok && bok {
+			return ir.ConstOf(ir.I1, boolToInt(evalPred(i.Pred, i.Args[0].Type(), a.Val, b.Val)))
+		}
+		if i.Args[0] == i.Args[1] {
+			switch i.Pred {
+			case ir.PredEQ, ir.PredULE, ir.PredUGE, ir.PredSLE, ir.PredSGE:
+				return ir.ConstOf(ir.I1, 1)
+			default:
+				return ir.ConstOf(ir.I1, 0)
+			}
+		}
+	case ir.OpSelect:
+		if c, ok := constArg(i, 0); ok {
+			if c.Val != 0 {
+				return i.Args[1]
+			}
+			return i.Args[2]
+		}
+		if i.Args[1] == i.Args[2] {
+			return i.Args[1]
+		}
+	case ir.OpZExt, ir.OpSExt, ir.OpTrunc:
+		if c, ok := constArg(i, 0); ok {
+			v := c.Val
+			if i.Op == ir.OpZExt {
+				v = int64(c.Uint())
+			}
+			return ir.ConstOf(i.Ty, v)
+		}
+		if i.Args[0].Type().Bits == i.Ty.Bits {
+			// Same-width conversion: a bit-level no-op.
+			return i.Args[0]
+		}
+		// Collapse ext-of-ext chains.
+		if inner, ok := i.Args[0].(*ir.Instr); ok && inner.Op == i.Op &&
+			(i.Op == ir.OpZExt || i.Op == ir.OpSExt) {
+			i.Args[0] = inner.Args[0]
+		}
+	case ir.OpByteSwap:
+		if c, ok := constArg(i, 0); ok {
+			return ir.ConstOf(i.Ty, int64(bswapBits(c.Uint(), i.Ty.Bits)))
+		}
+	case ir.OpCLZ:
+		if c, ok := constArg(i, 0); ok {
+			return ir.ConstOf(i.Ty, int64(clzBits(c.Uint(), i.Ty.Bits)))
+		}
+	case ir.OpCTZ:
+		if c, ok := constArg(i, 0); ok {
+			return ir.ConstOf(i.Ty, int64(ctzBits(c.Uint(), i.Ty.Bits)))
+		}
+	}
+	return nil
+}
+
+func foldIdentity(i *ir.Instr, a *ir.Const, aok bool, b *ir.Const, bok bool) ir.Value {
+	x, y := i.Args[0], i.Args[1]
+	allOnes := int64(i.Ty.Mask())
+	switch i.Op {
+	case ir.OpAdd:
+		if bok && b.Val == 0 {
+			return x
+		}
+		if aok && a.Val == 0 {
+			return y
+		}
+	case ir.OpSub:
+		if bok && b.Val == 0 {
+			return x
+		}
+		if x == y {
+			return ir.ConstOf(i.Ty, 0)
+		}
+	case ir.OpMul:
+		if bok && b.Val == 1 {
+			return x
+		}
+		if aok && a.Val == 1 {
+			return y
+		}
+		if (bok && b.Val == 0) || (aok && a.Val == 0) {
+			return ir.ConstOf(i.Ty, 0)
+		}
+	case ir.OpUDiv, ir.OpSDiv:
+		if bok && b.Val == 1 {
+			return x
+		}
+	case ir.OpAnd:
+		if (bok && b.Val == 0) || (aok && a.Val == 0) {
+			return ir.ConstOf(i.Ty, 0)
+		}
+		if bok && i.Ty.Wrap(b.Val) == allOnes {
+			return x
+		}
+		if aok && i.Ty.Wrap(a.Val) == allOnes {
+			return y
+		}
+		if x == y {
+			return x
+		}
+	case ir.OpOr:
+		if bok && b.Val == 0 {
+			return x
+		}
+		if aok && a.Val == 0 {
+			return y
+		}
+		if x == y {
+			return x
+		}
+	case ir.OpXor:
+		if bok && b.Val == 0 {
+			return x
+		}
+		if aok && a.Val == 0 {
+			return y
+		}
+		if x == y {
+			return ir.ConstOf(i.Ty, 0)
+		}
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		if bok && b.Val == 0 {
+			return x
+		}
+	case ir.OpMin, ir.OpMax:
+		if x == y {
+			return x
+		}
+	}
+	return nil
+}
+
+// evalBinConst folds a binary op over constants.
+func evalBinConst(op ir.Op, t ir.Type, a, b *ir.Const) (ir.Value, bool) {
+	av, bv := t.Wrap(a.Val), t.Wrap(b.Val)
+	au, bu := uint64(av)&t.Mask(), uint64(bv)&t.Mask()
+	switch op {
+	case ir.OpAdd:
+		return ir.ConstOf(t, av+bv), true
+	case ir.OpSub:
+		return ir.ConstOf(t, av-bv), true
+	case ir.OpMul:
+		return ir.ConstOf(t, av*bv), true
+	case ir.OpUDiv:
+		if bu == 0 {
+			return nil, false
+		}
+		return ir.ConstOf(t, int64(au/bu)), true
+	case ir.OpSDiv:
+		if bv == 0 {
+			return nil, false
+		}
+		return ir.ConstOf(t, av/bv), true
+	case ir.OpURem:
+		if bu == 0 {
+			return nil, false
+		}
+		return ir.ConstOf(t, int64(au%bu)), true
+	case ir.OpSRem:
+		if bv == 0 {
+			return nil, false
+		}
+		return ir.ConstOf(t, av%bv), true
+	case ir.OpAnd:
+		return ir.ConstOf(t, av&bv), true
+	case ir.OpOr:
+		return ir.ConstOf(t, av|bv), true
+	case ir.OpXor:
+		return ir.ConstOf(t, av^bv), true
+	case ir.OpShl:
+		if bu > 63 {
+			return ir.ConstOf(t, 0), true
+		}
+		return ir.ConstOf(t, av<<bu), true
+	case ir.OpLShr:
+		if bu > 63 {
+			return ir.ConstOf(t, 0), true
+		}
+		return ir.ConstOf(t, int64(au>>bu)), true
+	case ir.OpAShr:
+		if bu > 63 {
+			bu = 63
+		}
+		return ir.ConstOf(t, av>>bu), true
+	case ir.OpSAddSat:
+		s := au + bu
+		if s > t.Mask() {
+			s = t.Mask()
+		}
+		return ir.ConstOf(t, int64(s)), true
+	case ir.OpSSubSat:
+		if bu > au {
+			return ir.ConstOf(t, 0), true
+		}
+		return ir.ConstOf(t, int64(au-bu)), true
+	case ir.OpMin:
+		if t.Signed {
+			if av < bv {
+				return ir.ConstOf(t, av), true
+			}
+			return ir.ConstOf(t, bv), true
+		}
+		if au < bu {
+			return ir.ConstOf(t, int64(au)), true
+		}
+		return ir.ConstOf(t, int64(bu)), true
+	case ir.OpMax:
+		if t.Signed {
+			if av > bv {
+				return ir.ConstOf(t, av), true
+			}
+			return ir.ConstOf(t, bv), true
+		}
+		if au > bu {
+			return ir.ConstOf(t, int64(au)), true
+		}
+		return ir.ConstOf(t, int64(bu)), true
+	}
+	return nil, false
+}
+
+// evalPred evaluates a comparison over already-wrapped constants.
+func evalPred(p ir.Pred, t ir.Type, a, b int64) bool {
+	av, bv := t.Wrap(a), t.Wrap(b)
+	au, bu := uint64(av)&t.Mask(), uint64(bv)&t.Mask()
+	switch p {
+	case ir.PredEQ:
+		return av == bv
+	case ir.PredNE:
+		return av != bv
+	case ir.PredULT:
+		return au < bu
+	case ir.PredULE:
+		return au <= bu
+	case ir.PredUGT:
+		return au > bu
+	case ir.PredUGE:
+		return au >= bu
+	case ir.PredSLT:
+		return av < bv
+	case ir.PredSLE:
+		return av <= bv
+	case ir.PredSGT:
+		return av > bv
+	case ir.PredSGE:
+		return av >= bv
+	}
+	return false
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func bswapBits(v uint64, bits int) uint64 {
+	n := bits / 8
+	var out uint64
+	for i := 0; i < n; i++ {
+		out = out<<8 | (v>>(8*uint(i)))&0xFF
+	}
+	return out
+}
+
+func clzBits(v uint64, bits int) uint64 {
+	for i := bits - 1; i >= 0; i-- {
+		if v>>(uint(i))&1 != 0 {
+			return uint64(bits - 1 - i)
+		}
+	}
+	return uint64(bits)
+}
+
+func ctzBits(v uint64, bits int) uint64 {
+	for i := 0; i < bits; i++ {
+		if v>>(uint(i))&1 != 0 {
+			return uint64(i)
+		}
+	}
+	return uint64(bits)
+}
+
+// simplifyCFG folds constant branches, threads trivial jumps, and
+// merges straight-line blocks, keeping φ-nodes consistent.
+func simplifyCFG(f *ir.Func) bool {
+	changed := false
+	// Fold constant and degenerate branches.
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpBr {
+			continue
+		}
+		if c, ok := t.Args[0].(*ir.Const); ok {
+			keep, drop := t.Targets[0], t.Targets[1]
+			if c.Val == 0 {
+				keep, drop = drop, keep
+			}
+			if drop != keep {
+				removePhiEntries(drop, b)
+			}
+			t.Op = ir.OpJmp
+			t.Args = nil
+			t.Targets = []*ir.Block{keep}
+			changed = true
+		} else if t.Targets[0] == t.Targets[1] {
+			dedupePhiEntries(t.Targets[0], b)
+			t.Op = ir.OpJmp
+			t.Args = nil
+			t.Targets = t.Targets[:1]
+			changed = true
+		}
+	}
+	// Remove unreachable blocks.
+	reach := map[*ir.Block]bool{}
+	for _, b := range ir.RPO(f) {
+		reach[b] = true
+	}
+	for _, b := range append([]*ir.Block(nil), f.Blocks...) {
+		if !reach[b] {
+			for _, s := range b.Succs() {
+				if reach[s] {
+					removePhiEntries(s, b)
+				}
+			}
+			f.RemoveBlock(b)
+			changed = true
+		}
+	}
+	// Merge single-pred/single-succ pairs.
+	for {
+		merged := false
+		for _, b := range f.Blocks {
+			t := b.Term()
+			if t == nil || t.Op != ir.OpJmp {
+				continue
+			}
+			s := t.Targets[0]
+			if s == b || s == f.Entry() {
+				continue
+			}
+			if len(s.Preds()) != 1 {
+				continue
+			}
+			// Single predecessor: φ-nodes in s are trivial.
+			for _, i := range append([]*ir.Instr(nil), s.Instrs...) {
+				if i.Op == ir.OpPhi {
+					var v ir.Value = ir.ConstOf(i.Ty, 0)
+					if len(i.Args) > 0 {
+						v = i.Args[0]
+					}
+					f.ReplaceAllUses(i, v)
+					s.Remove(i)
+				}
+			}
+			b.Remove(t)
+			for _, i := range s.Instrs {
+				b.Instrs = append(b.Instrs, i)
+				b.Adopt(i)
+			}
+			// φ-nodes in s's successors now flow from b.
+			for _, ss := range s.Succs() {
+				retargetPhiEntries(ss, s, b)
+			}
+			s.Instrs = nil
+			f.RemoveBlock(s)
+			merged = true
+			changed = true
+			break
+		}
+		if !merged {
+			break
+		}
+	}
+	return changed
+}
+
+func removePhiEntries(b *ir.Block, pred *ir.Block) {
+	for _, i := range b.Instrs {
+		if i.Op != ir.OpPhi {
+			continue
+		}
+		for n := 0; n < len(i.In); n++ {
+			if i.In[n] == pred {
+				i.In = append(i.In[:n], i.In[n+1:]...)
+				i.Args = append(i.Args[:n], i.Args[n+1:]...)
+				n--
+			}
+		}
+	}
+}
+
+func dedupePhiEntries(b *ir.Block, pred *ir.Block) {
+	for _, i := range b.Instrs {
+		if i.Op != ir.OpPhi {
+			continue
+		}
+		seen := false
+		for n := 0; n < len(i.In); n++ {
+			if i.In[n] == pred {
+				if seen {
+					i.In = append(i.In[:n], i.In[n+1:]...)
+					i.Args = append(i.Args[:n], i.Args[n+1:]...)
+					n--
+				}
+				seen = true
+			}
+		}
+	}
+}
+
+func retargetPhiEntries(b *ir.Block, from, to *ir.Block) {
+	for _, i := range b.Instrs {
+		if i.Op != ir.OpPhi {
+			continue
+		}
+		for n := range i.In {
+			if i.In[n] == from {
+				i.In[n] = to
+			}
+		}
+	}
+}
+
+// DCE removes instructions whose results are unused and that have no
+// side effects, plus empty φ-nodes. Returns whether anything changed.
+func DCE(f *ir.Func) bool {
+	used := map[ir.Value]bool{}
+	var mark func(v ir.Value)
+	mark = func(v ir.Value) {
+		if used[v] {
+			return
+		}
+		used[v] = true
+		if i, ok := v.(*ir.Instr); ok {
+			for _, a := range i.Args {
+				mark(a)
+			}
+		}
+	}
+	f.Instrs(func(b *ir.Block, i *ir.Instr) bool {
+		if i.HasSideEffects() {
+			mark(i)
+		}
+		return true
+	})
+	changed := false
+	for _, b := range f.Blocks {
+		var keep []*ir.Instr
+		for _, i := range b.Instrs {
+			if i.HasSideEffects() || used[i] {
+				keep = append(keep, i)
+				continue
+			}
+			// Unused value-producing instruction. Atomic reads and
+			// rand are droppable; atomic RMWs are not (side effects).
+			changed = true
+		}
+		if len(keep) != len(b.Instrs) {
+			b.Instrs = keep
+		}
+	}
+	if changed {
+		simplifyPhis(f)
+	}
+	return changed
+}
+
+// CSE performs dominator-scoped common-subexpression elimination over
+// pure instructions. The paper's hoisting stage builds on this.
+func CSE(f *ir.Func) bool {
+	dt := ir.BuildDomTree(f)
+	avail := map[string]*ir.Instr{}
+	changed := false
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		var added []string
+		for _, i := range append([]*ir.Instr(nil), b.Instrs...) {
+			if !i.Pure() {
+				continue
+			}
+			key := cseKey(i)
+			if prev, ok := avail[key]; ok {
+				f.ReplaceAllUses(i, prev)
+				b.Remove(i)
+				changed = true
+				continue
+			}
+			avail[key] = i
+			added = append(added, key)
+		}
+		for _, kid := range dt.Children(b) {
+			walk(kid)
+		}
+		for _, k := range added {
+			delete(avail, k)
+		}
+	}
+	if f.Entry() != nil {
+		walk(f.Entry())
+	}
+	return changed
+}
+
+func cseKey(i *ir.Instr) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d|%v|%s|%s|%d", i.Op, i.Pred, i.Ty, i.HashKind, i.Field, i.Count)
+	for _, a := range i.Args {
+		switch v := a.(type) {
+		case *ir.Const:
+			fmt.Fprintf(&b, "|c%d:%v", v.Val, v.Ty)
+		default:
+			fmt.Fprintf(&b, "|p%p", a)
+		}
+	}
+	return b.String()
+}

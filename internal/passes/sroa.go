@@ -1,0 +1,84 @@
+package passes
+
+import "netcl/internal/ir"
+
+// SROA (scalar replacement of aggregates) splits array allocas whose
+// every access uses a constant index into per-element scalar allocas.
+// After full loop unrolling most local arrays qualify, and mem2reg
+// then promotes the scalars to SSA — eliminating the load/store
+// copies that would otherwise lengthen Tofino dependence chains.
+func SROA(f *ir.Func) int {
+	entry := f.Entry()
+	if entry == nil {
+		return 0
+	}
+	split := 0
+	for {
+		var target *ir.Instr
+		f.Instrs(func(b *ir.Block, i *ir.Instr) bool {
+			if i.Op == ir.OpAlloca && i.Count > 1 && sroaEligible(f, i) {
+				target = i
+				return false
+			}
+			return true
+		})
+		if target == nil {
+			return split
+		}
+		// Create per-element scalars in the entry block.
+		elems := make([]*ir.Instr, target.Count)
+		for k := range elems {
+			al := &ir.Instr{Op: ir.OpAlloca, Ty: target.Elem, Elem: target.Elem, Count: 1, Name: target.Name}
+			prependInstr(entry, al)
+			elems[k] = al
+		}
+		for _, b := range f.Blocks {
+			for _, i := range b.Instrs {
+				switch i.Op {
+				case ir.OpLoad, ir.OpStore:
+					if i.Args[0] == ir.Value(target) {
+						idx := int(i.Args[1].(*ir.Const).Uint()) % target.Count
+						i.Args[0] = elems[idx]
+						i.Args[1] = ir.ConstOf(ir.U32, 0)
+					}
+				}
+			}
+		}
+		// Remove the aggregate alloca.
+		if blk := target.Block(); blk != nil {
+			blk.Remove(target)
+		}
+		split++
+	}
+}
+
+// sroaEligible reports whether every access to the alloca is a
+// constant-index load or store.
+func sroaEligible(f *ir.Func, al *ir.Instr) bool {
+	ok := true
+	f.Instrs(func(b *ir.Block, i *ir.Instr) bool {
+		switch i.Op {
+		case ir.OpLoad, ir.OpStore:
+			if i.Args[0] == ir.Value(al) {
+				if _, isConst := i.Args[1].(*ir.Const); !isConst {
+					ok = false
+					return false
+				}
+			}
+			// The alloca used as a stored value would escape.
+			if i.Op == ir.OpStore && i.Args[2] == ir.Value(al) {
+				ok = false
+				return false
+			}
+		default:
+			for _, a := range i.Args {
+				if a == ir.Value(al) {
+					ok = false
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}

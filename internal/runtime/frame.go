@@ -1,0 +1,72 @@
+package runtime
+
+import "netcl/internal/wire"
+
+// Ethernet/IPv4/UDP framing for NetCL messages (paper Fig. 10). The
+// simulator and the UDP backend both carry NetCL messages inside this
+// frame so the generated parser's Ethernet→IPv4→UDP→NetCL walk is
+// exercised end to end.
+
+const (
+	ethBytes  = 14
+	ipv4Bytes = 20
+	udpBytes  = 8
+	// FrameOverhead is the total encapsulation size.
+	FrameOverhead = ethBytes + ipv4Bytes + udpBytes
+)
+
+// Frame wraps a NetCL message in Ethernet+IPv4+UDP headers addressed
+// to the NetCL UDP port. dstMAC/srcMAC occupy the low 48 bits.
+func Frame(msg []byte, srcMAC, dstMAC uint64) []byte {
+	out := make([]byte, 0, FrameOverhead+len(msg))
+	// Ethernet.
+	for i := 5; i >= 0; i-- {
+		out = append(out, byte(dstMAC>>(8*uint(i))))
+	}
+	for i := 5; i >= 0; i-- {
+		out = append(out, byte(srcMAC>>(8*uint(i))))
+	}
+	out = append(out, 0x08, 0x00) // IPv4
+	// IPv4 (no options, zero checksum; the simulator does not verify).
+	totalLen := ipv4Bytes + udpBytes + len(msg)
+	out = append(out,
+		0x45, 0x00,
+		byte(totalLen>>8), byte(totalLen),
+		0x00, 0x00, // identification
+		0x00, 0x00, // flags/frag
+		64, 17, // ttl, protocol=UDP
+		0x00, 0x00, // checksum
+		10, 0, 0, 1, // src ip
+		10, 0, 0, 2, // dst ip
+	)
+	// UDP.
+	udpLen := udpBytes + len(msg)
+	port := uint16(wire.NetCLPort)
+	out = append(out,
+		byte(port>>8), byte(port),
+		byte(port>>8), byte(port),
+		byte(udpLen>>8), byte(udpLen),
+		0x00, 0x00,
+	)
+	return append(out, msg...)
+}
+
+// Deframe strips the Ethernet+IPv4+UDP encapsulation, returning the
+// NetCL message and whether the frame was a NetCL frame.
+func Deframe(pkt []byte) ([]byte, bool) {
+	if len(pkt) < FrameOverhead {
+		return nil, false
+	}
+	if pkt[12] != 0x08 || pkt[13] != 0x00 {
+		return nil, false
+	}
+	if pkt[ethBytes+9] != 17 {
+		return nil, false
+	}
+	udp := pkt[ethBytes+ipv4Bytes:]
+	dstPort := uint16(udp[2])<<8 | uint16(udp[3])
+	if dstPort != wire.NetCLPort {
+		return nil, false
+	}
+	return pkt[FrameOverhead:], true
+}

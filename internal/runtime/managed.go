@@ -1,0 +1,124 @@
+package runtime
+
+import (
+	"fmt"
+
+	"netcl/internal/ir"
+	"netcl/internal/p4"
+	"netcl/internal/p4rt"
+)
+
+// DeviceConnection mirrors ncl::device_connection: a control-plane
+// handle through which host code reads and writes _managed_ memory by
+// NetCL-level name and indices (§V-B), without vendor-specific APIs
+// (requirement R6). It resolves names against the compiled module's
+// memory layout, transparently handling compiler memory partitioning
+// (cms[3][65536] → reg_cms__0..2).
+type DeviceConnection struct {
+	CP   p4rt.Client
+	Mems []*ir.MemRef
+}
+
+// resolve maps a NetCL memory name plus indices to a register name and
+// flat element index.
+func (c *DeviceConnection) resolve(name string, idxs []int) (string, *ir.MemRef, int, error) {
+	find := func(n string) *ir.MemRef {
+		for _, m := range c.Mems {
+			if m.Name == n {
+				return m
+			}
+		}
+		return nil
+	}
+	mem := find(name)
+	rest := idxs
+	if mem == nil && len(idxs) > 0 {
+		// Partitioned: the outer dimension became a name suffix.
+		mem = find(fmt.Sprintf("%s__%d", name, idxs[0]))
+		rest = idxs[1:]
+	}
+	if mem == nil {
+		return "", nil, 0, fmt.Errorf("managed: no memory %q on this device", name)
+	}
+	if len(rest) != len(mem.Dims) {
+		return "", nil, 0, fmt.Errorf("managed: %q needs %d indices, got %d", name, len(mem.Dims), len(rest))
+	}
+	flat := 0
+	for i, ix := range rest {
+		if ix < 0 || ix >= mem.Dims[i] {
+			return "", nil, 0, fmt.Errorf("managed: index %d out of range [0,%d) for %q", ix, mem.Dims[i], name)
+		}
+		stride := 1
+		for _, d := range mem.Dims[i+1:] {
+			stride *= d
+		}
+		flat += ix * stride
+	}
+	return "reg_" + mem.Name, mem, flat, nil
+}
+
+// memByName locates a memory object (following partition suffixes is
+// not needed for lookups, which are never partitioned).
+func (c *DeviceConnection) memByName(name string) *ir.MemRef {
+	for _, m := range c.Mems {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// ManagedWrite writes one element of managed memory
+// (ncl::managed_write).
+func (c *DeviceConnection) ManagedWrite(name string, idxs []int, v uint64) error {
+	reg, mem, flat, err := c.resolve(name, idxs)
+	if err != nil {
+		return err
+	}
+	if !mem.Managed {
+		return fmt.Errorf("managed: memory %q is _net_ only; hosts cannot write it", name)
+	}
+	return c.CP.RegisterWrite(reg, flat, v)
+}
+
+// ManagedRead reads one element of managed memory (ncl::managed_read).
+func (c *DeviceConnection) ManagedRead(name string, idxs []int) (uint64, error) {
+	reg, _, flat, err := c.resolve(name, idxs)
+	if err != nil {
+		return 0, err
+	}
+	return c.CP.RegisterRead(reg, flat)
+}
+
+// LookupInsert adds (or replaces) an entry in managed lookup memory.
+// For kv maps val is the mapped value; for sets it is ignored.
+func (c *DeviceConnection) LookupInsert(name string, key, val uint64) error {
+	mem := c.memByName(name)
+	if mem == nil || !mem.IsLookup() {
+		return fmt.Errorf("managed: %q is not lookup memory", name)
+	}
+	if !mem.Managed {
+		return fmt.Errorf("managed: lookup memory %q is const (not _managed_)", name)
+	}
+	table := "lu_" + name
+	if _, err := c.CP.DeleteEntry(table, key); err != nil {
+		return err
+	}
+	e := &p4.Entry{Keys: []p4.KeyValue{{Value: key, PrefixLen: -1}}}
+	if mem.LKind == ir.LookupSet {
+		e.Action = &p4.ActionCall{Name: table + "_hit"}
+	} else {
+		e.Action = &p4.ActionCall{Name: table + "_hit", Args: []uint64{val}}
+	}
+	return c.CP.InsertEntry(table, e)
+}
+
+// LookupDelete removes entries matching key from managed lookup
+// memory, returning how many were removed.
+func (c *DeviceConnection) LookupDelete(name string, key uint64) (int, error) {
+	mem := c.memByName(name)
+	if mem == nil || !mem.IsLookup() || !mem.Managed {
+		return 0, fmt.Errorf("managed: %q is not managed lookup memory", name)
+	}
+	return c.CP.DeleteEntry("lu_"+name, key)
+}

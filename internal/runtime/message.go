@@ -1,0 +1,130 @@
+// Package runtime implements the NetCL host runtime: NetCL message
+// construction (pack/unpack against kernel specifications, §V-A),
+// communication backends (in-process simulation and real UDP), and
+// managed-memory access through the device control plane (§V-B).
+package runtime
+
+import (
+	"fmt"
+
+	"netcl/internal/wire"
+)
+
+// ArgSpec describes one kernel argument in a message layout.
+type ArgSpec struct {
+	Name  string
+	Bytes int // element size in bytes (1, 2, 4, 8)
+	Count int // element count (the specification)
+	Out   bool
+}
+
+// MessageSpec is a computation's message layout, derived from its
+// kernel specification by the compiler and consumed by pack/unpack.
+type MessageSpec struct {
+	Comp uint8
+	Args []ArgSpec
+}
+
+// DataBytes is the total payload size of the kernel arguments.
+func (s *MessageSpec) DataBytes() int {
+	n := 0
+	for _, a := range s.Args {
+		n += a.Bytes * a.Count
+	}
+	return n
+}
+
+// Size is the full NetCL message size (header + data).
+func (s *MessageSpec) Size() int { return wire.HeaderBytes + s.DataBytes() }
+
+// String renders the spec like the paper: [1,2][u32,u8].
+func (s *MessageSpec) String() string {
+	c, t := "", ""
+	for i, a := range s.Args {
+		if i > 0 {
+			c += ","
+			t += ","
+		}
+		c += fmt.Sprintf("%d", a.Count)
+		t += fmt.Sprintf("u%d", a.Bytes*8)
+	}
+	return "[" + c + "][" + t + "]"
+}
+
+// Message mirrors ncl::message: the 4-tuple plus computation id.
+type Message struct {
+	Src, Dst uint16
+	Device   uint16 // requested computing device ("through d")
+	Comp     uint8
+}
+
+// Header builds the wire header for a fresh message (from = none, to =
+// the requested device).
+func (m Message) Header() wire.Header {
+	return wire.Header{
+		Src: m.Src, Dst: m.Dst, From: wire.None, To: m.Device,
+		Comp: m.Comp, Act: wire.ActPass, Arg: 0,
+	}
+}
+
+// Pack serializes a NetCL message (header + kernel arguments) into a
+// fresh buffer. args supplies one slice per kernel argument, holding
+// Count element values; a nil slice packs zeros (the ncl::pack NULL
+// convention that skips copying, §V-A).
+func Pack(spec *MessageSpec, hdr wire.Header, args [][]uint64) ([]byte, error) {
+	if len(args) != len(spec.Args) {
+		return nil, fmt.Errorf("pack: %d argument slots for %d-argument specification %s", len(args), len(spec.Args), spec)
+	}
+	buf := hdr.Marshal(make([]byte, 0, spec.Size()))
+	for i, a := range spec.Args {
+		vals := args[i]
+		if vals != nil && len(vals) != a.Count {
+			return nil, fmt.Errorf("pack: argument %d (%s) needs %d elements, got %d", i, a.Name, a.Count, len(vals))
+		}
+		for k := 0; k < a.Count; k++ {
+			var v uint64
+			if vals != nil {
+				v = vals[k]
+			}
+			for b := a.Bytes - 1; b >= 0; b-- {
+				buf = append(buf, byte(v>>(8*uint(b))))
+			}
+		}
+	}
+	return buf, nil
+}
+
+// Unpack parses a NetCL message. Non-nil arg slices receive the
+// corresponding element values (they must have the right length); nil
+// slices are skipped.
+func Unpack(spec *MessageSpec, data []byte, args [][]uint64) (wire.Header, error) {
+	var hdr wire.Header
+	rest, ok := hdr.Unmarshal(data)
+	if !ok {
+		return hdr, fmt.Errorf("unpack: short message (%d bytes)", len(data))
+	}
+	if len(args) != len(spec.Args) {
+		return hdr, fmt.Errorf("unpack: %d argument slots for %d-argument specification %s", len(args), len(spec.Args), spec)
+	}
+	if len(rest) < spec.DataBytes() {
+		return hdr, fmt.Errorf("unpack: message data %d bytes, specification needs %d", len(rest), spec.DataBytes())
+	}
+	off := 0
+	for i, a := range spec.Args {
+		vals := args[i]
+		if vals != nil && len(vals) != a.Count {
+			return hdr, fmt.Errorf("unpack: argument %d (%s) needs %d elements, got %d", i, a.Name, a.Count, len(vals))
+		}
+		for k := 0; k < a.Count; k++ {
+			var v uint64
+			for b := 0; b < a.Bytes; b++ {
+				v = v<<8 | uint64(rest[off+b])
+			}
+			if vals != nil {
+				vals[k] = v
+			}
+			off += a.Bytes
+		}
+	}
+	return hdr, nil
+}

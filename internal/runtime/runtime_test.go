@@ -1,0 +1,245 @@
+package runtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"netcl/internal/ir"
+	"netcl/internal/p4"
+	"netcl/internal/wire"
+)
+
+func demoSpec() *MessageSpec {
+	return &MessageSpec{
+		Comp: 1,
+		Args: []ArgSpec{
+			{Name: "op", Bytes: 1, Count: 1},
+			{Name: "k", Bytes: 4, Count: 1},
+			{Name: "v", Bytes: 4, Count: 4, Out: true},
+		},
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	spec := demoSpec()
+	hdr := Message{Src: 1, Dst: 2, Device: 3, Comp: 1}.Header()
+	buf, err := Pack(spec, hdr, [][]uint64{{7}, {0xDEADBEEF}, {1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != spec.Size() {
+		t.Fatalf("size %d, want %d", len(buf), spec.Size())
+	}
+	op := make([]uint64, 1)
+	k := make([]uint64, 1)
+	v := make([]uint64, 4)
+	outHdr, err := Unpack(spec, buf, [][]uint64{op, k, v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outHdr.To != 3 || outHdr.From != wire.None {
+		t.Errorf("header: %+v", outHdr)
+	}
+	if op[0] != 7 || k[0] != 0xDEADBEEF || v[3] != 4 {
+		t.Errorf("values: %v %v %v", op, k, v)
+	}
+}
+
+func TestPackNilSkipsArgument(t *testing.T) {
+	spec := demoSpec()
+	hdr := Message{Src: 1, Dst: 2, Device: 3, Comp: 1}.Header()
+	buf, err := Pack(spec, hdr, [][]uint64{{7}, nil, nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := make([]uint64, 1)
+	if _, err := Unpack(spec, buf, [][]uint64{nil, k, nil}); err != nil {
+		t.Fatal(err)
+	}
+	if k[0] != 0 {
+		t.Errorf("nil-packed arg should read back zero, got %d", k[0])
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	spec := demoSpec()
+	hdr := wire.Header{}
+	if _, err := Pack(spec, hdr, [][]uint64{{1}}); err == nil {
+		t.Error("wrong slot count must fail")
+	}
+	if _, err := Pack(spec, hdr, [][]uint64{{1}, {2}, {3}}); err == nil {
+		t.Error("wrong element count must fail")
+	}
+	if _, err := Unpack(spec, make([]byte, 4), make([][]uint64, 3)); err == nil {
+		t.Error("short message must fail")
+	}
+}
+
+func TestPackUnpackProperty(t *testing.T) {
+	spec := &MessageSpec{Comp: 2, Args: []ArgSpec{
+		{Name: "a", Bytes: 2, Count: 3},
+		{Name: "b", Bytes: 8, Count: 1},
+	}}
+	f := func(a0, a1, a2 uint16, b uint64) bool {
+		hdr := Message{Src: 9, Dst: 8, Device: 7, Comp: 2}.Header()
+		buf, err := Pack(spec, hdr, [][]uint64{{uint64(a0), uint64(a1), uint64(a2)}, {b}})
+		if err != nil {
+			return false
+		}
+		a := make([]uint64, 3)
+		bb := make([]uint64, 1)
+		if _, err := Unpack(spec, buf, [][]uint64{a, bb}); err != nil {
+			return false
+		}
+		return a[0] == uint64(a0) && a[1] == uint64(a1) && a[2] == uint64(a2) && bb[0] == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameDeframe(t *testing.T) {
+	msg := []byte{1, 2, 3, 4, 5}
+	pkt := Frame(msg, 0xAA, 0xBB)
+	if len(pkt) != FrameOverhead+len(msg) {
+		t.Fatalf("frame size %d", len(pkt))
+	}
+	out, ok := Deframe(pkt)
+	if !ok || string(out) != string(msg) {
+		t.Fatal("deframe mismatch")
+	}
+	// Non-NetCL port must be rejected.
+	pkt[36] = 0
+	pkt[37] = 53
+	if _, ok := Deframe(pkt); ok {
+		t.Error("wrong port accepted")
+	}
+	if _, ok := Deframe([]byte{1, 2, 3}); ok {
+		t.Error("short frame accepted")
+	}
+}
+
+func TestManagedResolution(t *testing.T) {
+	mems := []*ir.MemRef{
+		{Name: "cms__0", Elem: ir.U32, Dims: []int{4096}, Managed: true},
+		{Name: "cms__1", Elem: ir.U32, Dims: []int{4096}, Managed: true},
+		{Name: "flat", Elem: ir.U16, Dims: []int{8, 4}, Managed: true},
+		{Name: "ro", Elem: ir.U32, Dims: []int{4}},
+	}
+	fake := &fakeCP{regs: map[string][]uint64{
+		"reg_cms__0": make([]uint64, 4096),
+		"reg_cms__1": make([]uint64, 4096),
+		"reg_flat":   make([]uint64, 32),
+		"reg_ro":     make([]uint64, 4),
+	}}
+	c := &DeviceConnection{CP: fake, Mems: mems}
+
+	// Partition-aware resolution: cms[1][7] -> reg_cms__1[7].
+	if err := c.ManagedWrite("cms", []int{1, 7}, 99); err != nil {
+		t.Fatal(err)
+	}
+	if fake.regs["reg_cms__1"][7] != 99 {
+		t.Error("partitioned write landed wrong")
+	}
+	v, err := c.ManagedRead("cms", []int{1, 7})
+	if err != nil || v != 99 {
+		t.Errorf("read back %d, %v", v, err)
+	}
+	// Multi-dim flattening: flat[2][3] -> index 11.
+	if err := c.ManagedWrite("flat", []int{2, 3}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if fake.regs["reg_flat"][11] != 5 {
+		t.Error("flattening wrong")
+	}
+	// _net_-only memory rejects host writes.
+	if err := c.ManagedWrite("ro", []int{0}, 1); err == nil {
+		t.Error("write to _net_ memory must fail")
+	}
+	// Bounds checks.
+	if err := c.ManagedWrite("flat", []int{9, 0}, 1); err == nil {
+		t.Error("oob index must fail")
+	}
+	if _, err := c.ManagedRead("nosuch", nil); err == nil {
+		t.Error("unknown memory must fail")
+	}
+}
+
+// fakeCP is an in-memory control plane.
+type fakeCP struct {
+	regs    map[string][]uint64
+	entries map[string][]*p4.Entry
+}
+
+func (f *fakeCP) RegisterRead(name string, idx int) (uint64, error) {
+	return f.regs[name][idx], nil
+}
+
+func (f *fakeCP) RegisterWrite(name string, idx int, v uint64) error {
+	f.regs[name][idx] = v
+	return nil
+}
+
+func (f *fakeCP) InsertEntry(table string, e *p4.Entry) error {
+	if f.entries == nil {
+		f.entries = map[string][]*p4.Entry{}
+	}
+	f.entries[table] = append(f.entries[table], e)
+	return nil
+}
+
+func (f *fakeCP) DeleteEntry(table string, keyVal uint64) (int, error) {
+	var keep []*p4.Entry
+	removed := 0
+	for _, e := range f.entries[table] {
+		if len(e.Keys) > 0 && e.Keys[0].Value == keyVal {
+			removed++
+			continue
+		}
+		keep = append(keep, e)
+	}
+	if f.entries == nil {
+		f.entries = map[string][]*p4.Entry{}
+	}
+	f.entries[table] = keep
+	return removed, nil
+}
+
+func TestManagedLookupEntries(t *testing.T) {
+	mems := []*ir.MemRef{
+		{Name: "cache", Elem: ir.U32, KeyType: ir.U32, Dims: []int{64},
+			LKind: ir.LookupExact, Managed: true},
+	}
+	fake := &fakeCP{regs: map[string][]uint64{}}
+	c := &DeviceConnection{CP: fake, Mems: mems}
+	if err := c.LookupInsert("cache", 5, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LookupInsert("cache", 5, 51); err != nil {
+		t.Fatal(err)
+	}
+	// Replace semantics: one entry for key 5 with the new value.
+	es := fake.entries["lu_cache"]
+	if len(es) != 1 || es[0].Action.Args[0] != 51 {
+		t.Fatalf("entries: %+v", es)
+	}
+	n, err := c.LookupDelete("cache", 5)
+	if err != nil || n != 1 {
+		t.Fatalf("delete: %d %v", n, err)
+	}
+	if err := c.LookupInsert("nosuch", 1, 1); err == nil {
+		t.Error("unknown lookup must fail")
+	}
+}
+
+func TestHostConnTimeout(t *testing.T) {
+	h, err := DialUDP(1, "127.0.0.1:0", "127.0.0.1:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := h.Recv(20 * time.Millisecond); err == nil {
+		t.Error("expected timeout")
+	}
+}

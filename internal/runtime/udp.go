@@ -1,0 +1,251 @@
+package runtime
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"netcl/internal/bmv2"
+	"netcl/internal/p4"
+	"netcl/internal/wire"
+)
+
+// UDPDevice runs a behavioral-model switch behind a real UDP socket:
+// the deployment analogue of the paper's UDP communication backend
+// (§VI-C). NetCL messages arrive as UDP payloads, are framed, pushed
+// through the P4 pipeline, and forwarded to the UDP address of the
+// next-hop node. The device also implements the control-plane Client
+// interface, serialized with packet processing.
+type UDPDevice struct {
+	ID uint16
+
+	mu    sync.Mutex
+	sw    *bmv2.Switch
+	conn  *net.UDPConn
+	addrs map[uint16]*net.UDPAddr
+	mcast map[int][]uint16
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	Processed uint64
+	Dropped   uint64
+}
+
+// ServeUDPDevice starts a device on a UDP address ("127.0.0.1:0").
+func ServeUDPDevice(id uint16, addr string, prog *p4.Program) (*UDPDevice, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	d := &UDPDevice{
+		ID:    id,
+		sw:    bmv2.New(prog),
+		conn:  conn,
+		addrs: map[uint16]*net.UDPAddr{},
+		mcast: map[int][]uint16{},
+		done:  make(chan struct{}),
+	}
+	d.wg.Add(1)
+	go d.loop()
+	return d, nil
+}
+
+// Addr returns the device's UDP address.
+func (d *UDPDevice) Addr() string { return d.conn.LocalAddr().String() }
+
+// Close stops the device.
+func (d *UDPDevice) Close() error {
+	close(d.done)
+	err := d.conn.Close()
+	d.wg.Wait()
+	return err
+}
+
+// SetNodeAddr registers the UDP address of a node (host or device) and
+// installs the corresponding forwarding entry (the operator's job in
+// the paper's deployment story).
+func (d *UDPDevice) SetNodeAddr(id uint16, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.addrs[id] = ua
+	return d.sw.InsertEntry("netcl_fwd", &p4.Entry{
+		Keys:   []p4.KeyValue{{Value: uint64(id), PrefixLen: -1}},
+		Action: &p4.ActionCall{Name: "set_port", Args: []uint64{uint64(id)}},
+	})
+}
+
+// SetMulticastGroup maps a group id to member node ids.
+func (d *UDPDevice) SetMulticastGroup(gid int, members []uint16) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mcast[gid] = append([]uint16(nil), members...)
+}
+
+func (d *UDPDevice) loop() {
+	defer d.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := d.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-d.done:
+				return
+			default:
+				continue
+			}
+		}
+		msg := append([]byte(nil), buf[:n]...)
+		d.process(msg)
+	}
+}
+
+func (d *UDPDevice) process(msg []byte) {
+	pkt := Frame(msg, uint64(d.ID), 0)
+	d.mu.Lock()
+	res, err := d.sw.Process(pkt, 0)
+	d.Processed++
+	if err != nil || res.Dropped {
+		d.Dropped++
+		d.mu.Unlock()
+		return
+	}
+	out, ok := Deframe(res.Data)
+	if !ok {
+		d.Dropped++
+		d.mu.Unlock()
+		return
+	}
+	var dests []*net.UDPAddr
+	if res.Mcast != 0 {
+		for _, m := range d.mcast[res.Mcast] {
+			if a := d.addrs[m]; a != nil {
+				dests = append(dests, a)
+			}
+		}
+	} else if a := d.addrs[uint16(res.Port)]; a != nil {
+		dests = append(dests, a)
+	}
+	d.mu.Unlock()
+	if len(dests) == 0 {
+		d.Dropped++
+		return
+	}
+	for _, a := range dests {
+		d.conn.WriteToUDP(out, a)
+	}
+}
+
+// Control-plane Client implementation (serialized with the data path).
+
+// RegisterRead implements p4rt.Client.
+func (d *UDPDevice) RegisterRead(name string, idx int) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sw.RegisterRead(name, idx)
+}
+
+// RegisterWrite implements p4rt.Client.
+func (d *UDPDevice) RegisterWrite(name string, idx int, v uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sw.RegisterWrite(name, idx, v)
+}
+
+// InsertEntry implements p4rt.Client.
+func (d *UDPDevice) InsertEntry(table string, e *p4.Entry) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sw.InsertEntry(table, e)
+}
+
+// DeleteEntry implements p4rt.Client.
+func (d *UDPDevice) DeleteEntry(table string, keyVal uint64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sw.DeleteEntry(table, keyVal), nil
+}
+
+// HostConn is a host-side UDP endpoint for NetCL messages, mirroring
+// the socket code of the paper's Figure 6.
+type HostConn struct {
+	ID     uint16
+	conn   *net.UDPConn
+	device *net.UDPAddr
+}
+
+// DialUDP opens a host endpoint bound to local, targeting the device.
+func DialUDP(id uint16, local, device string) (*HostConn, error) {
+	la, err := net.ResolveUDPAddr("udp", local)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", la)
+	if err != nil {
+		return nil, err
+	}
+	da, err := net.ResolveUDPAddr("udp", device)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &HostConn{ID: id, conn: conn, device: da}, nil
+}
+
+// Addr returns the host's UDP address.
+func (h *HostConn) Addr() string { return h.conn.LocalAddr().String() }
+
+// Close releases the socket.
+func (h *HostConn) Close() error { return h.conn.Close() }
+
+// Send transmits a packed NetCL message to the device.
+func (h *HostConn) Send(msg []byte) error {
+	_, err := h.conn.WriteToUDP(msg, h.device)
+	return err
+}
+
+// SendMessage packs and sends in one call.
+func (h *HostConn) SendMessage(spec *MessageSpec, m Message, args [][]uint64) error {
+	hdr := m.Header()
+	buf, err := Pack(spec, hdr, args)
+	if err != nil {
+		return err
+	}
+	return h.Send(buf)
+}
+
+// Recv waits up to timeout for a NetCL message.
+func (h *HostConn) Recv(timeout time.Duration) ([]byte, error) {
+	if timeout > 0 {
+		if err := h.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, 65536)
+	n, _, err := h.conn.ReadFromUDP(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// RecvMessage receives and unpacks one message.
+func (h *HostConn) RecvMessage(spec *MessageSpec, args [][]uint64, timeout time.Duration) (wire.Header, error) {
+	msg, err := h.Recv(timeout)
+	if err != nil {
+		return wire.Header{}, err
+	}
+	hdr, err := Unpack(spec, msg, args)
+	if err != nil {
+		return hdr, fmt.Errorf("recv: %w", err)
+	}
+	return hdr, nil
+}

@@ -1,0 +1,162 @@
+package sema
+
+// The NetCL device library (paper Table I and II). Builtins are
+// resolved by bare name after stripping the optional ncl:: prefix;
+// target intrinsics live in the "tna" and "v1" namespaces.
+
+// Cat classifies a builtin for checking, lowering, and code generation.
+type Cat int
+
+// Builtin categories.
+const (
+	CatAction    Cat = iota // declarative forwarding (Table II)
+	CatAtomic               // global-memory read-modify-write
+	CatLookup               // _lookup_ memory search
+	CatMath                 // special arithmetic ops
+	CatHash                 // hash functions
+	CatIntrinsic            // target-specific externs
+)
+
+// Builtin describes one device-library function.
+type Builtin struct {
+	Name string
+	NS   string // "" for ncl::, else "tna" or "v1"
+	Cat  Cat
+
+	// Op is the canonical operation ("add", "or", "drop", "crc32", ...).
+	Op string
+	// Cond marks conditional atomic variants (atomic_cond_*).
+	Cond bool
+	// New marks atomics returning the post-operation value (*_new).
+	New bool
+
+	// MinArgs/MaxArgs bound the argument count.
+	MinArgs, MaxArgs int
+}
+
+// ActionType is the type of action calls (Table II); it may only occur
+// in return statements of kernels.
+type ActionType struct{}
+
+// String implements Type.
+func (*ActionType) String() string { return "action" }
+
+// Bits implements Type.
+func (*ActionType) Bits() int { return 8 }
+
+// TheActionType is the singleton action type.
+var TheActionType = &ActionType{}
+
+// Actions in the order of the paper's Table II. Op doubles as the wire
+// name used by the device runtime.
+var actionArity = map[string]int{
+	"drop": 0, "send_to_host": 1, "send_to_device": 1, "multicast": 1,
+	"reflect": 0, "reflect_long": 0, "pass": 0,
+}
+
+// atomic ops and their operand counts (excluding the pointer and the
+// condition). cas takes (ptr, expected, desired).
+var atomicOps = map[string]int{
+	"add": 1, "sadd": 1, "sub": 1, "ssub": 1, "or": 1, "and": 1,
+	"xor": 1, "min": 1, "max": 1, "swap": 1, "inc": 0, "dec": 0,
+}
+
+// builtins is the registry, keyed by "ns::name" (ns empty for ncl).
+var builtins = map[string]*Builtin{}
+
+func register(b *Builtin) {
+	key := b.Name
+	if b.NS != "" {
+		key = b.NS + "::" + b.Name
+	}
+	builtins[key] = b
+}
+
+func init() {
+	for op, n := range actionArity {
+		register(&Builtin{Name: op, Cat: CatAction, Op: op, MinArgs: n, MaxArgs: n})
+	}
+	for op, operands := range atomicOps {
+		for _, cond := range []bool{false, true} {
+			for _, nw := range []bool{false, true} {
+				name := "atomic_"
+				if cond {
+					name += "cond_"
+				}
+				name += op
+				if nw {
+					name += "_new"
+				}
+				n := 1 + operands // pointer + operands
+				if cond {
+					n++
+				}
+				register(&Builtin{
+					Name: name, Cat: CatAtomic, Op: op, Cond: cond, New: nw,
+					MinArgs: n, MaxArgs: n,
+				})
+			}
+		}
+	}
+	register(&Builtin{Name: "atomic_cas", Cat: CatAtomic, Op: "cas", MinArgs: 3, MaxArgs: 3})
+	register(&Builtin{Name: "atomic_read", Cat: CatAtomic, Op: "read", MinArgs: 1, MaxArgs: 1})
+	register(&Builtin{Name: "atomic_write", Cat: CatAtomic, Op: "write", MinArgs: 2, MaxArgs: 2})
+
+	register(&Builtin{Name: "lookup", Cat: CatLookup, Op: "lookup", MinArgs: 2, MaxArgs: 3})
+
+	for _, m := range []struct {
+		name string
+		n    int
+	}{
+		{"sadd", 2}, {"ssub", 2}, {"min", 2}, {"max", 2},
+		{"bit_chk", 2}, {"clz", 1}, {"ctz", 1}, {"bswap", 1},
+		{"rand", 0},
+	} {
+		register(&Builtin{Name: m.name, Cat: CatMath, Op: m.name, MinArgs: m.n, MaxArgs: m.n})
+	}
+
+	for _, h := range []string{"crc16", "crc32", "xor16", "identity", "csum16"} {
+		register(&Builtin{Name: h, Cat: CatHash, Op: h, MinArgs: 1, MaxArgs: 8})
+	}
+
+	// Target intrinsics (representative set; targets reject foreign ones).
+	register(&Builtin{Name: "crc64", NS: "tna", Cat: CatIntrinsic, Op: "crc64", MinArgs: 1, MaxArgs: 8})
+	register(&Builtin{Name: "csum16r", NS: "v1", Cat: CatIntrinsic, Op: "csum16r", MinArgs: 1, MaxArgs: 8})
+}
+
+// LookupBuiltin finds a builtin by namespace and name.
+func LookupBuiltin(ns, name string) *Builtin {
+	key := name
+	if ns != "" {
+		key = ns + "::" + name
+	}
+	return builtins[key]
+}
+
+// hashWidth returns the natural result width in bits of a hash builtin.
+func hashWidth(op string) int {
+	switch op {
+	case "crc16", "xor16", "csum16", "csum16r":
+		return 16
+	case "crc32":
+		return 32
+	case "crc64":
+		return 64
+	default:
+		return 32
+	}
+}
+
+// basicByBits returns the unsigned basic type of the given width.
+func basicByBits(bits int) *Basic {
+	switch {
+	case bits <= 8:
+		return U8Type
+	case bits <= 16:
+		return U16Type
+	case bits <= 32:
+		return U32Type
+	default:
+		return U64Type
+	}
+}

@@ -1,0 +1,141 @@
+package sema
+
+import (
+	"fmt"
+
+	"netcl/internal/lang"
+)
+
+// ConstEnv supplies named constant values during folding.
+type ConstEnv func(name string) (int64, bool)
+
+// EvalConst folds a constant expression. It returns an error describing
+// the first non-constant subexpression encountered.
+func EvalConst(e lang.Expr, env ConstEnv) (int64, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return int64(x.Val), nil
+	case *lang.BoolLit:
+		if x.Val {
+			return 1, nil
+		}
+		return 0, nil
+	case *lang.Ident:
+		if env != nil {
+			if v, ok := env(x.Name); ok {
+				return v, nil
+			}
+		}
+		return 0, fmt.Errorf("%s: %q is not a compile-time constant", x.NamePos, x.Name)
+	case *lang.UnaryExpr:
+		v, err := EvalConst(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case lang.Minus:
+			return -v, nil
+		case lang.Tilde:
+			return ^v, nil
+		case lang.Not:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("%s: operator %s is not constant-foldable", x.OpPos, x.Op)
+	case *lang.BinaryExpr:
+		a, err := EvalConst(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		b, err := EvalConst(x.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		return evalBinOp(x.Op, a, b, x.OpPos)
+	case *lang.CondExpr:
+		c, err := EvalConst(x.Cond, env)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return EvalConst(x.Then, env)
+		}
+		return EvalConst(x.Else, env)
+	case *lang.CastExpr:
+		v, err := EvalConst(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		if b := BasicByName(x.Type.Name); b != nil && b.Bits() > 0 && b.Bits() < 64 {
+			mask := int64(1)<<uint(b.Bits()) - 1
+			v &= mask
+			if b.Signed() && v>>(uint(b.Bits())-1) != 0 {
+				v -= 1 << uint(b.Bits())
+			}
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("%s: expression is not a compile-time constant", e.Pos())
+}
+
+func evalBinOp(op lang.Kind, a, b int64, pos lang.Pos) (int64, error) {
+	bool2int := func(c bool) int64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case lang.Plus:
+		return a + b, nil
+	case lang.Minus:
+		return a - b, nil
+	case lang.Star:
+		return a * b, nil
+	case lang.Slash:
+		if b == 0 {
+			return 0, fmt.Errorf("%s: division by zero in constant expression", pos)
+		}
+		return a / b, nil
+	case lang.Percent:
+		if b == 0 {
+			return 0, fmt.Errorf("%s: modulo by zero in constant expression", pos)
+		}
+		return a % b, nil
+	case lang.Shl:
+		if b < 0 || b > 63 {
+			return 0, fmt.Errorf("%s: shift amount %d out of range", pos, b)
+		}
+		return a << uint(b), nil
+	case lang.Shr:
+		if b < 0 || b > 63 {
+			return 0, fmt.Errorf("%s: shift amount %d out of range", pos, b)
+		}
+		return a >> uint(b), nil
+	case lang.Amp:
+		return a & b, nil
+	case lang.Pipe:
+		return a | b, nil
+	case lang.Caret:
+		return a ^ b, nil
+	case lang.Lt:
+		return bool2int(a < b), nil
+	case lang.Gt:
+		return bool2int(a > b), nil
+	case lang.Le:
+		return bool2int(a <= b), nil
+	case lang.Ge:
+		return bool2int(a >= b), nil
+	case lang.EqEq:
+		return bool2int(a == b), nil
+	case lang.NotEq:
+		return bool2int(a != b), nil
+	case lang.AndAnd:
+		return bool2int(a != 0 && b != 0), nil
+	case lang.OrOr:
+		return bool2int(a != 0 || b != 0), nil
+	}
+	return 0, fmt.Errorf("%s: operator %s is not constant-foldable", pos, op)
+}

@@ -1,0 +1,438 @@
+package sema
+
+import (
+	"netcl/internal/lang"
+)
+
+// Check runs semantic analysis over a parsed file. It always returns a
+// Program (possibly partial); callers must consult diags.
+func Check(file *lang.File, diags *lang.Diagnostics) *Program {
+	c := &checker{
+		diags: diags,
+		prog: &Program{
+			File:         file,
+			Consts:       map[string]*Const{},
+			Computations: map[uint8][]*Function{},
+			Types:        map[lang.Expr]Type{},
+			Refs:         map[*lang.Ident]Object{},
+			Builtins:     map[*lang.CallExpr]*Builtin{},
+			CalledFns:    map[*lang.CallExpr]*Function{},
+			LocalOf:      map[*lang.VarDecl]*Local{},
+			ConstVal:     map[lang.Expr]int64{},
+		},
+	}
+	c.collect(file)
+	c.checkPlacements()
+	c.checkSpecs()
+	for _, fd := range c.funcDecls {
+		c.checkBody(fd)
+	}
+	c.checkRecursion()
+	c.checkReferenceValidity()
+	return c.prog
+}
+
+type checker struct {
+	diags     *lang.Diagnostics
+	prog      *Program
+	funcDecls []*lang.FuncDecl
+	fnOf      map[*lang.FuncDecl]*Function
+}
+
+// constEnv exposes the program's named constants to the folder.
+func (c *checker) constEnv(name string) (int64, bool) {
+	if k, ok := c.prog.Consts[name]; ok {
+		return k.Val, true
+	}
+	return 0, false
+}
+
+// fold evaluates e as a compile-time constant, recording the result.
+func (c *checker) fold(e lang.Expr) (int64, bool) {
+	v, err := EvalConst(e, c.constEnv)
+	if err != nil {
+		c.diags.Errorf(e.Pos(), "%s", trimPosPrefix(err.Error()))
+		return 0, false
+	}
+	c.prog.ConstVal[e] = v
+	return v, true
+}
+
+// trimPosPrefix drops the duplicated position prefix from EvalConst
+// errors (the diagnostic already carries a position).
+func trimPosPrefix(s string) string {
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == ':' && s[i+1] == ' ' {
+			rest := s[i+2:]
+			// Heuristic: EvalConst messages embed "file:line:col: ".
+			// Keep stripping until the message no longer starts with a
+			// position-looking token.
+			if looksLikeMsg(rest) {
+				return rest
+			}
+		}
+	}
+	return s
+}
+
+func looksLikeMsg(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	return !(c >= '0' && c <= '9')
+}
+
+// collect builds symbol objects for all top-level declarations.
+func (c *checker) collect(file *lang.File) {
+	c.fnOf = map[*lang.FuncDecl]*Function{}
+	for _, d := range file.Decls {
+		switch decl := d.(type) {
+		case *lang.VarDecl:
+			c.collectVar(decl)
+		case *lang.FuncDecl:
+			c.collectFunc(decl)
+		}
+	}
+}
+
+func (c *checker) collectVar(d *lang.VarDecl) {
+	if c.prog.GlobalByName(d.Name) != nil || c.prog.Consts[d.Name] != nil {
+		c.diags.Errorf(d.DeclPos, "redeclaration of %q", d.Name)
+		return
+	}
+	if d.Const && !d.IsGlobalMemory() {
+		// Top-level constant usable in device and host code.
+		if d.Init == nil {
+			c.diags.Errorf(d.DeclPos, "const %q requires an initializer", d.Name)
+			return
+		}
+		v, ok := c.fold(d.Init)
+		if !ok {
+			return
+		}
+		t := U32Type
+		if b := BasicByName(d.Type.Name); b != nil && b.Kind != Void {
+			t = b
+		}
+		c.prog.Consts[d.Name] = &Const{name: d.Name, Val: v, Typ: t, declPos: d.DeclPos}
+		return
+	}
+	if !d.IsGlobalMemory() {
+		c.diags.Errorf(d.DeclPos, "global %q must be declared _net_ or _managed_ (or const)", d.Name)
+		return
+	}
+	elem := resolveType(d.Type, c.diags)
+	if elem == nil {
+		c.diags.Errorf(d.DeclPos, "auto is not allowed for global memory")
+		return
+	}
+	switch elem.(type) {
+	case *KV, *RV:
+		if !d.Lookup {
+			c.diags.Errorf(d.DeclPos, "kv/rv types are only allowed for _lookup_ arrays")
+		}
+	case *Basic:
+		if elem == VoidType {
+			c.diags.Errorf(d.DeclPos, "void is not a valid memory element type")
+			return
+		}
+	}
+	if d.Lookup && len(d.Dims) == 0 {
+		c.diags.Errorf(d.DeclPos, "_lookup_ applies to arrays only")
+	}
+	g := &Global{
+		name: d.Name, Decl: d, Elem: elem,
+		Net: d.Net, Managed: d.Managed, Lookup: d.Lookup,
+	}
+	g.At = c.locSet(d.At)
+	g.Dims = c.dims(d)
+	if d.Init != nil {
+		g.Init = c.foldInit(d.Init)
+	}
+	c.prog.Globals = append(c.prog.Globals, g)
+}
+
+// dims folds array dimensions; a nil (inferred) dimension takes the
+// length of the initializer list.
+func (c *checker) dims(d *lang.VarDecl) []int {
+	var out []int
+	for i, de := range d.Dims {
+		if de == nil {
+			if i != 0 {
+				c.diags.Errorf(d.DeclPos, "only the outermost dimension of %q may be inferred", d.Name)
+				out = append(out, 1)
+				continue
+			}
+			il, ok := d.Init.(*lang.InitList)
+			if !ok {
+				c.diags.Errorf(d.DeclPos, "cannot infer dimension of %q without an initializer list", d.Name)
+				out = append(out, 1)
+				continue
+			}
+			out = append(out, len(il.Elems))
+			continue
+		}
+		v, ok := c.fold(de)
+		if !ok || v <= 0 {
+			if ok {
+				c.diags.Errorf(de.Pos(), "array dimension must be positive, got %d", v)
+			}
+			v = 1
+		}
+		out = append(out, int(v))
+	}
+	return out
+}
+
+func (c *checker) foldInit(e lang.Expr) *InitValue {
+	if il, ok := e.(*lang.InitList); ok {
+		iv := &InitValue{IsList: true}
+		for _, el := range il.Elems {
+			iv.Elems = append(iv.Elems, c.foldInit(el))
+		}
+		return iv
+	}
+	v, ok := c.fold(e)
+	if !ok {
+		return &InitValue{}
+	}
+	return &InitValue{Scalar: v}
+}
+
+func (c *checker) locSet(exprs []lang.Expr) LocSet {
+	var s LocSet
+	for _, e := range exprs {
+		v, ok := c.fold(e)
+		if !ok {
+			continue
+		}
+		if v < 0 || v > 0xFFFF {
+			c.diags.Errorf(e.Pos(), "device id %d out of range [0,65535]", v)
+			continue
+		}
+		id := uint16(v)
+		if s.Contains(id) {
+			c.diags.Warnf(e.Pos(), "duplicate device id %d in _at list", id)
+			continue
+		}
+		s = append(s, id)
+	}
+	return s
+}
+
+func (c *checker) collectFunc(d *lang.FuncDecl) {
+	if c.prog.FuncByName(d.Name) != nil {
+		c.diags.Errorf(d.DeclPos, "redeclaration of %q", d.Name)
+		return
+	}
+	if !d.Kernel && !d.Net {
+		c.diags.Errorf(d.DeclPos, "function %q must be declared _kernel(c) or _net_", d.Name)
+		return
+	}
+	if d.Kernel && d.Net {
+		c.diags.Errorf(d.DeclPos, "%q cannot be both _kernel and _net_", d.Name)
+	}
+	f := &Function{name: d.Name, Decl: d, Kernel: d.Kernel, Net: d.Net}
+	f.At = c.locSet(d.At)
+	if d.Kernel {
+		v, ok := c.fold(d.Comp)
+		if ok {
+			if v < 0 || v > 255 {
+				c.diags.Errorf(d.Comp.Pos(), "computation id %d out of range [0,255]", v)
+			} else {
+				f.Comp = uint8(v)
+			}
+		}
+	}
+	ret := resolveType(d.Ret, c.diags)
+	if ret == nil {
+		c.diags.Errorf(d.DeclPos, "auto return type is not supported")
+		ret = VoidType
+	}
+	if d.Kernel && ret != VoidType {
+		c.diags.Errorf(d.DeclPos, "kernel %q must return void", d.Name)
+		ret = VoidType
+	}
+	f.Ret = ret
+	for i, pd := range d.Params {
+		f.Params = append(f.Params, c.collectParam(f, pd, i))
+	}
+	if d.Body == nil {
+		c.diags.Errorf(d.DeclPos, "function %q requires a body", d.Name)
+	}
+	c.prog.Funcs = append(c.prog.Funcs, f)
+	c.fnOf[d] = f
+	c.funcDecls = append(c.funcDecls, d)
+	if f.Kernel {
+		c.prog.Kernels = append(c.prog.Kernels, f)
+		c.prog.Computations[f.Comp] = append(c.prog.Computations[f.Comp], f)
+	}
+}
+
+func (c *checker) collectParam(f *Function, pd *lang.Param, idx int) *Param {
+	t := resolveType(pd.Type, c.diags)
+	b, ok := t.(*Basic)
+	if !ok || b == VoidType {
+		c.diags.Errorf(pd.ParamPos, "parameter %q: kernel and net-function parameters must have fundamental scalar types", pd.Name)
+		b = U32Type
+	}
+	p := &Param{name: pd.Name, Decl: pd, Elem: b, Spec: 1, Index: idx, Fn: f}
+	switch {
+	case pd.ByRef && pd.Ptr:
+		c.diags.Errorf(pd.ParamPos, "parameter %q cannot be both reference and pointer", pd.Name)
+		p.Dir = ByRef
+	case pd.ByRef:
+		p.Dir = ByRef
+		if len(pd.Dims) > 0 {
+			c.diags.Errorf(pd.ParamPos, "reference parameter %q cannot have array dimensions", pd.Name)
+		}
+	case pd.Ptr:
+		p.Dir = ByPtr
+		if pd.Spec != nil {
+			if v, ok2 := c.fold(pd.Spec); ok2 && v > 0 {
+				p.Spec = int(v)
+			} else if ok2 {
+				c.diags.Errorf(pd.Spec.Pos(), "_spec must be positive, got %d", v)
+			}
+		}
+	case len(pd.Dims) > 0:
+		// Array parameter: no array-to-pointer decay (§V-A); the
+		// dimension is the specification.
+		p.Dir = ByPtr
+		if len(pd.Dims) > 1 {
+			c.diags.Errorf(pd.ParamPos, "parameter %q: multi-dimensional array parameters are not supported", pd.Name)
+		}
+		if pd.Dims[0] == nil {
+			c.diags.Errorf(pd.ParamPos, "parameter %q: array parameter requires an explicit dimension", pd.Name)
+		} else if v, ok2 := c.fold(pd.Dims[0]); ok2 && v > 0 {
+			p.Spec = int(v)
+		}
+		if pd.Spec != nil {
+			c.diags.Errorf(pd.Spec.Pos(), "_spec on array parameter %q is redundant; the dimension is the specification", pd.Name)
+		}
+	default:
+		p.Dir = ByVal
+		if pd.Spec != nil {
+			// "_spec ... is ignored when present" on non-pointers of
+			// net functions; on kernels scalars always have spec 1.
+			c.diags.Warnf(pd.Spec.Pos(), "_spec on scalar parameter %q is ignored", pd.Name)
+		}
+	}
+	if f.Net && p.Dir == ByPtr && pd.Spec != nil {
+		c.diags.Warnf(pd.Spec.Pos(), "_spec has no meaning on net-function parameters; ignored")
+		p.Spec = 1
+	}
+	return p
+}
+
+// checkPlacements enforces equation (1): for every computation, either
+// there is a single location-less kernel, or all kernels have explicit,
+// pairwise-disjoint location sets.
+func (c *checker) checkPlacements() {
+	for comp, ks := range c.prog.Computations {
+		if len(ks) == 1 {
+			continue
+		}
+		for _, k := range ks {
+			if len(k.At) == 0 {
+				c.diags.Errorf(k.Pos(),
+					"kernel %q of computation %d has no _at location but the computation has %d kernels; placement is ambiguous",
+					k.Name(), comp, len(ks))
+			}
+		}
+		for i := 0; i < len(ks); i++ {
+			for j := i + 1; j < len(ks); j++ {
+				if ks[i].At.Intersects(ks[j].At) {
+					c.diags.Errorf(ks[j].Pos(),
+						"kernels %q and %q of computation %d have overlapping locations %s and %s",
+						ks[i].Name(), ks[j].Name(), comp, ks[i].At, ks[j].At)
+				}
+			}
+		}
+	}
+}
+
+// checkSpecs enforces matching kernel specifications within a
+// computation (§V-A).
+func (c *checker) checkSpecs() {
+	for comp, ks := range c.prog.Computations {
+		if len(ks) < 2 {
+			continue
+		}
+		ref := ks[0].Spec()
+		for _, k := range ks[1:] {
+			if !k.Spec().Equal(ref) {
+				c.diags.Errorf(k.Pos(),
+					"kernel %q has specification %s but computation %d requires %s (from kernel %q)",
+					k.Name(), k.Spec(), comp, ref, ks[0].Name())
+			}
+		}
+	}
+}
+
+// checkRecursion rejects cycles in the user call graph.
+func (c *checker) checkRecursion() {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[*Function]int{}
+	var visit func(f *Function) bool
+	visit = func(f *Function) bool {
+		switch color[f] {
+		case grey:
+			return false
+		case black:
+			return true
+		}
+		color[f] = grey
+		for _, callee := range f.Calls {
+			if !visit(callee) {
+				c.diags.Errorf(f.Pos(), "recursion detected: %q participates in a call cycle via %q", f.Name(), callee.Name())
+				color[f] = black
+				return true // report once per cycle entry
+			}
+		}
+		color[f] = black
+		return true
+	}
+	for _, f := range c.prog.Funcs {
+		visit(f)
+	}
+}
+
+// checkReferenceValidity enforces equation (2): a net function or
+// global may be referenced only from code whose location set is a
+// subset of the referenced entity's (or the entity is location-less).
+// A location-less user is placed on every device compiled for, so its
+// effective location set is "everywhere": it may only reference
+// location-less entities (cf. the paper's `_kernel(2) c()` example).
+func (c *checker) checkReferenceValidity() {
+	covered := func(user, decl LocSet) bool {
+		if len(decl) == 0 {
+			return true
+		}
+		if len(user) == 0 {
+			return false
+		}
+		return user.SubsetOf(decl)
+	}
+	for _, f := range c.prog.Funcs {
+		for _, g := range f.UsesGlobals {
+			if !covered(f.At, g.At) {
+				c.diags.Errorf(f.Pos(),
+					"function %q (at %s) references memory %q placed only at %s",
+					f.Name(), f.At, g.Name(), g.At)
+			}
+		}
+		for _, callee := range f.Calls {
+			if !covered(f.At, callee.At) {
+				c.diags.Errorf(f.Pos(),
+					"function %q (at %s) calls net function %q placed only at %s",
+					f.Name(), f.At, callee.Name(), callee.At)
+			}
+		}
+	}
+}

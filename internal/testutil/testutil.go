@@ -1,0 +1,60 @@
+// Package testutil provides shared helpers for the internal packages'
+// tests: a one-call NetCL-C → P4 compilation chain that avoids
+// importing the public root package (which would create import
+// cycles).
+package testutil
+
+import (
+	"fmt"
+
+	"netcl/internal/codegen"
+	"netcl/internal/ir"
+	"netcl/internal/lang"
+	"netcl/internal/lower"
+	"netcl/internal/p4"
+	"netcl/internal/passes"
+	"netcl/internal/sema"
+)
+
+// CompileOne compiles NetCL-C source for one device and target.
+func CompileOne(src string, target passes.Target, device uint16) (*p4.Program, *ir.Module, error) {
+	var diags lang.Diagnostics
+	file := lang.ParseFile("test.ncl", src, nil, &diags)
+	prog := sema.Check(file, &diags)
+	if err := diags.Err(); err != nil {
+		return nil, nil, err
+	}
+	mod := lower.Module(prog, device, lower.Options{}, &diags)
+	if err := diags.Err(); err != nil {
+		return nil, nil, err
+	}
+	if mod == nil {
+		return nil, nil, fmt.Errorf("no module for device %d", device)
+	}
+	if _, err := passes.Run(mod, passes.DefaultOptions(target)); err != nil {
+		return nil, nil, err
+	}
+	p4prog, err := codegen.Generate(mod, codegen.Options{Target: p4.Target(target)})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p4prog, mod, nil
+}
+
+// EchoKernel is a tiny NetCL program: computation 1 increments its
+// argument and reflects the message to its sender.
+const EchoKernel = `
+_kernel(1) void echo(unsigned &x) {
+  x = x + 1;
+  return ncl::reflect();
+}
+`
+
+// CounterKernel exposes a managed counter bumped per message.
+const CounterKernel = `
+_managed_ unsigned hits[16];
+_kernel(1) void bump(unsigned slot, unsigned &count) {
+  count = ncl::atomic_add_new(&hits[slot], 1);
+  return ncl::reflect();
+}
+`

@@ -1,0 +1,109 @@
+// Package wire defines the NetCL-over-UDP wire format (paper Fig. 10)
+// shared by the compiler's generated P4 code, the host runtime, and the
+// network simulator:
+//
+//	ETH | IP | UDP | NetCL header | NetCL data (kernel args) | payload
+//
+// The NetCL header carries the 4-tuple (src, dst, from, to), the
+// computation id, and the action/argument pair the device runtime uses
+// to steer forwarding (§VI-C).
+package wire
+
+// NetCLPort is the default UDP destination port identifying NetCL
+// messages (the base program uses a configurable port range; one port
+// suffices here).
+const NetCLPort = 0x4E43 // "NC"
+
+// None marks an absent node id in the from/to fields.
+const None = 0xFFFF
+
+// AnyDevice in the to field marks a multicast message that requests
+// computation at every receiving device (e.g. a Paxos leader's 2A
+// message fanned out to the acceptor group).
+const AnyDevice = 0xFFFE
+
+// Action codes stored in the NetCL header's act field by generated
+// kernel code (Table II).
+const (
+	ActPass        = 0
+	ActDrop        = 1
+	ActSendHost    = 2
+	ActSendDevice  = 3
+	ActMulticast   = 4
+	ActReflect     = 5
+	ActReflectLong = 6
+)
+
+// ActionName returns the ncl:: name for an action code.
+func ActionName(code int) string {
+	switch code {
+	case ActPass:
+		return "pass"
+	case ActDrop:
+		return "drop"
+	case ActSendHost:
+		return "send_to_host"
+	case ActSendDevice:
+		return "send_to_device"
+	case ActMulticast:
+		return "multicast"
+	case ActReflect:
+		return "reflect"
+	case ActReflectLong:
+		return "reflect_long"
+	}
+	return "unknown"
+}
+
+// NetCL header field sizes, in bits.
+const (
+	SrcBits  = 16
+	DstBits  = 16
+	FromBits = 16
+	ToBits   = 16
+	CompBits = 8
+	ActBits  = 8
+	ArgBits  = 16
+)
+
+// HeaderBytes is the NetCL header size on the wire.
+const HeaderBytes = (SrcBits + DstBits + FromBits + ToBits + CompBits + ActBits + ArgBits) / 8
+
+// Header is the parsed NetCL header.
+type Header struct {
+	Src  uint16 // source host
+	Dst  uint16 // destination host
+	From uint16 // previous computing device (None if source host)
+	To   uint16 // next device requested to compute (None if n/a)
+	Comp uint8  // computation id
+	Act  uint8  // action selected by the last kernel execution
+	Arg  uint16 // action argument (host/device/group id)
+}
+
+// Marshal appends the header in network byte order.
+func (h *Header) Marshal(dst []byte) []byte {
+	return append(dst,
+		byte(h.Src>>8), byte(h.Src),
+		byte(h.Dst>>8), byte(h.Dst),
+		byte(h.From>>8), byte(h.From),
+		byte(h.To>>8), byte(h.To),
+		h.Comp, h.Act,
+		byte(h.Arg>>8), byte(h.Arg),
+	)
+}
+
+// Unmarshal parses a header from b, returning the remaining bytes and
+// false if b is too short.
+func (h *Header) Unmarshal(b []byte) ([]byte, bool) {
+	if len(b) < HeaderBytes {
+		return b, false
+	}
+	h.Src = uint16(b[0])<<8 | uint16(b[1])
+	h.Dst = uint16(b[2])<<8 | uint16(b[3])
+	h.From = uint16(b[4])<<8 | uint16(b[5])
+	h.To = uint16(b[6])<<8 | uint16(b[7])
+	h.Comp = b[8]
+	h.Act = b[9]
+	h.Arg = uint16(b[10])<<8 | uint16(b[11])
+	return b[HeaderBytes:], true
+}

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Src: 1, Dst: 2, From: None, To: 7, Comp: 3, Act: ActReflect, Arg: 42}
+	buf := h.Marshal(nil)
+	if len(buf) != HeaderBytes {
+		t.Fatalf("marshal size %d, want %d", len(buf), HeaderBytes)
+	}
+	var out Header
+	rest, ok := out.Unmarshal(buf)
+	if !ok || len(rest) != 0 {
+		t.Fatal("unmarshal failed")
+	}
+	if out != h {
+		t.Fatalf("round trip: %+v != %+v", out, h)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(src, dst, from, to, arg uint16, comp, act uint8) bool {
+		h := Header{Src: src, Dst: dst, From: from, To: to, Comp: comp, Act: act, Arg: arg}
+		var out Header
+		_, ok := out.Unmarshal(h.Marshal(nil))
+		return ok && out == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeaderShortBuffer(t *testing.T) {
+	var h Header
+	if _, ok := h.Unmarshal(make([]byte, HeaderBytes-1)); ok {
+		t.Error("short buffer must fail")
+	}
+}
+
+func TestActionNames(t *testing.T) {
+	for code, want := range map[int]string{
+		ActPass: "pass", ActDrop: "drop", ActSendHost: "send_to_host",
+		ActSendDevice: "send_to_device", ActMulticast: "multicast",
+		ActReflect: "reflect", ActReflectLong: "reflect_long",
+	} {
+		if got := ActionName(code); got != want {
+			t.Errorf("ActionName(%d) = %q, want %q", code, got, want)
+		}
+	}
+	if ActionName(99) != "unknown" {
+		t.Error("unknown code")
+	}
+}
