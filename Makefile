@@ -1,0 +1,29 @@
+# NetCL build and test entry points.
+#
+# tier1 is the fast correctness gate; tier2 adds vet and the race
+# detector over the concurrent code (UDP backend, drivers, chaos
+# tests); bench-reliability emits the goodput-under-loss measurement.
+
+GO ?= go
+
+.PHONY: all tier1 tier2 bench-reliability examples clean
+
+all: tier1
+
+tier1:
+	$(GO) build ./... && $(GO) test ./...
+
+tier2:
+	$(GO) vet ./... && $(GO) test -race ./...
+
+bench-reliability:
+	$(GO) run ./cmd/nclbench -reliability -out BENCH_reliability.json
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/allreduce
+	$(GO) run ./examples/kvcache
+	$(GO) run ./examples/paxos
+
+clean:
+	rm -f BENCH_reliability.json

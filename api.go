@@ -33,6 +33,39 @@ var Pack = runtime.Pack
 // Unpack deserializes a NetCL message (ncl::unpack).
 var Unpack = runtime.Unpack
 
+// Reliable messaging (the Endpoint API).
+type (
+	// Endpoint is the unified host-side messaging surface: Send is
+	// fire-and-forget, Recv suppresses duplicates, Call is a reliable
+	// request/response with retransmission and exponential backoff.
+	// Both the real-UDP HostConn and the simulator's HostEndpoint
+	// implement it.
+	Endpoint = runtime.Endpoint
+	// ReliabilityConfig carries the retransmission knobs (timeout,
+	// retry budget, backoff, dedup window).
+	ReliabilityConfig = runtime.ReliabilityConfig
+	// RelStats counts reliability-layer events (retransmits, dups, acks).
+	RelStats = runtime.RelStats
+	// HostEndpoint adapts a simulated host to the Endpoint interface.
+	HostEndpoint = netsim.HostEndpoint
+	// FaultSpec injects seeded probabilistic loss/duplication into the
+	// real-UDP backend for chaos testing.
+	FaultSpec = runtime.FaultSpec
+	// FaultConfig is the simulator's richer fault model (loss, jitter,
+	// duplication), armed with Network.InjectFaults.
+	FaultConfig = netsim.FaultConfig
+)
+
+// Reliability errors and helpers.
+var (
+	// ErrTimeout reports that no message arrived within the deadline.
+	ErrTimeout = runtime.ErrTimeout
+	// ErrRetryBudget reports an exhausted retransmission budget.
+	ErrRetryBudget = runtime.ErrRetryBudget
+	// IsTimeout classifies receive errors as retryable timeouts.
+	IsTimeout = runtime.IsTimeout
+)
+
 // Wire constants.
 const (
 	// NoNode marks an absent node id in a header's From/To fields.
@@ -55,6 +88,8 @@ type (
 	Host = netsim.Host
 	// Device is a simulated P4 switch.
 	Device = netsim.Device
+	// SimTime is simulated time in nanoseconds.
+	SimTime = netsim.Time
 	// Switch is the behavioral-model P4 interpreter.
 	Switch = bmv2.Switch
 	// TableEntry is a match-action table entry.
@@ -92,16 +127,39 @@ func Connect(cp ControlPlane, dev *DeviceArtifact) *DeviceConnection {
 type (
 	// UDPDevice runs a compiled program behind a UDP socket.
 	UDPDevice = runtime.UDPDevice
-	// HostConn is a host-side UDP endpoint for NetCL messages.
+	// HostConn is a host-side UDP endpoint for NetCL messages; it
+	// implements Endpoint.
 	HostConn = runtime.HostConn
+	// DeviceConfig parameterizes a UDP device process (id, address,
+	// program, fault injection).
+	DeviceConfig = runtime.DeviceConfig
+	// DialConfig parameterizes a UDP host endpoint (id, addresses,
+	// reliability knobs).
+	DialConfig = runtime.DialConfig
 )
 
+// ServeDevice starts a UDP device process described by cfg.
+func ServeDevice(cfg DeviceConfig) (*UDPDevice, error) {
+	return runtime.ServeDevice(cfg)
+}
+
+// Dial opens a UDP host endpoint described by cfg.
+func Dial(cfg DialConfig) (*HostConn, error) {
+	return runtime.Dial(cfg)
+}
+
 // ServeUDPDevice starts a device process on a UDP address.
+//
+// Deprecated: use ServeDevice with a DeviceConfig, which also carries
+// the fault-injection knobs.
 func ServeUDPDevice(id uint16, addr string, prog *p4.Program) (*UDPDevice, error) {
 	return runtime.ServeUDPDevice(id, addr, prog)
 }
 
 // DialUDP opens a host endpoint targeting a device address.
+//
+// Deprecated: use Dial with a DialConfig, which also carries the
+// reliability knobs.
 func DialUDP(id uint16, local, device string) (*HostConn, error) {
 	return runtime.DialUDP(id, local, device)
 }
@@ -111,18 +169,38 @@ type (
 	// App is one of the paper's evaluation applications.
 	App = apps.App
 	// AggConfig/CacheConfig/PaxosConfig parameterize the end-to-end
-	// experiment drivers of Figure 14.
+	// experiment drivers of Figure 14 (simulated network).
 	AggConfig   = apps.AggConfig
 	CacheConfig = apps.CacheConfig
 	PaxosConfig = apps.PaxosConfig
+	// AggUDPConfig/PaxosUDPConfig drive the same workloads over the
+	// real-UDP backend.
+	AggUDPConfig   = apps.AggUDPConfig
+	PaxosUDPConfig = apps.PaxosUDPConfig
+	// Result is the uniform driver result returned by Run: a value
+	// with a one-line Summary.
+	Result = apps.Result
+	// AggResult/CacheResult/PaxosResult are the typed driver results
+	// (Run returns them behind the Result interface).
+	AggResult   = apps.AggResult
+	CacheResult = apps.CacheResult
+	PaxosResult = apps.PaxosResult
 )
 
 // AppByName returns an evaluation application (AGG, CACHE, PAXOS, CALC).
 func AppByName(name string) *App { return apps.ByName(name) }
 
-// RunAgg, RunCache, and RunPaxos drive the Figure 14 workloads.
+// Run executes the experiment driver selected by the config type; app
+// may be nil or the application the config drives.
+func Run(app *App, cfg any) (Result, error) { return apps.Run(app, cfg) }
+
+// RunAgg, RunCache, and RunPaxos drive the Figure 14 workloads on the
+// simulated network; RunAggUDP and RunPaxosUDP drive AGG and PAXOS
+// over real UDP sockets. All are reachable uniformly through Run.
 var (
-	RunAgg   = apps.RunAgg
-	RunCache = apps.RunCache
-	RunPaxos = apps.RunPaxos
+	RunAgg      = apps.RunAgg
+	RunCache    = apps.RunCache
+	RunPaxos    = apps.RunPaxos
+	RunAggUDP   = apps.RunAggUDP
+	RunPaxosUDP = apps.RunPaxosUDP
 )

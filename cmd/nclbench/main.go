@@ -1,9 +1,17 @@
 // Command nclbench regenerates every table and figure of the paper's
 // evaluation (§VII) and prints them in one report; EXPERIMENTS.md is a
 // recorded run of this tool.
+//
+// With -reliability it instead runs the goodput-under-loss sweep (the
+// AGG workload at several seeded loss rates) and writes the result as
+// JSON:
+//
+//	nclbench -reliability -out BENCH_reliability.json
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -11,10 +19,34 @@ import (
 )
 
 func main() {
+	var (
+		reliability = flag.Bool("reliability", false, "run the goodput-under-loss sweep instead of the paper report")
+		out         = flag.String("out", "BENCH_reliability.json", "reliability: output JSON path")
+		workers     = flag.Int("workers", 4, "reliability: AGG workers")
+		chunks      = flag.Int("chunks", 48, "reliability: chunks per worker")
+		seed        = flag.Int64("seed", 1, "reliability: fault-injection seed")
+	)
+	flag.Parse()
+
+	if *reliability {
+		rep, err := netcl.BenchReliability(nil, *workers, *chunks, *seed)
+		check(err)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		check(err)
+		check(os.WriteFile(*out, append(data, '\n'), 0o644))
+		fmt.Print(netcl.FormatReliability(rep))
+		fmt.Println("wrote", *out)
+		return
+	}
+
 	report, err := netcl.FormatAll()
+	check(err)
+	fmt.Print(report)
+}
+
+func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nclbench:", err)
 		os.Exit(1)
 	}
-	fmt.Print(report)
 }

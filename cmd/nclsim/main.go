@@ -1,11 +1,15 @@
 // Command nclsim runs one of the evaluation applications end to end on
-// the simulated network and prints the workload's outcome.
+// the simulated network (or, for agg and paxos, over real loopback UDP
+// with -backend udp) and prints the workload's outcome, including the
+// reliability counters when faults are injected.
 //
 // Usage:
 //
 //	nclsim -app agg  -workers 6 -chunks 64
+//	nclsim -app agg  -loss 0.01 -jitter 500 -seed 7
+//	nclsim -app agg  -backend udp -loss 0.01
 //	nclsim -app cache -cached 16 -total 32 -requests 128
-//	nclsim -app paxos -commands 32
+//	nclsim -app paxos -commands 32 -loss 0.01
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 func main() {
 	var (
 		app      = flag.String("app", "agg", "application: agg, cache, or paxos")
+		backend  = flag.String("backend", "sim", "backend: sim (discrete-event) or udp (real loopback sockets; agg and paxos only)")
 		baseline = flag.Bool("baseline", false, "run the handwritten P4 baseline instead of generated code")
 		workers  = flag.Int("workers", 4, "agg: number of workers")
 		chunks   = flag.Int("chunks", 64, "agg: chunks per worker")
@@ -26,42 +31,40 @@ func main() {
 		total    = flag.Int("total", 32, "cache: key universe size")
 		requests = flag.Int("requests", 128, "cache: number of GET requests")
 		commands = flag.Int("commands", 32, "paxos: client commands")
+		loss     = flag.Float64("loss", 0, "fault injection: per-traversal loss probability")
+		dup      = flag.Float64("dup", 0, "fault injection: per-traversal duplication probability")
+		jitter   = flag.Float64("jitter", 0, "fault injection: uniform latency jitter bound in ns (sim backend only)")
+		seed     = flag.Int64("seed", 1, "fault injection: RNG seed (runs are reproducible per seed)")
 	)
 	flag.Parse()
 
-	switch *app {
-	case "agg":
-		res, err := netcl.RunAgg(netcl.AggConfig{
-			Workers: *workers, Chunks: *chunks, Window: 4,
-			Target: netcl.TargetTNA, Baseline: *baseline,
-		})
-		check(err)
-		fmt.Printf("AGG: %d slots completed, %.0f ATE/s per worker, %d mismatches, %.1fµs simulated\n",
-			res.Completed, res.ATEPerWorker, res.Mismatches, res.DurationNs/1e3)
-	case "cache":
-		res, err := netcl.RunCache(netcl.CacheConfig{
-			CachedKeys: *cached, TotalKeys: *total, Requests: *requests,
-			Target: netcl.TargetTNA, Baseline: *baseline,
-		})
-		check(err)
-		fmt.Printf("CACHE: hit rate %.0f%%, mean response %.2fµs (%d hits, %d misses, %d wrong values)\n",
-			100*res.HitRate, res.MeanResponseNs/1e3, res.Hits, res.Misses, res.WrongValues)
-	case "paxos":
-		res, err := netcl.RunPaxos(netcl.PaxosConfig{
-			Commands: *commands, Target: netcl.TargetTNA,
-		})
-		check(err)
-		fmt.Printf("PAXOS: %d/%d commands chosen and delivered (%d wrong values)\n",
-			res.Delivered, res.Submitted, res.WrongValue)
+	simFaults := netcl.FaultConfig{LossRate: *loss, DupRate: *dup, JitterNs: netcl.SimTime(*jitter), Seed: *seed}
+	udpFaults := netcl.FaultSpec{LossRate: *loss, DupRate: *dup, Seed: *seed}
+
+	var cfg any
+	switch {
+	case *app == "agg" && *backend == "sim":
+		cfg = netcl.AggConfig{Workers: *workers, Chunks: *chunks, Window: 4,
+			Target: netcl.TargetTNA, Baseline: *baseline, Faults: simFaults}
+	case *app == "agg" && *backend == "udp":
+		cfg = netcl.AggUDPConfig{Workers: *workers, Chunks: *chunks, Window: 4,
+			Target: netcl.TargetTNA, Baseline: *baseline, Faults: udpFaults}
+	case *app == "cache" && *backend == "sim":
+		cfg = netcl.CacheConfig{CachedKeys: *cached, TotalKeys: *total, Requests: *requests,
+			Target: netcl.TargetTNA, Baseline: *baseline, Faults: simFaults}
+	case *app == "paxos" && *backend == "sim":
+		cfg = netcl.PaxosConfig{Commands: *commands, Target: netcl.TargetTNA, Faults: simFaults}
+	case *app == "paxos" && *backend == "udp":
+		cfg = netcl.PaxosUDPConfig{Commands: *commands, Target: netcl.TargetTNA, Faults: udpFaults}
 	default:
-		fmt.Fprintf(os.Stderr, "nclsim: unknown app %q\n", *app)
+		fmt.Fprintf(os.Stderr, "nclsim: unsupported app/backend combination %q/%q\n", *app, *backend)
 		os.Exit(2)
 	}
-}
 
-func check(err error) {
+	res, err := netcl.Run(nil, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nclsim:", err)
 		os.Exit(1)
 	}
+	fmt.Println(res.Summary())
 }

@@ -1,6 +1,8 @@
 // Quickstart: compile a NetCL kernel, run it on a software device
 // behind a real UDP socket, and exchange messages with it — the
-// paper's Figure 6 workflow end to end on loopback.
+// paper's Figure 6 workflow end to end on loopback. The last step
+// repeats a computation through a deliberately lossy device to show
+// the reliable Call path recovering via retransmission.
 //
 //	go run ./examples/quickstart
 package main
@@ -45,7 +47,9 @@ func main() {
 
 	// 2. Start the device: a behavioral-model switch behind a UDP
 	//    socket (in a deployment this is the physical switch).
-	device, err := netcl.ServeUDPDevice(1, "127.0.0.1:0", dev.P4)
+	device, err := netcl.ServeDevice(netcl.DeviceConfig{
+		ID: 1, Addr: "127.0.0.1:0", Prog: dev.P4,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +57,9 @@ func main() {
 
 	// 3. The host side: open a NetCL endpoint and register our address
 	//    with the operator's forwarding config.
-	host, err := netcl.DialUDP(7, "127.0.0.1:0", device.Addr())
+	host, err := netcl.Dial(netcl.DialConfig{
+		ID: 7, Local: "127.0.0.1:0", Device: device.Addr(),
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +68,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 4. Offload some arithmetic to the network.
+	// 4. Offload some arithmetic to the network. CallMessage is the
+	//    reliable request/response path of the Endpoint API: each call
+	//    carries a sequence number and retransmits on timeout.
 	spec := art.Specs[1]
 	ops := []struct {
 		name string
@@ -73,14 +81,9 @@ func main() {
 		{"or", 4, 0xF000, 0x000F}, {"xor", 5, 0xAAAA, 0x5555},
 	}
 	for _, o := range ops {
-		// ncl::pack + send: computation 1 at device 1.
-		err := host.SendMessage(spec, netcl.Message{Src: 7, Dst: 7, Device: 1, Comp: 1},
-			[][]uint64{{o.op}, {o.a}, {o.b}, nil})
-		if err != nil {
-			log.Fatal(err)
-		}
 		res := make([]uint64, 1)
-		hdr, err := host.RecvMessage(spec, [][]uint64{nil, nil, nil, res}, 2*time.Second)
+		hdr, err := host.CallMessage(spec, netcl.Message{Src: 7, Dst: 7, Device: 1, Comp: 1},
+			[][]uint64{{o.op}, {o.a}, {o.b}, nil}, [][]uint64{nil, nil, nil, res}, time.Second)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -88,6 +91,44 @@ func main() {
 			o.name, o.a, o.b, res[0], hdr.Act, hdr.From)
 	}
 	fmt.Println("done: five computations executed in the network")
+
+	// 5. Chaos: the same computation through a device that drops 25% of
+	//    all datagrams (seeded, so the run is reproducible). Call
+	//    retransmits with exponential backoff until the reflected
+	//    result arrives.
+	lossy, err := netcl.ServeDevice(netcl.DeviceConfig{
+		ID: 1, Addr: "127.0.0.1:0", Prog: dev.P4,
+		Faults: netcl.FaultSpec{LossRate: 0.25, Seed: 42},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	host2, err := netcl.Dial(netcl.DialConfig{
+		ID: 7, Local: "127.0.0.1:0", Device: lossy.Addr(),
+		Reliability: netcl.ReliabilityConfig{Timeout: 20 * time.Millisecond, MaxRetries: 16},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer host2.Close()
+	if err := lossy.SetNodeAddr(7, host2.Addr()); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		res := make([]uint64, 1)
+		_, err := host2.CallMessage(spec, netcl.Message{Src: 7, Dst: 7, Device: 1, Comp: 1},
+			[][]uint64{{1}, {uint64(i)}, {100}, nil}, [][]uint64{nil, nil, nil, res}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res[0] != uint64(i)+100 {
+			log.Fatalf("add(%d, 100) = %d", i, res[0])
+		}
+	}
+	st := host2.Stats()
+	lossy.Close() // joins the device loop, settling its fault counters
+	fmt.Printf("chaos: 8 calls completed through a 25%%-loss device (%d retransmits, %d dropped datagrams)\n",
+		st.Retransmits, lossy.FaultDropped)
 }
 
 func countLines(s string) int {

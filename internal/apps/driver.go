@@ -84,14 +84,22 @@ type AggConfig struct {
 	// LossEveryNth drops every Nth packet on the worker links (0 =
 	// lossless); the slot protocol's retransmission path recovers.
 	LossEveryNth int
+	// Faults injects seeded probabilistic loss/jitter/duplication on
+	// every link (zero value = faultless).
+	Faults netsim.FaultConfig
 	// RetransmitNs is the worker retransmission timeout (default 150µs).
 	RetransmitNs netsim.Time
+	// RetryBudget bounds retransmissions per chunk (default 64); an
+	// exhausted budget aborts the run with an error instead of
+	// retransmitting forever.
+	RetryBudget int
 }
 
 // AggResult reports aggregation throughput.
 type AggResult struct {
 	// ATEPerWorker is aggregated tensor elements per second per worker
-	// (the paper's Fig. 14 metric).
+	// (the paper's Fig. 14 metric); under loss this is goodput, since
+	// only completed slots count.
 	ATEPerWorker float64
 	Completed    int
 	DurationNs   float64
@@ -99,6 +107,17 @@ type AggResult struct {
 	// Retransmissions counts worker resends (loss recovery).
 	Retransmissions int
 	PacketsLost     uint64
+	// Duplicates counts completions a worker discarded as already
+	// observed (multicast races and duplicated packets).
+	Duplicates int
+	// MeanChunkNs is the mean first-send-to-completion latency.
+	MeanChunkNs float64
+}
+
+// Summary implements Result.
+func (r *AggResult) Summary() string {
+	return fmt.Sprintf("AGG: %d slots completed, %.0f ATE/s per worker, %d mismatches, %d retransmissions, %d packets lost",
+		r.Completed, r.ATEPerWorker, r.Mismatches, r.Retransmissions, r.PacketsLost)
 }
 
 // RunAgg drives the SwitchML-style aggregation through the simulated
@@ -132,13 +151,20 @@ func RunAgg(cfg AggConfig) (*AggResult, error) {
 	if cfg.RetransmitNs == 0 {
 		cfg.RetransmitNs = 150 * netsim.Microsecond
 	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 64
+	}
+	lossy := cfg.LossEveryNth > 0 || cfg.Faults.Active()
 	n := netsim.NewNetwork()
 	n.MaxEvents = 10_000_000
+	n.InjectFaults(cfg.Faults)
 	dev := n.AddDevice(1, prog)
 	type workerState struct {
 		host        *netsim.Host
 		done        int          // completed slots observed
 		outstanding map[int]bool // sent chunks awaiting completion
+		retries     map[int]int  // retransmissions per chunk
+		sentAt      map[int]netsim.Time
 	}
 	workers := make([]*workerState, cfg.Workers)
 	var links []*netsim.Link
@@ -148,7 +174,8 @@ func RunAgg(cfg AggConfig) (*AggResult, error) {
 		l := n.Connect(h, dev, w+1)
 		l.DropNth = cfg.LossEveryNth
 		links = append(links, l)
-		workers[w] = &workerState{host: h, outstanding: map[int]bool{}}
+		workers[w] = &workerState{host: h, outstanding: map[int]bool{},
+			retries: map[int]int{}, sentAt: map[int]netsim.Time{}}
 		mcastPorts = append(mcastPorts, w+1)
 	}
 	if err := n.AutoWire(); err != nil {
@@ -167,6 +194,7 @@ func RunAgg(cfg AggConfig) (*AggResult, error) {
 	res := &AggResult{}
 	numSlots := int(defines["NUM_SLOTS"])
 	slotSize := int(defines["SLOT_SIZE"])
+	budgetExceeded := 0
 
 	var sendChunk func(ws *workerState, w int, chunk int, retrans bool)
 	sendChunk = func(ws *workerState, w int, chunk int, retrans bool) {
@@ -185,16 +213,25 @@ func RunAgg(cfg AggConfig) (*AggResult, error) {
 		}
 		ws.outstanding[chunk] = true
 		if retrans {
+			ws.retries[chunk]++
 			res.Retransmissions++
+		} else {
+			ws.sentAt[chunk] = n.Now()
 		}
 		ws.host.Send(msg)
 		// Retransmission timer: resend while the slot is outstanding
-		// (the two-version scheme makes resends safe, §V-E).
-		if cfg.LossEveryNth > 0 {
+		// (the two-version scheme makes resends safe, §V-E). The retry
+		// budget bounds recovery so a partitioned run terminates.
+		if lossy {
 			n.At(cfg.RetransmitNs, func() {
-				if ws.outstanding[chunk] {
-					sendChunk(ws, w, chunk, true)
+				if !ws.outstanding[chunk] {
+					return
 				}
+				if ws.retries[chunk] >= cfg.RetryBudget {
+					budgetExceeded++
+					return
+				}
+				sendChunk(ws, w, chunk, true)
 			})
 		}
 	}
@@ -218,9 +255,11 @@ func RunAgg(cfg AggConfig) (*AggResult, error) {
 				}
 			}
 			if chunk < 0 {
-				return // duplicate completion (e.g. multicast + reflect)
+				res.Duplicates++ // duplicate completion (multicast + reflect)
+				return
 			}
 			delete(ws.outstanding, chunk)
+			res.MeanChunkNs += float64(n.Now() - ws.sentAt[chunk])
 			for i := 0; i < slotSize; i++ {
 				want := uint64(cfg.Workers*(chunk+i)) + uint64(cfg.Workers*(cfg.Workers-1)/2)
 				if vals[i] != want {
@@ -254,6 +293,9 @@ func RunAgg(cfg AggConfig) (*AggResult, error) {
 		totalPerWorker := float64(res.Completed/cfg.Workers) * float64(slotSize)
 		res.ATEPerWorker = totalPerWorker / (res.DurationNs / 1e9)
 	}
+	if res.Completed > 0 {
+		res.MeanChunkNs /= float64(res.Completed)
+	}
 	// Every worker must observe every chunk's completion.
 	for _, ws := range workers {
 		if ws.done != cfg.Chunks {
@@ -262,6 +304,10 @@ func RunAgg(cfg AggConfig) (*AggResult, error) {
 	}
 	for _, l := range links {
 		res.PacketsLost += l.Dropped
+	}
+	if budgetExceeded > 0 {
+		return res, fmt.Errorf("agg: retry budget (%d) exhausted for %d chunk(s); %d/%d slots completed",
+			cfg.RetryBudget, budgetExceeded, res.Completed, cfg.Workers*cfg.Chunks)
 	}
 	return res, nil
 }
@@ -275,6 +321,13 @@ type CacheConfig struct {
 	Baseline   bool
 	// ServerNs is the KVS server's per-request processing time.
 	ServerNs netsim.Time
+	// Faults injects seeded probabilistic loss/jitter/duplication.
+	Faults netsim.FaultConfig
+	// RetransmitNs is the client's GET retransmission timeout under
+	// faults (default 250µs).
+	RetransmitNs netsim.Time
+	// RetryBudget bounds retransmissions per request (default 64).
+	RetryBudget int
 }
 
 // CacheResult reports KVS response times.
@@ -283,6 +336,17 @@ type CacheResult struct {
 	HitRate        float64
 	Hits, Misses   int
 	WrongValues    int
+	// Retransmissions/Duplicates/PacketsLost report the loss-recovery
+	// path (GETs are idempotent, so resends are safe).
+	Retransmissions int
+	Duplicates      int
+	PacketsLost     uint64
+}
+
+// Summary implements Result.
+func (r *CacheResult) Summary() string {
+	return fmt.Sprintf("CACHE: hit rate %.0f%%, mean response %.2fµs (%d hits, %d misses, %d wrong values, %d retransmissions)",
+		100*r.HitRate, r.MeanResponseNs/1e3, r.Hits, r.Misses, r.WrongValues, r.Retransmissions)
 }
 
 // RunCache drives NetCache through the simulated network: a client
@@ -300,6 +364,13 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 		// response when every request misses, ~9.4µs when all hit.
 		cfg.ServerNs = 7600 * netsim.Nanosecond
 	}
+	if cfg.RetransmitNs == 0 {
+		cfg.RetransmitNs = 250 * netsim.Microsecond
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 64
+	}
+	lossy := cfg.Faults.Active()
 	app := ByName("CACHE")
 	prog, specs, err := loadProgram(app, cfg.Target, 1, cfg.Baseline)
 	if err != nil {
@@ -310,6 +381,7 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 
 	n := netsim.NewNetwork()
 	n.MaxEvents = 10_000_000
+	n.InjectFaults(cfg.Faults)
 	dev := n.AddDevice(1, prog)
 	client := n.AddHost(1)
 	server := n.AddHost(2)
@@ -386,9 +458,38 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 	res := &CacheResult{}
 	var totalRT float64
 	outstandingKey := uint64(0)
+	answered := true
+	retries := 0
+	budgetExceeded := 0
 	var sentAt netsim.Time
 	reqSent := 0
 
+	// send transmits one GET; under faults it arms a retransmission
+	// timer (GETs are idempotent, so resends are safe).
+	var send func(key uint64)
+	send = func(key uint64) {
+		msg, err := runtime.Pack(spec,
+			runtime.Message{Src: 1, Dst: 2, Device: 1, Comp: 1}.Header(),
+			[][]uint64{{1}, {key}, nil, nil, nil})
+		if err != nil {
+			return
+		}
+		client.Send(msg)
+		if lossy {
+			n.At(cfg.RetransmitNs, func() {
+				if answered || outstandingKey != key {
+					return
+				}
+				if retries >= cfg.RetryBudget {
+					budgetExceeded++
+					return
+				}
+				retries++
+				res.Retransmissions++
+				send(key)
+			})
+		}
+	}
 	var issue func()
 	issue = func() {
 		if reqSent >= cfg.Requests {
@@ -396,22 +497,26 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 		}
 		key := uint64(reqSent%cfg.TotalKeys) + 1
 		outstandingKey = key
-		msg, err := runtime.Pack(spec,
-			runtime.Message{Src: 1, Dst: 2, Device: 1, Comp: 1}.Header(),
-			[][]uint64{{1}, {key}, nil, nil, nil})
-		if err != nil {
-			return
-		}
+		answered = false
+		retries = 0
 		sentAt = n.Now()
 		reqSent++
-		client.Send(msg)
+		send(key)
 	}
 	client.Receive = func(h *netsim.Host, msg []byte) {
+		key := make([]uint64, 1)
 		vals := make([]uint64, words)
 		hit := make([]uint64, 1)
-		if _, err := runtime.Unpack(spec, msg, [][]uint64{nil, nil, vals, hit, nil}); err != nil {
+		if _, err := runtime.Unpack(spec, msg, [][]uint64{nil, key, vals, hit, nil}); err != nil {
 			return
 		}
+		// Match the response to the outstanding GET: late duplicates
+		// from retransmitted requests are discarded.
+		if answered || key[0] != outstandingKey {
+			res.Duplicates++
+			return
+		}
+		answered = true
 		totalRT += float64(n.Now() - sentAt)
 		if hit[0] != 0 {
 			res.Hits++
@@ -435,6 +540,11 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 		res.MeanResponseNs = totalRT / float64(done)
 		res.HitRate = float64(res.Hits) / float64(done)
 	}
+	res.PacketsLost = n.FaultsDropped
+	if budgetExceeded > 0 {
+		return res, fmt.Errorf("cache: retry budget (%d) exhausted; %d/%d requests answered",
+			cfg.RetryBudget, done, cfg.Requests)
+	}
 	return res, nil
 }
 
@@ -442,13 +552,34 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 type PaxosConfig struct {
 	Commands int
 	Target   passes.Target
+	// Faults injects seeded probabilistic loss/jitter/duplication on
+	// every link (client, inter-device, and learner links included).
+	Faults netsim.FaultConfig
+	// RetransmitNs is the client's command retransmission timeout
+	// under faults (default 400µs).
+	RetransmitNs netsim.Time
+	// RetryBudget bounds retransmissions per command (default 32).
+	RetryBudget int
 }
 
 // PaxosResult reports consensus outcomes.
 type PaxosResult struct {
 	Submitted  int
-	Delivered  int
+	Delivered  int // distinct commands delivered by the learner
 	WrongValue int
+	// Retries counts client command resends; a resent command is
+	// chosen under a fresh instance, so the application-level dedup
+	// (by command value) suppresses the extra delivery.
+	Retries     int
+	Duplicates  int
+	Undelivered int
+	PacketsLost uint64
+}
+
+// Summary implements Result.
+func (r *PaxosResult) Summary() string {
+	return fmt.Sprintf("PAXOS: %d/%d commands chosen and delivered (%d wrong values, %d retries, %d duplicates)",
+		r.Delivered, r.Submitted, r.WrongValue, r.Retries, r.Duplicates)
 }
 
 // RunPaxos builds the five-device P4xos topology (leader, three
@@ -458,10 +589,18 @@ func RunPaxos(cfg PaxosConfig) (*PaxosResult, error) {
 	if cfg.Commands <= 0 {
 		cfg.Commands = 16
 	}
+	if cfg.RetransmitNs == 0 {
+		cfg.RetransmitNs = 400 * netsim.Microsecond
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 32
+	}
+	lossy := cfg.Faults.Active()
 	app := ByName("PAXOS")
 
 	n := netsim.NewNetwork()
 	n.MaxEvents = 10_000_000
+	n.InjectFaults(cfg.Faults)
 	var specs map[uint8]*runtime.MessageSpec
 	devs := map[uint16]*netsim.Device{}
 	for _, id := range []uint16{PaxosLeader, PaxosAcceptor1, PaxosAcceptor2, PaxosAcceptor3, PaxosLearner} {
@@ -497,7 +636,8 @@ func RunPaxos(cfg PaxosConfig) (*PaxosResult, error) {
 	devs[PaxosAcceptor3].SetMulticastGroup(30, []int{2})
 
 	res := &PaxosResult{}
-	delivered := map[uint64]bool{}
+	delivered := map[uint64]bool{}    // by instance
+	deliveredVal := map[uint64]bool{} // by command value (app-level dedup)
 	appHost.Receive = func(h *netsim.Host, msg []byte) {
 		typ := make([]uint64, 1)
 		inst := make([]uint64, 1)
@@ -509,29 +649,64 @@ func RunPaxos(cfg PaxosConfig) (*PaxosResult, error) {
 			return
 		}
 		if delivered[inst[0]] {
+			res.Duplicates++
 			return // at-most-once per instance
 		}
 		delivered[inst[0]] = true
+		// A retried command is chosen under a fresh instance; the
+		// application deduplicates by command value.
+		if deliveredVal[v[0]] {
+			res.Duplicates++
+			return
+		}
+		deliveredVal[v[0]] = true
 		res.Delivered++
-		if v[0] != 1000+inst[0]-1 {
+		if !lossy && v[0] != 1000+inst[0]-1 {
 			res.WrongValue++
 		}
 	}
 
-	for c := 0; c < cfg.Commands; c++ {
+	// submit sends command c; under faults it arms a retransmission
+	// timer that resends until the learner delivers the value or the
+	// retry budget runs out.
+	var submit func(c, attempt int)
+	submit = func(c, attempt int) {
+		val := uint64(1000 + c)
+		if deliveredVal[val] {
+			return
+		}
+		if attempt > 0 {
+			res.Retries++
+		}
 		vals := make([]uint64, 8)
-		vals[0] = uint64(1000 + c)
+		vals[0] = val
 		msg, err := runtime.Pack(spec,
 			runtime.Message{Src: 100, Dst: 101, Device: PaxosLeader, Comp: 1}.Header(),
 			[][]uint64{{1}, {0}, {0}, {0}, {0}, vals})
 		if err != nil {
-			return nil, err
+			return
 		}
 		client.Send(msg)
+		if lossy && attempt < cfg.RetryBudget {
+			n.At(cfg.RetransmitNs, func() { submit(c, attempt+1) })
+		}
+	}
+	for c := 0; c < cfg.Commands; c++ {
+		submit(c, 0)
 		res.Submitted++
 	}
 	if err := n.RunAll(); err != nil {
 		return nil, err
+	}
+	for c := 0; c < cfg.Commands; c++ {
+		if !deliveredVal[uint64(1000+c)] {
+			res.Undelivered++
+		}
+	}
+	res.PacketsLost = n.FaultsDropped
+	if lossy && res.Undelivered > 0 {
+		return res, fmt.Errorf("paxos: %d/%d commands undelivered after retry budget (%d)",
+			res.Undelivered, cfg.Commands, cfg.RetryBudget)
 	}
 	return res, nil
 }

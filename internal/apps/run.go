@@ -1,0 +1,82 @@
+package apps
+
+import "fmt"
+
+// Result is the uniform driver result: every experiment driver returns
+// a value with a one-line Summary, so callers can run any application
+// through one entry point and report uniformly.
+type Result interface {
+	// Summary is a one-line human-readable digest of the run.
+	Summary() string
+}
+
+// Run executes the experiment driver selected by the config type:
+// AggConfig/CacheConfig/PaxosConfig drive the simulated network,
+// AggUDPConfig/PaxosUDPConfig the real-UDP backend. Pointer configs
+// are accepted too. app may be nil; when given, its name must match
+// the application the config drives (a guard against passing, say, a
+// CACHE config with the PAXOS app).
+func Run(app *App, cfg any) (Result, error) {
+	check := func(name string) error {
+		if app != nil && app.Name != name {
+			return fmt.Errorf("apps: config %T drives %s, but app is %s", cfg, name, app.Name)
+		}
+		return nil
+	}
+	switch c := cfg.(type) {
+	case AggConfig:
+		if err := check("AGG"); err != nil {
+			return nil, err
+		}
+		return RunAgg(c)
+	case *AggConfig:
+		if err := check("AGG"); err != nil {
+			return nil, err
+		}
+		return RunAgg(*c)
+	case AggUDPConfig:
+		if err := check("AGG"); err != nil {
+			return nil, err
+		}
+		return RunAggUDP(c)
+	case *AggUDPConfig:
+		if err := check("AGG"); err != nil {
+			return nil, err
+		}
+		return RunAggUDP(*c)
+	case CacheConfig:
+		if err := check("CACHE"); err != nil {
+			return nil, err
+		}
+		return RunCache(c)
+	case *CacheConfig:
+		if err := check("CACHE"); err != nil {
+			return nil, err
+		}
+		return RunCache(*c)
+	case PaxosConfig:
+		if err := check("PAXOS"); err != nil {
+			return nil, err
+		}
+		return RunPaxos(c)
+	case *PaxosConfig:
+		if err := check("PAXOS"); err != nil {
+			return nil, err
+		}
+		return RunPaxos(*c)
+	case PaxosUDPConfig:
+		if err := check("PAXOS"); err != nil {
+			return nil, err
+		}
+		return RunPaxosUDP(c)
+	case *PaxosUDPConfig:
+		if err := check("PAXOS"); err != nil {
+			return nil, err
+		}
+		return RunPaxosUDP(*c)
+	case nil:
+		return nil, fmt.Errorf("apps: Run needs a config (AggConfig, CacheConfig, PaxosConfig, AggUDPConfig, or PaxosUDPConfig)")
+	default:
+		return nil, fmt.Errorf("apps: unsupported config type %T", cfg)
+	}
+}

@@ -1,0 +1,467 @@
+package apps
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"netcl/internal/passes"
+	"netcl/internal/runtime"
+)
+
+// UDP drivers: the AGG and PAXOS experiments over the real-UDP backend
+// (§VI-C) instead of the discrete-event simulator. The protocols are
+// the same — the SwitchML slot scheme and the P4xos pipeline tolerate
+// retransmission by construction — but timeouts are wall clock and the
+// workers run as concurrent goroutines over real sockets, so these
+// drivers double as an end-to-end check that loss recovery works
+// outside simulated time.
+
+// AggUDPConfig parameterizes the aggregation run over UDP.
+type AggUDPConfig struct {
+	Workers  int
+	Chunks   int // chunks (slots' worth of data) per worker
+	Window   int // outstanding slots per worker
+	Target   passes.Target
+	Baseline bool // run the handwritten P4 instead of generated code
+	// Faults injects seeded probabilistic loss/duplication at the
+	// device (zero value = faultless).
+	Faults runtime.FaultSpec
+	// RetransmitTimeout is the per-worker receive timeout that triggers
+	// retransmission of outstanding chunks (default 15ms).
+	RetransmitTimeout time.Duration
+	// RetryBudget bounds retransmissions per chunk (default 64).
+	RetryBudget int
+}
+
+// RunAggUDP drives the SwitchML-style aggregation over real UDP
+// sockets: one UDPDevice runs the switch program; each worker is a
+// goroutine with its own HostConn running the slot protocol, resending
+// outstanding chunks on timeout (the two-version scheme makes resends
+// safe, §V-E).
+func RunAggUDP(cfg AggUDPConfig) (*AggResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.Chunks <= 0 {
+		cfg.Chunks = 32
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	if cfg.RetransmitTimeout <= 0 {
+		cfg.RetransmitTimeout = 15 * time.Millisecond
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 64
+	}
+	app := ByName("AGG")
+	defines := map[string]uint64{}
+	for k, v := range app.Defines {
+		defines[k] = v
+	}
+	defines["NUM_WORKERS"] = uint64(cfg.Workers)
+	app = &App{Name: app.Name, NetCL: app.NetCL, Defines: defines,
+		Devices: app.Devices, BaselineFile: app.BaselineFile}
+
+	prog, specs, err := loadProgram(app, cfg.Target, 1, cfg.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	spec := specs[1]
+	numSlots := int(defines["NUM_SLOTS"])
+	slotSize := int(defines["SLOT_SIZE"])
+
+	dev, err := runtime.ServeDevice(runtime.DeviceConfig{
+		ID: 1, Addr: "127.0.0.1:0", Prog: prog, Faults: cfg.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Baseline {
+		if err := dev.SetDefaultAction("cfg_workers", "set_target", []uint64{uint64(cfg.Workers - 1)}); err != nil {
+			dev.Close()
+			return nil, err
+		}
+	}
+	conns := make([]*runtime.HostConn, cfg.Workers)
+	closeAll := func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		dev.Close()
+	}
+	var members []uint16
+	for w := 0; w < cfg.Workers; w++ {
+		id := uint16(10 + w)
+		conns[w], err = runtime.Dial(runtime.DialConfig{
+			ID: id, Local: "127.0.0.1:0", Device: dev.Addr(),
+		})
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		if err := dev.SetNodeAddr(id, conns[w].Addr()); err != nil {
+			closeAll()
+			return nil, err
+		}
+		members = append(members, id)
+	}
+	dev.SetMulticastGroup(42, members)
+
+	res := &AggResult{}
+	var mu sync.Mutex
+	start := time.Now()
+	errCh := make(chan error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errCh <- aggUDPWorker(cfg, conns[w], spec, w, numSlots, slotSize, res, &mu)
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	res.DurationNs = float64(time.Since(start).Nanoseconds())
+	closeAll()
+	if res.DurationNs > 0 {
+		totalPerWorker := float64(res.Completed/cfg.Workers) * float64(slotSize)
+		res.ATEPerWorker = totalPerWorker / (res.DurationNs / 1e9)
+	}
+	if res.Completed > 0 {
+		res.MeanChunkNs /= float64(res.Completed)
+	}
+	// Close() joins the device loop, so the fault counters are settled.
+	res.PacketsLost = dev.FaultDropped
+	for e := range errCh {
+		if e != nil {
+			return res, e
+		}
+	}
+	return res, nil
+}
+
+// aggUDPWorker runs one worker's slot protocol until its chunks all
+// complete, resending every outstanding chunk whenever the completion
+// stream stalls for RetransmitTimeout.
+func aggUDPWorker(cfg AggUDPConfig, conn *runtime.HostConn, spec *runtime.MessageSpec,
+	w, numSlots, slotSize int, res *AggResult, mu *sync.Mutex) error {
+	outstanding := map[int]bool{}
+	retries := map[int]int{}
+	sentAt := map[int]time.Time{}
+
+	send := func(chunk int, retrans bool) error {
+		slot := chunk % cfg.Window
+		ver := uint64(chunk/cfg.Window) % 2
+		vals := make([]uint64, slotSize)
+		for i := range vals {
+			vals[i] = uint64(chunk + i + w)
+		}
+		aggIdx := uint64(slot) + ver*uint64(numSlots)
+		msg, err := runtime.Pack(spec,
+			runtime.Message{Src: uint16(10 + w), Dst: 100, Device: 1, Comp: 1}.Header(),
+			[][]uint64{{ver}, {uint64(slot)}, {aggIdx}, {1 << uint(w)}, {uint64(chunk)}, vals})
+		if err != nil {
+			return err
+		}
+		outstanding[chunk] = true
+		if retrans {
+			retries[chunk]++
+			mu.Lock()
+			res.Retransmissions++
+			mu.Unlock()
+		} else {
+			sentAt[chunk] = time.Now()
+		}
+		return conn.Send(msg)
+	}
+
+	for c := 0; c < cfg.Window && c < cfg.Chunks; c++ {
+		if err := send(c, false); err != nil {
+			return err
+		}
+	}
+	done := 0
+	for done < cfg.Chunks {
+		msg, err := conn.Recv(cfg.RetransmitTimeout)
+		if err != nil {
+			if runtime.IsTimeout(err) {
+				// The completion stream stalled: resend everything still
+				// outstanding, within the per-chunk retry budget.
+				for c := range outstanding {
+					if retries[c] >= cfg.RetryBudget {
+						return fmt.Errorf("agg-udp: worker %d: retry budget (%d) exhausted for chunk %d; %d/%d slots completed",
+							w, cfg.RetryBudget, c, done, cfg.Chunks)
+					}
+					if err := send(c, true); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			return err
+		}
+		ver := make([]uint64, 1)
+		slot := make([]uint64, 1)
+		vals := make([]uint64, slotSize)
+		if _, err := runtime.Unpack(spec, msg, [][]uint64{ver, slot, nil, nil, nil, vals}); err != nil {
+			continue
+		}
+		chunk := -1
+		for c := range outstanding {
+			if uint64(c%cfg.Window) == slot[0] && uint64(c/cfg.Window)%2 == ver[0] {
+				chunk = c
+				break
+			}
+		}
+		if chunk < 0 {
+			mu.Lock()
+			res.Duplicates++ // duplicate completion (multicast + reflect)
+			mu.Unlock()
+			continue
+		}
+		delete(outstanding, chunk)
+		mismatch := false
+		for i := 0; i < slotSize; i++ {
+			want := uint64(cfg.Workers*(chunk+i)) + uint64(cfg.Workers*(cfg.Workers-1)/2)
+			if vals[i] != want {
+				mismatch = true
+				break
+			}
+		}
+		mu.Lock()
+		res.MeanChunkNs += float64(time.Since(sentAt[chunk]).Nanoseconds())
+		if mismatch {
+			res.Mismatches++
+		}
+		res.Completed++
+		mu.Unlock()
+		done++
+		if next := chunk + cfg.Window; next < cfg.Chunks {
+			if err := send(next, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PaxosUDPConfig parameterizes the consensus run over UDP.
+type PaxosUDPConfig struct {
+	Commands int
+	Target   passes.Target
+	// Faults injects seeded probabilistic loss/duplication at every
+	// device; each device derives its own RNG stream from Seed.
+	Faults runtime.FaultSpec
+	// RetransmitTimeout is the client's wait before resending an
+	// undelivered command (default 20ms).
+	RetransmitTimeout time.Duration
+	// RetryBudget bounds retransmissions per command (default 32).
+	RetryBudget int
+}
+
+// RunPaxosUDP runs the five-device P4xos deployment as five UDPDevice
+// processes chained over loopback sockets: client → leader →
+// acceptors (multicast) → learner → application host. The client
+// resends commands the learner has not delivered; a resent command is
+// chosen under a fresh instance, so delivery is deduplicated by
+// command value.
+func RunPaxosUDP(cfg PaxosUDPConfig) (*PaxosResult, error) {
+	if cfg.Commands <= 0 {
+		cfg.Commands = 8
+	}
+	if cfg.RetransmitTimeout <= 0 {
+		cfg.RetransmitTimeout = 20 * time.Millisecond
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 32
+	}
+	lossy := cfg.Faults.LossRate > 0 || cfg.Faults.DupRate > 0
+	app := ByName("PAXOS")
+
+	var spec *runtime.MessageSpec
+	ids := []uint16{PaxosLeader, PaxosAcceptor1, PaxosAcceptor2, PaxosAcceptor3, PaxosLearner}
+	devs := map[uint16]*runtime.UDPDevice{}
+	closeDevs := func() {
+		for _, d := range devs {
+			d.Close()
+		}
+	}
+	for _, id := range ids {
+		prog, sp, err := CompileApp(app, cfg.Target, id)
+		if err != nil {
+			closeDevs()
+			return nil, fmt.Errorf("device %d: %w", id, err)
+		}
+		spec = sp[1]
+		faults := cfg.Faults
+		if faults.LossRate > 0 || faults.DupRate > 0 {
+			// Decorrelate the per-device RNG streams.
+			faults.Seed = faults.Seed + int64(id)
+		}
+		devs[id], err = runtime.ServeDevice(runtime.DeviceConfig{
+			ID: id, Addr: "127.0.0.1:0", Prog: prog, Faults: faults,
+		})
+		if err != nil {
+			closeDevs()
+			return nil, err
+		}
+	}
+
+	client, err := runtime.Dial(runtime.DialConfig{
+		ID: 100, Local: "127.0.0.1:0", Device: devs[PaxosLeader].Addr(),
+	})
+	if err != nil {
+		closeDevs()
+		return nil, err
+	}
+	appHost, err := runtime.Dial(runtime.DialConfig{
+		ID: 101, Local: "127.0.0.1:0", Device: devs[PaxosLearner].Addr(),
+	})
+	if err != nil {
+		client.Close()
+		closeDevs()
+		return nil, err
+	}
+
+	// Operator wiring: leader multicasts to the acceptors, acceptors to
+	// the learner, the learner delivers to the application host.
+	wire := func() error {
+		for _, acc := range []uint16{PaxosAcceptor1, PaxosAcceptor2, PaxosAcceptor3} {
+			if err := devs[PaxosLeader].SetNodeAddr(acc, devs[acc].Addr()); err != nil {
+				return err
+			}
+			if err := devs[acc].SetNodeAddr(PaxosLearner, devs[PaxosLearner].Addr()); err != nil {
+				return err
+			}
+			devs[acc].SetMulticastGroup(30, []uint16{PaxosLearner})
+		}
+		devs[PaxosLeader].SetMulticastGroup(20, []uint16{PaxosAcceptor1, PaxosAcceptor2, PaxosAcceptor3})
+		return devs[PaxosLearner].SetNodeAddr(101, appHost.Addr())
+	}
+	if err := wire(); err != nil {
+		appHost.Close()
+		client.Close()
+		closeDevs()
+		return nil, err
+	}
+
+	res := &PaxosResult{}
+	var mu sync.Mutex
+	delivered := map[uint64]bool{}    // by instance
+	deliveredVal := map[uint64]bool{} // by command value (app-level dedup)
+	isDelivered := func(val uint64) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return deliveredVal[val]
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			msg, err := appHost.Recv(2 * time.Millisecond)
+			if err != nil {
+				if runtime.IsTimeout(err) {
+					select {
+					case <-stop:
+						return
+					default:
+						continue
+					}
+				}
+				return // socket closed
+			}
+			typ := make([]uint64, 1)
+			inst := make([]uint64, 1)
+			v := make([]uint64, 8)
+			if _, err := runtime.Unpack(spec, msg, [][]uint64{typ, inst, nil, nil, nil, v}); err != nil {
+				continue
+			}
+			if typ[0] != 4 { // DELIVER
+				continue
+			}
+			mu.Lock()
+			switch {
+			case delivered[inst[0]]:
+				res.Duplicates++ // at-most-once per instance
+			case deliveredVal[v[0]]:
+				delivered[inst[0]] = true
+				res.Duplicates++ // retried command, fresh instance
+			default:
+				delivered[inst[0]] = true
+				deliveredVal[v[0]] = true
+				res.Delivered++
+				if !lossy && v[0] != 1000+inst[0]-1 {
+					res.WrongValue++
+				}
+			}
+			mu.Unlock()
+		}
+	}()
+
+	var firstErr error
+	for c := 0; c < cfg.Commands; c++ {
+		val := uint64(1000 + c)
+		res.Submitted++
+		vals := make([]uint64, 8)
+		vals[0] = val
+		msg, err := runtime.Pack(spec,
+			runtime.Message{Src: 100, Dst: 101, Device: PaxosLeader, Comp: 1}.Header(),
+			[][]uint64{{1}, {0}, {0}, {0}, {0}, vals})
+		if err != nil {
+			firstErr = err
+			break
+		}
+		for attempt := 0; attempt <= cfg.RetryBudget && !isDelivered(val); attempt++ {
+			if attempt > 0 {
+				mu.Lock()
+				res.Retries++
+				mu.Unlock()
+			}
+			if err := client.Send(msg); err != nil {
+				firstErr = err
+				break
+			}
+			// Poll for delivery until the retransmission timeout.
+			deadline := time.Now().Add(cfg.RetransmitTimeout)
+			for !isDelivered(val) && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	close(stop)
+	appHost.Close()
+	wg.Wait()
+	client.Close()
+	mu.Lock()
+	for c := 0; c < cfg.Commands; c++ {
+		if !deliveredVal[uint64(1000+c)] {
+			res.Undelivered++
+		}
+	}
+	mu.Unlock()
+	// Close() joins each device loop, so the fault counters are settled.
+	for _, d := range devs {
+		d.Close()
+	}
+	for _, d := range devs {
+		res.PacketsLost += d.FaultDropped
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	if res.Undelivered > 0 {
+		return res, fmt.Errorf("paxos-udp: %d/%d commands undelivered after retry budget (%d)",
+			res.Undelivered, cfg.Commands, cfg.RetryBudget)
+	}
+	return res, nil
+}

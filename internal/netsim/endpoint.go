@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"time"
+
+	"netcl/internal/runtime"
+)
+
+// HostEndpoint adapts a simulated host to the runtime.Endpoint
+// interface: Send injects a message into the network, Recv drives the
+// event loop until a message is delivered to this host (or the
+// simulated-time deadline passes), and Call runs the shared
+// reliability protocol — the same policy object the real-UDP HostConn
+// uses, so reliability behavior is identical on both backends.
+//
+// The endpoint is single-threaded like the simulator itself: use it
+// from the goroutine that owns the network.
+type HostEndpoint struct {
+	h     *Host
+	n     *Network
+	rel   *runtime.Reliability
+	inbox [][]byte
+	err   error
+}
+
+// NewEndpoint wraps host h in an Endpoint. It chains onto the host's
+// Receive callback, so an existing callback keeps firing.
+func (n *Network) NewEndpoint(h *Host, cfg runtime.ReliabilityConfig) *HostEndpoint {
+	ep := &HostEndpoint{h: h, n: n, rel: runtime.NewReliability(cfg)}
+	prev := h.Receive
+	h.Receive = func(hh *Host, msg []byte) {
+		ep.inbox = append(ep.inbox, append([]byte(nil), msg...))
+		if prev != nil {
+			prev(hh, msg)
+		}
+	}
+	return ep
+}
+
+// Stats returns the endpoint's reliability counters.
+func (ep *HostEndpoint) Stats() runtime.RelStats { return ep.rel.Stats() }
+
+// Transport implementation (raw, unreliable primitives).
+
+type simTransport struct{ ep *HostEndpoint }
+
+func (t simTransport) Send(msg []byte) error {
+	t.ep.h.Send(msg)
+	return nil
+}
+
+// Recv pops the inbox, running the simulator forward until a message
+// arrives or simulated time reaches the deadline.
+func (t simTransport) Recv(timeout time.Duration) ([]byte, error) {
+	ep := t.ep
+	deadline := ep.n.Now() + Time(timeout)
+	for len(ep.inbox) == 0 {
+		ran, err := ep.n.StepNext(deadline)
+		if err != nil {
+			ep.err = err
+			return nil, err
+		}
+		if !ran {
+			return nil, runtime.ErrTimeout
+		}
+	}
+	msg := ep.inbox[0]
+	ep.inbox = ep.inbox[1:]
+	return msg, nil
+}
+
+func (t simTransport) Now() time.Duration { return time.Duration(t.ep.n.Now()) }
+
+// Endpoint implementation.
+
+// Send transmits one NetCL message, fire-and-forget.
+func (ep *HostEndpoint) Send(msg []byte) error { return simTransport{ep}.Send(msg) }
+
+// Recv waits up to timeout (simulated time) for one inbound message,
+// with duplicate suppression and trailer stripping.
+func (ep *HostEndpoint) Recv(timeout time.Duration) ([]byte, error) {
+	return ep.rel.Recv(simTransport{ep}, timeout)
+}
+
+// Call sends msg and waits for the response carrying its sequence
+// number, retransmitting with exponential backoff within the retry
+// budget. Timeouts are simulated time.
+func (ep *HostEndpoint) Call(msg []byte, timeout time.Duration) ([]byte, error) {
+	return ep.rel.Call(simTransport{ep}, msg, timeout)
+}
+
+// SendReliable transmits msg with an ack request, retransmitting until
+// the receiving host acknowledges it.
+func (ep *HostEndpoint) SendReliable(msg []byte, timeout time.Duration) error {
+	return ep.rel.SendReliable(simTransport{ep}, msg, timeout)
+}
+
+// Close detaches the endpoint from the host.
+func (ep *HostEndpoint) Close() error {
+	ep.h.Receive = nil
+	return nil
+}

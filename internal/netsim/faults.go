@@ -1,0 +1,77 @@
+package netsim
+
+import "math/rand"
+
+// Probabilistic fault injection for chaos testing. All randomness
+// comes from one seeded RNG owned by the network, so a given seed
+// reproduces the exact same loss/jitter/duplication pattern — the
+// simulator analogue of the UDP backend's runtime.FaultSpec.
+
+// FaultConfig describes the fault model applied to every link.
+type FaultConfig struct {
+	// LossRate is the per-traversal drop probability.
+	LossRate float64
+	// DupRate is the per-traversal duplication probability: the copy
+	// takes an independently jittered path, so duplicates may also
+	// arrive reordered.
+	DupRate float64
+	// JitterNs adds a uniform random extra latency in [0, JitterNs)
+	// per traversal, which reorders packets relative to each other.
+	JitterNs Time
+	// Seed seeds the RNG (0 = a fixed default seed).
+	Seed int64
+}
+
+// Active reports whether any fault dimension is enabled.
+func (f FaultConfig) Active() bool {
+	return f.LossRate > 0 || f.DupRate > 0 || f.JitterNs > 0
+}
+
+type faults struct {
+	cfg FaultConfig
+	rng *rand.Rand
+}
+
+// InjectFaults arms probabilistic fault injection on every link of the
+// network (pass a zero FaultConfig to disarm). Deterministic per-link
+// DropNth injection keeps working independently.
+func (n *Network) InjectFaults(cfg FaultConfig) {
+	if !cfg.Active() {
+		n.faults = nil
+		return
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	n.faults = &faults{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// loseOne decides whether one traversal is dropped.
+func (f *faults) loseOne() bool {
+	return f != nil && f.cfg.LossRate > 0 && f.rng.Float64() < f.cfg.LossRate
+}
+
+// dupOne decides whether one traversal is duplicated.
+func (f *faults) dupOne() bool {
+	return f != nil && f.cfg.DupRate > 0 && f.rng.Float64() < f.cfg.DupRate
+}
+
+// jitterOne draws the extra latency for one traversal.
+func (f *faults) jitterOne() Time {
+	if f == nil || f.cfg.JitterNs <= 0 {
+		return 0
+	}
+	return Time(f.rng.Float64()) * f.cfg.JitterNs
+}
+
+// Pause makes the device drop every packet until Restart: the
+// simulated analogue of a crashed or rebooting switch. Register and
+// table state is preserved across the outage.
+func (d *Device) Pause() { d.paused = true }
+
+// Restart resumes a paused device.
+func (d *Device) Restart() { d.paused = false }
+
+// Paused reports whether the device is paused.
+func (d *Device) Paused() bool { return d.paused }

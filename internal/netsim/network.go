@@ -13,9 +13,14 @@ type Network struct {
 	Sim
 	hosts   map[uint16]*Host
 	devices map[uint16]*Device
+	faults  *faults
 	// Stats.
 	PacketsDelivered uint64
 	PacketsDropped   uint64
+	// FaultsDropped/FaultsDuplicated count probabilistic injections
+	// (see InjectFaults); they are included in PacketsDropped.
+	FaultsDropped    uint64
+	FaultsDuplicated uint64
 }
 
 // NewNetwork creates an empty network.
@@ -79,6 +84,8 @@ type Device struct {
 	// PipelineNs is the device forwarding latency (from the p4c
 	// latency model or a default).
 	PipelineNs Time
+	// paused devices drop every packet (see Pause/Restart).
+	paused bool
 
 	Processed uint64
 }
@@ -215,6 +222,12 @@ func (n *Network) transmit(l *Link, from port, pkt []byte, deliver func()) {
 		n.PacketsDropped++
 		return
 	}
+	if n.faults.loseOne() {
+		l.Dropped++
+		n.PacketsDropped++
+		n.FaultsDropped++
+		return
+	}
 	dir := l.dirIndex(from)
 	ser := l.serialization(len(pkt))
 	start := n.Now()
@@ -223,7 +236,11 @@ func (n *Network) transmit(l *Link, from port, pkt []byte, deliver func()) {
 	}
 	done := start + ser
 	l.busyUntil[dir] = done
-	n.At(done-n.Now()+l.LatencyNs, deliver)
+	n.At(done-n.Now()+l.LatencyNs+n.faults.jitterOne(), deliver)
+	if n.faults.dupOne() {
+		n.FaultsDuplicated++
+		n.At(done-n.Now()+l.LatencyNs+n.faults.jitterOne(), deliver)
+	}
 }
 
 // Send transmits a NetCL message from the host into the network.
@@ -248,6 +265,10 @@ func (h *Host) Send(msg []byte) {
 
 // receive runs the P4 pipeline and forwards the result.
 func (d *Device) receive(pkt []byte, inPort int) {
+	if d.paused {
+		d.net.PacketsDropped++
+		return
+	}
 	d.Processed++
 	res, err := d.SW.Process(pkt, inPort)
 	if err != nil || res.Dropped || res == nil {

@@ -93,5 +93,26 @@ func (s *Sim) Run(until Time) error {
 // RunAll processes every pending event.
 func (s *Sim) RunAll() error { return s.Run(0) }
 
+// StepNext executes the next pending event if it is scheduled at or
+// before horizon (0 = any). It reports whether an event ran; when no
+// eligible event exists and a horizon is given, the clock advances to
+// the horizon so blocking receivers observe the timeout.
+func (s *Sim) StepNext(horizon Time) (bool, error) {
+	if len(s.q) == 0 || (horizon > 0 && s.q[0].at > horizon) {
+		if horizon > s.now {
+			s.now = horizon
+		}
+		return false, nil
+	}
+	e := heap.Pop(&s.q).(*event)
+	s.now = e.at
+	s.Processed++
+	if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
+		return false, fmt.Errorf("netsim: event budget exceeded (%d)", s.MaxEvents)
+	}
+	e.fn()
+	return true, nil
+}
+
 // Pending reports queued events.
 func (s *Sim) Pending() int { return len(s.q) }

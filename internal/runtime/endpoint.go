@@ -1,0 +1,70 @@
+package runtime
+
+import (
+	"time"
+
+	"netcl/internal/wire"
+)
+
+// Endpoint is the backend-agnostic host-side messaging surface: the
+// real-UDP HostConn and the simulator's host endpoint both implement
+// it, so application code and the reliability policy do not care which
+// substrate carries the messages.
+type Endpoint interface {
+	// Send transmits one NetCL message, fire-and-forget.
+	Send(msg []byte) error
+	// Recv waits up to timeout for one inbound message. Duplicate
+	// retransmissions are suppressed and the reliability trailer, if
+	// present, is stripped.
+	Recv(timeout time.Duration) ([]byte, error)
+	// Call sends msg with a fresh sequence number and waits for the
+	// response carrying it, retransmitting with exponential backoff
+	// within the endpoint's retry budget. timeout overrides the
+	// configured per-attempt timeout when positive.
+	Call(msg []byte, timeout time.Duration) ([]byte, error)
+	// Close releases the endpoint.
+	Close() error
+}
+
+// Transport is the raw substrate under the reliability policy: an
+// unreliable datagram path plus a monotonic clock (wall time for UDP,
+// simulated time for netsim). Recv returns messages verbatim,
+// trailer included.
+type Transport interface {
+	Send(msg []byte) error
+	Recv(timeout time.Duration) ([]byte, error)
+	Now() time.Duration
+}
+
+// SendTo packs and sends a message over any endpoint (ncl::pack +
+// send, fire-and-forget).
+func SendTo(e Endpoint, spec *MessageSpec, m Message, args [][]uint64) error {
+	buf, err := Pack(spec, m.Header(), args)
+	if err != nil {
+		return err
+	}
+	return e.Send(buf)
+}
+
+// CallMessage packs m, performs a reliable Call over the endpoint, and
+// unpacks the response into out (nil slices are skipped).
+func CallMessage(e Endpoint, spec *MessageSpec, m Message, args, out [][]uint64, timeout time.Duration) (wire.Header, error) {
+	buf, err := Pack(spec, m.Header(), args)
+	if err != nil {
+		return wire.Header{}, err
+	}
+	reply, err := e.Call(buf, timeout)
+	if err != nil {
+		return wire.Header{}, err
+	}
+	return Unpack(spec, reply, out)
+}
+
+// RecvFrom receives and unpacks one message from any endpoint.
+func RecvFrom(e Endpoint, spec *MessageSpec, out [][]uint64, timeout time.Duration) (wire.Header, error) {
+	msg, err := e.Recv(timeout)
+	if err != nil {
+		return wire.Header{}, err
+	}
+	return Unpack(spec, msg, out)
+}

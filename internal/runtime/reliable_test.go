@@ -1,0 +1,201 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"netcl/internal/wire"
+)
+
+// fakeTransport drives the reliability policy without sockets or
+// timers: Send hands the message to a scripted responder, Recv pops
+// the inbox or advances a virtual clock by the timeout. Deterministic
+// and instant, whatever the configured timeouts.
+type fakeTransport struct {
+	now    time.Duration
+	inbox  [][]byte
+	onSend func(f *fakeTransport, msg []byte)
+	sends  int
+}
+
+func (f *fakeTransport) Send(msg []byte) error {
+	f.sends++
+	if f.onSend != nil {
+		f.onSend(f, append([]byte(nil), msg...))
+	}
+	return nil
+}
+
+func (f *fakeTransport) Recv(timeout time.Duration) ([]byte, error) {
+	if len(f.inbox) == 0 {
+		f.now += timeout
+		return nil, ErrTimeout
+	}
+	f.now += time.Microsecond
+	m := f.inbox[0]
+	f.inbox = f.inbox[1:]
+	return m, nil
+}
+
+func (f *fakeTransport) Now() time.Duration { return f.now }
+
+func testMsg(src, dst uint16, data ...byte) []byte {
+	h := wire.Header{Src: src, Dst: dst, From: wire.None, To: 5, Comp: 1}
+	return append(h.Marshal(nil), data...)
+}
+
+// TestCallRetransmitsUntilResponse drops the first two requests; the
+// third send is echoed back (a device reflect carries the trailer
+// untouched), and Call must deliver its body.
+func TestCallRetransmitsUntilResponse(t *testing.T) {
+	ft := &fakeTransport{}
+	ft.onSend = func(f *fakeTransport, msg []byte) {
+		if f.sends >= 3 {
+			f.inbox = append(f.inbox, msg) // device-style echo, trailer intact
+		}
+	}
+	r := NewReliability(ReliabilityConfig{Timeout: time.Millisecond})
+	body, err := r.Call(ft, testMsg(1, 2, 0xAB), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != wire.HeaderBytes+1 || body[wire.HeaderBytes] != 0xAB {
+		t.Errorf("body %x", body)
+	}
+	st := r.Stats()
+	if st.Retransmits != 2 || st.Timeouts != 2 || st.Sent != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestCallSuppressesDuplicateResponses echoes every request twice; the
+// duplicate must neither satisfy a later call nor leak out of Recv.
+func TestCallSuppressesDuplicateResponses(t *testing.T) {
+	ft := &fakeTransport{}
+	ft.onSend = func(f *fakeTransport, msg []byte) {
+		f.inbox = append(f.inbox, msg, append([]byte(nil), msg...))
+	}
+	r := NewReliability(ReliabilityConfig{Timeout: time.Millisecond})
+	if _, err := r.Call(ft, testMsg(1, 2, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	// The duplicate echo is still queued; a Recv must suppress it.
+	if _, err := r.Recv(ft, time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("duplicate leaked through Recv: %v", err)
+	}
+	if st := r.Stats(); st.Duplicates != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestCallExponentialBackoff checks the virtual-time spacing of
+// retransmissions: 1ms, 2ms, 4ms, capped by MaxTimeout at 5ms.
+func TestCallExponentialBackoff(t *testing.T) {
+	ft := &fakeTransport{}
+	r := NewReliability(ReliabilityConfig{
+		Timeout: time.Millisecond, MaxRetries: 3, MaxTimeout: 5 * time.Millisecond,
+	})
+	_, err := r.Call(ft, testMsg(1, 2), 0)
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("want ErrRetryBudget, got %v", err)
+	}
+	if want := (1 + 2 + 4 + 5) * time.Millisecond; ft.now != want {
+		t.Errorf("virtual time %v, want %v", ft.now, want)
+	}
+	if ft.sends != 4 {
+		t.Errorf("%d sends, want 4", ft.sends)
+	}
+	if st := r.Stats(); st.Failures != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestSendReliableAcked: the responder host acknowledges, completing
+// the one-way delivery.
+func TestSendReliableAcked(t *testing.T) {
+	ft := &fakeTransport{}
+	ft.onSend = func(f *fakeTransport, msg []byte) {
+		body, sq, ok := wire.ParseSeq(msg)
+		if !ok || sq.Flags&wire.SeqFlagWantAck == 0 {
+			t.Errorf("reliable send lacks WantAck: %x", msg)
+			return
+		}
+		f.inbox = append(f.inbox, wire.Seq{Seq: sq.Seq, Flags: wire.SeqFlagAck}.Append(body))
+	}
+	r := NewReliability(ReliabilityConfig{Timeout: time.Millisecond})
+	if err := r.SendReliable(ft, testMsg(1, 2, 9), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.AcksReceived != 1 || st.Retransmits != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// TestSendReliableBudget: no ack ever arrives; the budget must bound
+// the retries and surface ErrRetryBudget.
+func TestSendReliableBudget(t *testing.T) {
+	ft := &fakeTransport{}
+	r := NewReliability(ReliabilityConfig{Timeout: time.Millisecond, MaxRetries: 2})
+	err := r.SendReliable(ft, testMsg(1, 2), 0)
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("want ErrRetryBudget, got %v", err)
+	}
+	if ft.sends != 3 {
+		t.Errorf("%d sends, want 3 (1 + 2 retries)", ft.sends)
+	}
+}
+
+// TestRecvAcksAndDedups: a WantAck message is delivered once and
+// acknowledged on every copy (the previous ack may be the one lost).
+func TestRecvAcksAndDedups(t *testing.T) {
+	ft := &fakeTransport{}
+	var acks [][]byte
+	ft.onSend = func(f *fakeTransport, msg []byte) { acks = append(acks, msg) }
+	inbound := wire.Seq{Seq: 77, Flags: wire.SeqFlagWantAck}.Append(testMsg(3, 1, 5))
+	ft.inbox = append(ft.inbox, inbound, append([]byte(nil), inbound...))
+
+	r := NewReliability(ReliabilityConfig{})
+	body, err := r.Recv(ft, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body[wire.HeaderBytes] != 5 {
+		t.Errorf("body %x", body)
+	}
+	// The duplicate copy: suppressed, but still acknowledged.
+	if _, err := r.Recv(ft, time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("duplicate delivered: %v", err)
+	}
+	if len(acks) != 2 {
+		t.Fatalf("%d acks sent, want 2", len(acks))
+	}
+	body, sq, ok := wire.ParseSeq(acks[0])
+	if !ok || sq.Seq != 77 || sq.Flags&wire.SeqFlagAck == 0 {
+		t.Fatalf("not an ack of 77: %x", acks[0])
+	}
+	var hdr wire.Header
+	if _, ok := hdr.Unmarshal(body); !ok || hdr.Src != 1 || hdr.Dst != 3 {
+		t.Errorf("ack header not swapped: %+v", hdr)
+	}
+	if hdr.To != wire.None {
+		t.Errorf("ack would invoke a kernel: to=%d", hdr.To)
+	}
+}
+
+// TestRecvPassthrough: untrailered messages reach the application
+// unchanged — the pre-reliability wire format keeps working.
+func TestRecvPassthrough(t *testing.T) {
+	ft := &fakeTransport{}
+	plain := testMsg(3, 1, 1, 2, 3)
+	ft.inbox = append(ft.inbox, append([]byte(nil), plain...))
+	r := NewReliability(ReliabilityConfig{})
+	got, err := r.Recv(ft, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(plain) {
+		t.Errorf("passthrough mangled: %x vs %x", got, plain)
+	}
+}

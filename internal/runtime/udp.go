@@ -20,21 +20,41 @@ import (
 type UDPDevice struct {
 	ID uint16
 
-	mu    sync.Mutex
-	sw    *bmv2.Switch
-	conn  *net.UDPConn
-	addrs map[uint16]*net.UDPAddr
-	mcast map[int][]uint16
-	done  chan struct{}
-	wg    sync.WaitGroup
+	mu     sync.Mutex
+	sw     *bmv2.Switch
+	conn   *net.UDPConn
+	addrs  map[uint16]*net.UDPAddr
+	mcast  map[int][]uint16
+	done   chan struct{}
+	wg     sync.WaitGroup
+	faults *faultInjector
+	paused bool
 
 	Processed uint64
 	Dropped   uint64
+	// FaultDropped counts datagrams discarded by the fault injector or
+	// while the device was paused (chaos testing).
+	FaultDropped uint64
+	// FaultDuplicated counts datagrams duplicated by the injector.
+	FaultDuplicated uint64
 }
 
-// ServeUDPDevice starts a device on a UDP address ("127.0.0.1:0").
-func ServeUDPDevice(id uint16, addr string, prog *p4.Program) (*UDPDevice, error) {
-	ua, err := net.ResolveUDPAddr("udp", addr)
+// DeviceConfig parameterizes a UDP device process.
+type DeviceConfig struct {
+	// ID is the device's NetCL node id.
+	ID uint16
+	// Addr is the UDP listen address ("127.0.0.1:0").
+	Addr string
+	// Prog is the compiled P4 program to run.
+	Prog *p4.Program
+	// Faults optionally injects seeded probabilistic loss/duplication
+	// for chaos testing (zero value = faultless).
+	Faults FaultSpec
+}
+
+// ServeDevice starts a device process described by cfg.
+func ServeDevice(cfg DeviceConfig) (*UDPDevice, error) {
+	ua, err := net.ResolveUDPAddr("udp", cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
@@ -43,16 +63,41 @@ func ServeUDPDevice(id uint16, addr string, prog *p4.Program) (*UDPDevice, error
 		return nil, err
 	}
 	d := &UDPDevice{
-		ID:    id,
-		sw:    bmv2.New(prog),
-		conn:  conn,
-		addrs: map[uint16]*net.UDPAddr{},
-		mcast: map[int][]uint16{},
-		done:  make(chan struct{}),
+		ID:     cfg.ID,
+		sw:     bmv2.New(cfg.Prog),
+		conn:   conn,
+		addrs:  map[uint16]*net.UDPAddr{},
+		mcast:  map[int][]uint16{},
+		done:   make(chan struct{}),
+		faults: newFaultInjector(cfg.Faults),
 	}
 	d.wg.Add(1)
 	go d.loop()
 	return d, nil
+}
+
+// ServeUDPDevice starts a device on a UDP address ("127.0.0.1:0").
+//
+// Deprecated: use ServeDevice with a DeviceConfig, which also carries
+// the fault-injection knobs.
+func ServeUDPDevice(id uint16, addr string, prog *p4.Program) (*UDPDevice, error) {
+	return ServeDevice(DeviceConfig{ID: id, Addr: addr, Prog: prog})
+}
+
+// Pause makes the device drop every datagram until Restart: the
+// chaos-testing analogue of a crashed or rebooting switch. Register
+// and table state is preserved across the outage.
+func (d *UDPDevice) Pause() {
+	d.mu.Lock()
+	d.paused = true
+	d.mu.Unlock()
+}
+
+// Restart resumes a paused device.
+func (d *UDPDevice) Restart() {
+	d.mu.Lock()
+	d.paused = false
+	d.mu.Unlock()
 }
 
 // Addr returns the device's UDP address.
@@ -104,7 +149,21 @@ func (d *UDPDevice) loop() {
 			}
 		}
 		msg := append([]byte(nil), buf[:n]...)
+		d.mu.Lock()
+		paused := d.paused
+		if paused || d.faults.drop() {
+			d.FaultDropped++
+			d.mu.Unlock()
+			continue
+		}
+		d.mu.Unlock()
 		d.process(msg)
+		if d.faults.dup() {
+			d.mu.Lock()
+			d.FaultDuplicated++
+			d.mu.Unlock()
+			d.process(msg)
+		}
 	}
 }
 
@@ -140,6 +199,12 @@ func (d *UDPDevice) process(msg []byte) {
 		return
 	}
 	for _, a := range dests {
+		if d.faults.drop() {
+			d.mu.Lock()
+			d.FaultDropped++
+			d.mu.Unlock()
+			continue
+		}
 		d.conn.WriteToUDP(out, a)
 	}
 }
@@ -160,6 +225,14 @@ func (d *UDPDevice) RegisterWrite(name string, idx int, v uint64) error {
 	return d.sw.RegisterWrite(name, idx, v)
 }
 
+// SetDefaultAction configures a table's default action (operator
+// configuration, e.g. the baseline AGG worker count).
+func (d *UDPDevice) SetDefaultAction(table, action string, args []uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sw.SetDefaultAction(table, action, args)
+}
+
 // InsertEntry implements p4rt.Client.
 func (d *UDPDevice) InsertEntry(table string, e *p4.Entry) error {
 	d.mu.Lock()
@@ -175,16 +248,33 @@ func (d *UDPDevice) DeleteEntry(table string, keyVal uint64) (int, error) {
 }
 
 // HostConn is a host-side UDP endpoint for NetCL messages, mirroring
-// the socket code of the paper's Figure 6.
+// the socket code of the paper's Figure 6. It implements Endpoint:
+// Send is fire-and-forget, Recv suppresses duplicates, and Call runs
+// the reliability protocol (seq, retransmit, backoff).
 type HostConn struct {
 	ID     uint16
 	conn   *net.UDPConn
 	device *net.UDPAddr
+	rel    *Reliability
+	start  time.Time
 }
 
-// DialUDP opens a host endpoint bound to local, targeting the device.
-func DialUDP(id uint16, local, device string) (*HostConn, error) {
-	la, err := net.ResolveUDPAddr("udp", local)
+// DialConfig parameterizes a host endpoint.
+type DialConfig struct {
+	// ID is the host's NetCL node id.
+	ID uint16
+	// Local is the UDP address to bind ("127.0.0.1:0").
+	Local string
+	// Device is the UDP address of the first-hop device.
+	Device string
+	// Reliability carries the retransmission knobs (zero value =
+	// defaults: 20ms timeout, 8 retries, 2x backoff).
+	Reliability ReliabilityConfig
+}
+
+// Dial opens the host endpoint described by cfg.
+func Dial(cfg DialConfig) (*HostConn, error) {
+	la, err := net.ResolveUDPAddr("udp", cfg.Local)
 	if err != nil {
 		return nil, err
 	}
@@ -192,12 +282,23 @@ func DialUDP(id uint16, local, device string) (*HostConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	da, err := net.ResolveUDPAddr("udp", device)
+	da, err := net.ResolveUDPAddr("udp", cfg.Device)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
-	return &HostConn{ID: id, conn: conn, device: da}, nil
+	return &HostConn{
+		ID: cfg.ID, conn: conn, device: da,
+		rel: NewReliability(cfg.Reliability), start: time.Now(),
+	}, nil
+}
+
+// DialUDP opens a host endpoint bound to local, targeting the device.
+//
+// Deprecated: use Dial with a DialConfig, which also carries the
+// reliability knobs.
+func DialUDP(id uint16, local, device string) (*HostConn, error) {
+	return Dial(DialConfig{ID: id, Local: local, Device: device})
 }
 
 // Addr returns the host's UDP address.
@@ -206,11 +307,35 @@ func (h *HostConn) Addr() string { return h.conn.LocalAddr().String() }
 // Close releases the socket.
 func (h *HostConn) Close() error { return h.conn.Close() }
 
-// Send transmits a packed NetCL message to the device.
-func (h *HostConn) Send(msg []byte) error {
-	_, err := h.conn.WriteToUDP(msg, h.device)
+// Stats returns the endpoint's reliability counters.
+func (h *HostConn) Stats() RelStats { return h.rel.Stats() }
+
+// hostTransport adapts the raw socket to the reliability layer.
+type hostTransport struct{ h *HostConn }
+
+func (t hostTransport) Send(msg []byte) error {
+	_, err := t.h.conn.WriteToUDP(msg, t.h.device)
 	return err
 }
+
+func (t hostTransport) Recv(timeout time.Duration) ([]byte, error) {
+	if timeout > 0 {
+		if err := t.h.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, 65536)
+	n, _, err := t.h.conn.ReadFromUDP(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+func (t hostTransport) Now() time.Duration { return time.Since(t.h.start) }
+
+// Send transmits a packed NetCL message to the device, unreliably.
+func (h *HostConn) Send(msg []byte) error { return hostTransport{h}.Send(msg) }
 
 // SendMessage packs and sends in one call.
 func (h *HostConn) SendMessage(spec *MessageSpec, m Message, args [][]uint64) error {
@@ -222,19 +347,29 @@ func (h *HostConn) SendMessage(spec *MessageSpec, m Message, args [][]uint64) er
 	return h.Send(buf)
 }
 
-// Recv waits up to timeout for a NetCL message.
+// SendReliable transmits msg with an ack request, retransmitting until
+// the receiving host acknowledges it or the retry budget runs out.
+func (h *HostConn) SendReliable(msg []byte, timeout time.Duration) error {
+	return h.rel.SendReliable(hostTransport{h}, msg, timeout)
+}
+
+// Recv waits up to timeout for a NetCL message. Acks are consumed,
+// duplicates suppressed, and the reliability trailer stripped;
+// untrailered messages pass through unchanged.
 func (h *HostConn) Recv(timeout time.Duration) ([]byte, error) {
-	if timeout > 0 {
-		if err := h.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-			return nil, err
-		}
-	}
-	buf := make([]byte, 65536)
-	n, _, err := h.conn.ReadFromUDP(buf)
-	if err != nil {
-		return nil, err
-	}
-	return buf[:n], nil
+	return h.rel.Recv(hostTransport{h}, timeout)
+}
+
+// Call sends msg and waits for the response carrying its sequence
+// number, retransmitting with exponential backoff within the
+// configured retry budget.
+func (h *HostConn) Call(msg []byte, timeout time.Duration) ([]byte, error) {
+	return h.rel.Call(hostTransport{h}, msg, timeout)
+}
+
+// CallMessage packs m, Calls, and unpacks the response into out.
+func (h *HostConn) CallMessage(spec *MessageSpec, m Message, args, out [][]uint64, timeout time.Duration) (wire.Header, error) {
+	return CallMessage(h, spec, m, args, out, timeout)
 }
 
 // RecvMessage receives and unpacks one message.

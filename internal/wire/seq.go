@@ -1,0 +1,62 @@
+package wire
+
+// Reliability extension: the seq field of the extended Fig. 10 header.
+//
+// The NetCL wire format reserves a payload region after the kernel
+// arguments (header | data | payload). The reliability layer uses it
+// for a fixed-size trailer carrying a per-message sequence number, so
+// devices — whose generated parsers extract only the header and data —
+// forward and reflect it untouched. End hosts use the sequence number
+// for ack/retransmit matching and receiver-side duplicate suppression;
+// messages without the trailer are processed exactly as before, which
+// keeps the base wire format unchanged.
+const (
+	// SeqMagic0/SeqMagic1 open the trailer ("NS": NetCL Seq).
+	SeqMagic0 = 0x4E
+	SeqMagic1 = 0x53
+	// SeqVersion is the trailer layout version.
+	SeqVersion = 1
+	// SeqBytes is the trailer size: magic (2), version (1), flags (1),
+	// seq (4), all big endian.
+	SeqBytes = 8
+)
+
+// Seq trailer flags.
+const (
+	// SeqFlagWantAck asks the receiving host to acknowledge this
+	// message (one-way reliable delivery).
+	SeqFlagWantAck = 1 << 0
+	// SeqFlagAck marks the message as an acknowledgement of Seq.
+	SeqFlagAck = 1 << 1
+)
+
+// Seq is the parsed reliability trailer.
+type Seq struct {
+	Seq   uint32
+	Flags uint8
+}
+
+// Append serializes the trailer after msg.
+func (s Seq) Append(msg []byte) []byte {
+	out := make([]byte, 0, len(msg)+SeqBytes)
+	out = append(out, msg...)
+	return append(out,
+		SeqMagic0, SeqMagic1, SeqVersion, s.Flags,
+		byte(s.Seq>>24), byte(s.Seq>>16), byte(s.Seq>>8), byte(s.Seq),
+	)
+}
+
+// ParseSeq splits a message into its body and trailer. ok is false if
+// the message carries no reliability trailer.
+func ParseSeq(msg []byte) (body []byte, s Seq, ok bool) {
+	if len(msg) < HeaderBytes+SeqBytes {
+		return msg, Seq{}, false
+	}
+	t := msg[len(msg)-SeqBytes:]
+	if t[0] != SeqMagic0 || t[1] != SeqMagic1 || t[2] != SeqVersion {
+		return msg, Seq{}, false
+	}
+	s.Flags = t[3]
+	s.Seq = uint32(t[4])<<24 | uint32(t[5])<<16 | uint32(t[6])<<8 | uint32(t[7])
+	return msg[:len(msg)-SeqBytes], s, true
+}

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func msgWithHeader(data []byte) []byte {
+	h := Header{Src: 7, Dst: 9, From: None, To: 1, Comp: 1}
+	return append(h.Marshal(nil), data...)
+}
+
+func TestSeqRoundTrip(t *testing.T) {
+	msg := msgWithHeader([]byte{1, 2, 3, 4})
+	for _, s := range []Seq{
+		{Seq: 0},
+		{Seq: 1, Flags: SeqFlagWantAck},
+		{Seq: 0xDEADBEEF, Flags: SeqFlagAck},
+		{Seq: 42, Flags: SeqFlagWantAck | SeqFlagAck},
+	} {
+		out := s.Append(msg)
+		if len(out) != len(msg)+SeqBytes {
+			t.Fatalf("trailer size: %d", len(out)-len(msg))
+		}
+		body, got, ok := ParseSeq(out)
+		if !ok {
+			t.Fatalf("trailer %+v not recognized", s)
+		}
+		if got != s {
+			t.Errorf("round trip: got %+v want %+v", got, s)
+		}
+		if !bytes.Equal(body, msg) {
+			t.Errorf("body mangled: %x vs %x", body, msg)
+		}
+	}
+}
+
+// TestSeqAppendDoesNotAliasInput guards the retransmission path: the
+// same request buffer is sent repeatedly, so Append must not share
+// backing storage with its input.
+func TestSeqAppendDoesNotAliasInput(t *testing.T) {
+	msg := msgWithHeader(make([]byte, 4, 64)) // spare capacity invites aliasing
+	out := Seq{Seq: 5}.Append(msg)
+	out[HeaderBytes] = 0xFF
+	if msg[HeaderBytes] == 0xFF {
+		t.Error("Append aliased its input buffer")
+	}
+}
+
+func TestSeqPassthrough(t *testing.T) {
+	// No trailer: short messages, plain messages, and payloads that are
+	// long enough but lack the magic must all pass through unchanged.
+	cases := [][]byte{
+		{},
+		{1, 2, 3},
+		msgWithHeader(nil),
+		msgWithHeader([]byte{1, 2, 3, 4, 5, 6, 7, 8}), // right length, no magic
+	}
+	for _, msg := range cases {
+		body, _, ok := ParseSeq(msg)
+		if ok {
+			t.Errorf("%x misparsed as trailered", msg)
+		}
+		if !bytes.Equal(body, msg) {
+			t.Errorf("passthrough mangled %x -> %x", msg, body)
+		}
+	}
+}
+
+func TestSeqRejectsWrongVersion(t *testing.T) {
+	out := Seq{Seq: 9}.Append(msgWithHeader([]byte{1, 2, 3, 4}))
+	out[len(out)-SeqBytes+2] = SeqVersion + 1
+	if _, _, ok := ParseSeq(out); ok {
+		t.Error("future trailer version accepted")
+	}
+}

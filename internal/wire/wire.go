@@ -6,7 +6,10 @@
 //
 // The NetCL header carries the 4-tuple (src, dst, from, to), the
 // computation id, and the action/argument pair the device runtime uses
-// to steer forwarding (§VI-C).
+// to steer forwarding (§VI-C). The reliability layer extends the
+// format with an optional seq trailer in the payload region (see
+// seq.go): devices forward it untouched, end hosts use it for
+// ack/retransmit and duplicate suppression.
 package wire
 
 // NetCLPort is the default UDP destination port identifying NetCL
