@@ -1,20 +1,25 @@
 # NetCL build and test entry points.
 #
-# tier1 is the fast correctness gate; tier2 adds vet and the race
-# detector over the concurrent code (UDP backend, drivers, chaos
-# tests); bench-reliability emits the goodput-under-loss measurement.
+# tier1 is the fast correctness gate (vet + build + test); tier2 adds
+# the race detector over the concurrent code (UDP backend, drivers,
+# chaos tests); bench emits the interpreter hot-path measurement,
+# bench-reliability the goodput-under-loss one.
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench-reliability examples clean
+.PHONY: all tier1 tier2 bench bench-reliability examples clean
 
 all: tier1
 
 tier1:
-	$(GO) build ./... && $(GO) test ./...
+	$(GO) vet ./... && $(GO) build ./... && $(GO) test ./...
 
 tier2:
 	$(GO) vet ./... && $(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench BenchmarkInterpHotPath -benchmem .
+	$(GO) run ./cmd/nclbench -interp -out BENCH_interp.json
 
 bench-reliability:
 	$(GO) run ./cmd/nclbench -reliability -out BENCH_reliability.json
@@ -26,4 +31,4 @@ examples:
 	$(GO) run ./examples/paxos
 
 clean:
-	rm -f BENCH_reliability.json
+	rm -f BENCH_reliability.json BENCH_interp.json

@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"netcl/internal/apps"
+	"netcl/internal/bmv2"
 	"netcl/internal/metrics"
 	"netcl/internal/p4c"
 	"netcl/internal/passes"
@@ -269,6 +270,46 @@ func BenchmarkInterpreterCachePacket(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := run(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// Interpreter hot path ---------------------------------------------------
+
+// BenchmarkInterpHotPath measures per-packet cost of both bmv2
+// engines on each evaluation app's packet stream (the nclbench -interp
+// comparison, as sub-benchmarks with allocation reporting).
+func BenchmarkInterpHotPath(b *testing.B) {
+	rows := []struct {
+		app    string
+		device uint16
+	}{{"AGG", 1}, {"CACHE", 1}, {"PACC", apps.PaxosAcceptor1}, {"CALC", 1}}
+	for _, r := range rows {
+		w, err := apps.NewInterpWorkload(r.app, r.device, 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, eng := range []struct {
+			name   string
+			engine bmv2.Engine
+		}{{"reference", bmv2.EngineReference}, {"compiled", bmv2.EngineCompiled}} {
+			b.Run(r.app+"/"+eng.name, func(b *testing.B) {
+				sw, err := w.Switch(eng.engine)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Run(sw); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pkt := w.Packets[i%len(w.Packets)]
+					if _, err := sw.Process(pkt, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

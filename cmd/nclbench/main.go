@@ -7,6 +7,12 @@
 // JSON:
 //
 //	nclbench -reliability -out BENCH_reliability.json
+//
+// With -interp it benchmarks the bmv2 interpreter hot path — the
+// compiled slot-indexed engine against the reference tree-walker on
+// each evaluation app — plus the netsim event-engine counters:
+//
+//	nclbench -interp -out BENCH_interp.json
 package main
 
 import (
@@ -21,14 +27,33 @@ import (
 func main() {
 	var (
 		reliability = flag.Bool("reliability", false, "run the goodput-under-loss sweep instead of the paper report")
-		out         = flag.String("out", "BENCH_reliability.json", "reliability: output JSON path")
+		interp      = flag.Bool("interp", false, "benchmark the interpreter hot path instead of the paper report")
+		out         = flag.String("out", "", "output JSON path (default BENCH_reliability.json / BENCH_interp.json)")
 		workers     = flag.Int("workers", 4, "reliability: AGG workers")
 		chunks      = flag.Int("chunks", 48, "reliability: chunks per worker")
 		seed        = flag.Int64("seed", 1, "reliability: fault-injection seed")
+		pkts        = flag.Int("pkts", 20000, "interp: packets per app per engine")
 	)
 	flag.Parse()
 
+	if *interp {
+		if *out == "" {
+			*out = "BENCH_interp.json"
+		}
+		rep, err := netcl.BenchInterp(*pkts)
+		check(err)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		check(err)
+		check(os.WriteFile(*out, append(data, '\n'), 0o644))
+		fmt.Print(netcl.FormatInterp(rep))
+		fmt.Println("wrote", *out)
+		return
+	}
+
 	if *reliability {
+		if *out == "" {
+			*out = "BENCH_reliability.json"
+		}
 		rep, err := netcl.BenchReliability(nil, *workers, *chunks, *seed)
 		check(err)
 		data, err := json.MarshalIndent(rep, "", "  ")

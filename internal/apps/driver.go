@@ -112,6 +112,8 @@ type AggResult struct {
 	Duplicates int
 	// MeanChunkNs is the mean first-send-to-completion latency.
 	MeanChunkNs float64
+	// Sim reports the discrete-event engine's work for this run.
+	Sim SimStats
 }
 
 // Summary implements Result.
@@ -305,6 +307,7 @@ func RunAgg(cfg AggConfig) (*AggResult, error) {
 	for _, l := range links {
 		res.PacketsLost += l.Dropped
 	}
+	res.Sim = SimStats{Events: n.Processed, PeakQueue: n.PeakQueue, EventsPerSec: n.EventsPerSec()}
 	if budgetExceeded > 0 {
 		return res, fmt.Errorf("agg: retry budget (%d) exhausted for %d chunk(s); %d/%d slots completed",
 			cfg.RetryBudget, budgetExceeded, res.Completed, cfg.Workers*cfg.Chunks)
@@ -341,6 +344,8 @@ type CacheResult struct {
 	Retransmissions int
 	Duplicates      int
 	PacketsLost     uint64
+	// Sim reports the discrete-event engine's work for this run.
+	Sim SimStats
 }
 
 // Summary implements Result.
@@ -541,6 +546,7 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 		res.HitRate = float64(res.Hits) / float64(done)
 	}
 	res.PacketsLost = n.FaultsDropped
+	res.Sim = SimStats{Events: n.Processed, PeakQueue: n.PeakQueue, EventsPerSec: n.EventsPerSec()}
 	if budgetExceeded > 0 {
 		return res, fmt.Errorf("cache: retry budget (%d) exhausted; %d/%d requests answered",
 			cfg.RetryBudget, done, cfg.Requests)

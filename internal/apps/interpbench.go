@@ -1,0 +1,234 @@
+package apps
+
+// interpbench.go measures the bmv2 interpreter hot path: the same
+// per-app packet stream driven through the reference tree-walking
+// engine and the compiled slot-indexed engine, reporting packets per
+// second and allocation cost per packet. `nclbench -interp` writes the
+// result as BENCH_interp.json.
+
+import (
+	"fmt"
+	"math/rand"
+	gort "runtime"
+	"time"
+
+	"netcl/internal/bmv2"
+	"netcl/internal/p4"
+	"netcl/internal/passes"
+	"netcl/internal/runtime"
+)
+
+// InterpWorkload is one app's interpreter benchmark input: a compiled
+// program, control-plane setup, and a deterministic packet stream.
+type InterpWorkload struct {
+	App     string
+	Device  uint16
+	Prog    *p4.Program
+	Spec    *runtime.MessageSpec
+	Packets [][]byte
+}
+
+// interpRows lists the benchmarked Table III rows (one device each).
+var interpRows = []struct {
+	app    string
+	device uint16
+}{
+	{"AGG", 1},
+	{"CACHE", 1},
+	{"PACC", PaxosAcceptor1},
+	{"CALC", 1},
+}
+
+// NewInterpWorkload compiles the app's generated program and builds a
+// seeded stream of wire messages: valid headers with randomized kernel
+// arguments (the opcode-like first scalar kept small so the dispatch
+// branches are all exercised).
+func NewInterpWorkload(appName string, device uint16, packets int) (*InterpWorkload, error) {
+	reg := appName
+	if appName == "PACC" || appName == "PLRN" || appName == "PLDR" {
+		reg = "PAXOS"
+	}
+	app := ByName(reg)
+	if app == nil {
+		return nil, fmt.Errorf("unknown app %q", appName)
+	}
+	prog, specs, err := CompileApp(app, passes.TargetTNA, device)
+	if err != nil {
+		return nil, err
+	}
+	spec := specs[1]
+	w := &InterpWorkload{App: appName, Device: device, Prog: prog, Spec: spec}
+	rng := rand.New(rand.NewSource(0x1234 + int64(device)))
+	args := make([][]uint64, len(spec.Args))
+	for i, a := range spec.Args {
+		args[i] = make([]uint64, a.Count)
+	}
+	for p := 0; p < packets; p++ {
+		for i, a := range spec.Args {
+			mask := ^uint64(0)
+			if a.Bytes < 8 {
+				mask = uint64(1)<<(uint(a.Bytes)*8) - 1
+			}
+			for k := range args[i] {
+				if i == 0 && a.Count == 1 {
+					args[i][k] = uint64(rng.Intn(8))
+				} else {
+					args[i][k] = rng.Uint64() & mask
+				}
+			}
+		}
+		msg, err := runtime.Pack(spec,
+			runtime.Message{Src: uint16(rng.Intn(4) + 1), Dst: uint16(rng.Intn(4) + 1),
+				Device: device, Comp: spec.Comp}.Header(), args)
+		if err != nil {
+			return nil, err
+		}
+		w.Packets = append(w.Packets, msg)
+	}
+	return w, nil
+}
+
+// Switch builds a fresh switch with the workload's control-plane state
+// (forwarding entries; cached keys for CACHE) on the given engine.
+func (w *InterpWorkload) Switch(engine bmv2.Engine) (*bmv2.Switch, error) {
+	sw := bmv2.New(w.Prog)
+	sw.SetEngine(engine)
+	for id := 1; id <= 4; id++ {
+		if err := sw.InsertEntry("netcl_fwd", &p4.Entry{
+			Keys:   []p4.KeyValue{{Value: uint64(id), PrefixLen: -1}},
+			Action: &p4.ActionCall{Name: "set_port", Args: []uint64{uint64(id)}},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if w.App == "CACHE" {
+		for k := 0; k < 4; k++ {
+			key, idx := uint64(k+1), uint64(k)
+			if err := sw.InsertEntry("lu_Index", &p4.Entry{
+				Keys:   []p4.KeyValue{{Value: key, PrefixLen: -1}},
+				Action: &p4.ActionCall{Name: "lu_Index_hit", Args: []uint64{idx}},
+			}); err != nil {
+				return nil, err
+			}
+			if err := sw.InsertEntry("lu_Share", &p4.Entry{
+				Keys:   []p4.KeyValue{{Value: key, PrefixLen: -1}},
+				Action: &p4.ActionCall{Name: "lu_Share_hit", Args: []uint64{(1 << CacheWords) - 1}},
+			}); err != nil {
+				return nil, err
+			}
+			for word := 0; word < CacheWords; word++ {
+				if err := sw.RegisterWrite(fmt.Sprintf("reg_Vals__%d", word), int(idx), key*100+uint64(word)); err != nil {
+					return nil, err
+				}
+			}
+			if err := sw.RegisterWrite("reg_Valid", int(idx), 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sw, nil
+}
+
+// Run drives every packet through the switch once.
+func (w *InterpWorkload) Run(sw *bmv2.Switch) error {
+	for _, pkt := range w.Packets {
+		if _, err := sw.Process(pkt, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InterpPoint is one app's old-vs-new interpreter comparison.
+type InterpPoint struct {
+	App                string  `json:"app"`
+	Packets            int     `json:"packets"`
+	ReferencePPS       float64 `json:"reference_pkts_per_sec"`
+	CompiledPPS        float64 `json:"compiled_pkts_per_sec"`
+	Speedup            float64 `json:"speedup"`
+	ReferenceBytesPkt  float64 `json:"reference_bytes_per_pkt"`
+	CompiledBytesPkt   float64 `json:"compiled_bytes_per_pkt"`
+	ReferenceAllocsPkt float64 `json:"reference_allocs_per_pkt"`
+	CompiledAllocsPkt  float64 `json:"compiled_allocs_per_pkt"`
+}
+
+// measureEngine runs the workload repeatedly on one engine and returns
+// packets/sec, heap bytes/packet, and allocations/packet.
+func (w *InterpWorkload) measureEngine(engine bmv2.Engine, totalPkts int) (pps, bytesPkt, allocsPkt float64, err error) {
+	sw, err := w.Switch(engine)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := w.Run(sw); err != nil { // warmup: JIT caches, pool, maps
+		return 0, 0, 0, err
+	}
+	rounds := totalPkts / len(w.Packets)
+	if rounds < 1 {
+		rounds = 1
+	}
+	n := rounds * len(w.Packets)
+	gort.GC()
+	var m0, m1 gort.MemStats
+	gort.ReadMemStats(&m0)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		if err := w.Run(sw); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	gort.ReadMemStats(&m1)
+	pps = float64(n) / elapsed.Seconds()
+	bytesPkt = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n)
+	allocsPkt = float64(m1.Mallocs-m0.Mallocs) / float64(n)
+	return pps, bytesPkt, allocsPkt, nil
+}
+
+// Measure benchmarks the workload on both engines.
+func (w *InterpWorkload) Measure(totalPkts int) (*InterpPoint, error) {
+	pt := &InterpPoint{App: w.App, Packets: totalPkts}
+	var err error
+	pt.ReferencePPS, pt.ReferenceBytesPkt, pt.ReferenceAllocsPkt, err =
+		w.measureEngine(bmv2.EngineReference, totalPkts)
+	if err != nil {
+		return nil, err
+	}
+	pt.CompiledPPS, pt.CompiledBytesPkt, pt.CompiledAllocsPkt, err =
+		w.measureEngine(bmv2.EngineCompiled, totalPkts)
+	if err != nil {
+		return nil, err
+	}
+	if pt.ReferencePPS > 0 {
+		pt.Speedup = pt.CompiledPPS / pt.ReferencePPS
+	}
+	return pt, nil
+}
+
+// SimStats reports the netsim event-engine counters of one end-to-end
+// AGG run, so the simulator hot path shows up in the bench report too.
+type SimStats struct {
+	Events       uint64  `json:"events"`
+	PeakQueue    int     `json:"peak_queue"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// BenchInterpApps measures every benchmarked row with totalPkts
+// packets per engine (0 = a quick default).
+func BenchInterpApps(totalPkts int) ([]*InterpPoint, error) {
+	if totalPkts <= 0 {
+		totalPkts = 20000
+	}
+	var out []*InterpPoint
+	for _, r := range interpRows {
+		w, err := NewInterpWorkload(r.app, r.device, 256)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.app, err)
+		}
+		pt, err := w.Measure(totalPkts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", r.app, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,970 @@
+package bmv2
+
+// compile.go implements the prepare half of the interpreter's
+// prepare/execute split. A one-time compile step resolves every
+// p4.FieldRef path to an integer slot in a flat []val frame, every
+// action/table/register name to a direct pointer, and every expression
+// to a closure tree, so the per-packet execute step touches no maps
+// and performs no name resolution. The approach follows the NetKAT
+// compiler lineage: stop re-interpreting the program per packet and
+// run a pre-compiled form instead.
+//
+// Compilation is conservative: any construct whose compiled semantics
+// could diverge from the reference tree-walker (see interp.go) aborts
+// with an error and the Switch falls back to the reference engine, so
+// observable behavior is always identical to the seed interpreter.
+
+import (
+	"fmt"
+	"sync"
+
+	"netcl/internal/p4"
+)
+
+// evalFn is a compiled expression: it reads machine state and yields a
+// typed value. Expression-level errors were already folded to
+// val{0,32} by the reference semantics, so evalFn needs no error path.
+type evalFn func(m *machine) val
+
+// stmtFn is a compiled statement.
+type stmtFn func(m *machine) error
+
+// Parser transition sentinels (real state indices are >= 0).
+const (
+	stateAccept = -1
+	stateReject = -2
+)
+
+// cfield is a header field resolved to its frame slot plus the
+// bit-layout data needed by the parser and deparser fast paths.
+type cfield struct {
+	slot    int
+	bits    int
+	bitOff  int
+	aligned bool // starts on a byte boundary and spans whole bytes
+	byteOff int
+	nbytes  int
+}
+
+// chdr is a compiled header declaration.
+type chdr struct {
+	name       string
+	fields     []cfield
+	nbytes     int
+	allAligned bool
+}
+
+// ccase is one compiled select case.
+type ccase struct {
+	value, mask uint64
+	next        int
+}
+
+// cselect is a compiled parser select.
+type cselect struct {
+	key   evalFn
+	cases []ccase
+	def   int
+}
+
+// cstate is a compiled parser state.
+type cstate struct {
+	extracts []int // header indices
+	sel      *cselect
+	next     int // used when sel == nil
+}
+
+// caction is a compiled action instance: parameter slots plus body.
+// Instances are compiled per invocation context, so free names resolve
+// exactly as the reference interpreter's dynamic frame search would.
+type caction struct {
+	name   string
+	params []int
+	bits   []int
+	body   []stmtFn
+}
+
+// invoke binds constant args (table entries, defaults) and runs the body.
+func (a *caction) invoke(m *machine, args []val) error {
+	for i, slot := range a.params {
+		if i < len(args) {
+			m.frame[slot] = val{args[i].wrapped(), a.bits[i]}
+		} else {
+			m.frame[slot] = val{0, a.bits[i]}
+		}
+	}
+	return m.run(a.body)
+}
+
+// cctl is a compiled control block.
+type cctl struct {
+	c       *p4.Control
+	actions map[string]*caction // apply-level instances (table entries resolve here)
+	tables  map[string]*ctable
+	body    []stmtFn
+	// refNames holds every field path referenced anywhere in the
+	// control's action bodies, register-action bodies, or table keys.
+	// Applying a table under a scope that binds one of these names
+	// would need dynamic scoping, which slot indexing cannot
+	// reproduce, so such programs are rejected (see applyGuard).
+	refNames map[string]bool
+}
+
+// cprog is the compiled program.
+type cprog struct {
+	sw        *Switch
+	initFrame []val
+	slotOf    map[string]int
+	headers   []chdr
+	hdrIdx    map[string]int
+	states    []cstate
+	startIdx  int
+	ingress   *cctl
+	egress    *cctl // nil when the program has no egress control
+	// tablesByName maps a table name to every compiled table sharing
+	// that entry list (s.entries is keyed by name across controls).
+	tablesByName map[string][]*ctable
+	portSlot     int
+	mcastSlot    int
+	dropSlot     int
+	pool         sync.Pool
+}
+
+// compiler carries compile-time state.
+type compiler struct {
+	p     *cprog
+	s     *Switch
+	depth int // action-nesting guard (P4 forbids recursion)
+}
+
+// cscope is a compile-time frame: action params or register-action
+// m/o, chained exactly like the reference interpreter's frame stack.
+type cscope struct {
+	parent *cscope
+	names  map[string]int
+}
+
+func (sc *cscope) lookup(name string) (int, bool) {
+	for s := sc; s != nil; s = s.parent {
+		if slot, ok := s.names[name]; ok {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+func (sc *cscope) lookupInner(name string) (int, bool) {
+	if sc == nil {
+		return 0, false
+	}
+	slot, ok := sc.names[name]
+	return slot, ok
+}
+
+// compileProgram builds the slot-indexed form of s.Prog. A nil error
+// guarantees the compiled engine reproduces the reference interpreter
+// exactly; any doubt returns an error and the Switch falls back.
+func compileProgram(s *Switch) (*cprog, error) {
+	prog := s.Prog
+	if prog.Ingress == nil || prog.Parser == nil {
+		return nil, fmt.Errorf("compile: program lacks ingress or parser")
+	}
+	p := &cprog{
+		sw:           s,
+		slotOf:       map[string]int{},
+		hdrIdx:       map[string]int{},
+		tablesByName: map[string][]*ctable{},
+	}
+	cc := &compiler{p: p, s: s}
+
+	// Global slots in deterministic program order: control locals,
+	// header fields, metadata — mirroring how New populated s.fields.
+	for _, c := range prog.Controls() {
+		for _, l := range c.Locals {
+			cc.globalSlot(l.Name)
+		}
+	}
+	for hi, h := range prog.Headers {
+		if _, dup := p.hdrIdx[h.Name]; dup {
+			return nil, fmt.Errorf("compile: duplicate header %q", h.Name)
+		}
+		p.hdrIdx[h.Name] = hi
+		ch := chdr{name: h.Name, nbytes: h.Bits() / 8, allAligned: true}
+		bitOff := 0
+		for _, f := range h.Fields {
+			cf := cfield{
+				slot:   cc.globalSlot("hdr." + h.Name + "." + f.Name),
+				bits:   f.Bits,
+				bitOff: bitOff,
+			}
+			if bitOff%8 == 0 && f.Bits%8 == 0 {
+				cf.aligned = true
+				cf.byteOff = bitOff / 8
+				cf.nbytes = f.Bits / 8
+			} else {
+				ch.allAligned = false
+			}
+			ch.fields = append(ch.fields, cf)
+			bitOff += f.Bits
+		}
+		p.headers = append(p.headers, ch)
+	}
+	for _, f := range prog.Metadata {
+		cc.globalSlot("meta." + f.Name)
+	}
+	p.portSlot = cc.globalSlot("meta.egress_port")
+	p.mcastSlot = cc.globalSlot("meta.mcast_grp")
+	p.dropSlot = cc.globalSlot("meta.drop_flag")
+
+	// Controls: skeletons first (tables exist before bodies reference
+	// them, refNames fully populated before any guard runs), then
+	// apply-level action instances (table entries resolve into these),
+	// then bodies.
+	var err error
+	p.ingress, err = cc.controlSkeleton(prog.Ingress)
+	if err != nil {
+		return nil, err
+	}
+	if prog.Egress != nil {
+		p.egress, err = cc.controlSkeleton(prog.Egress)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, ctl := range p.controls() {
+		for _, a := range ctl.c.Actions {
+			inst, err := cc.action(ctl.c, nil, a)
+			if err != nil {
+				return nil, err
+			}
+			ctl.actions[a.Name] = inst
+		}
+	}
+	for _, ctl := range p.controls() {
+		ctl.body, err = cc.stmts(ctl.c, nil, ctl.c.Apply)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if err := cc.parser(prog.Parser); err != nil {
+		return nil, err
+	}
+
+	// Eager initial matcher build (static entries are already in
+	// s.entries; action instances resolved above).
+	for _, tbs := range p.tablesByName {
+		for _, tb := range tbs {
+			tb.rebuild()
+		}
+	}
+
+	p.pool.New = func() any {
+		return &machine{
+			frame:   make([]val, len(p.initFrame)),
+			valid:   make([]bool, len(p.headers)),
+			emitted: make([]bool, len(p.headers)),
+		}
+	}
+	return p, nil
+}
+
+func (p *cprog) controls() []*cctl {
+	if p.egress == nil {
+		return []*cctl{p.ingress}
+	}
+	return []*cctl{p.ingress, p.egress}
+}
+
+// globalSlot returns (allocating on first use) the slot of a global
+// name: header field, metadata, control local, or a dynamically-typed
+// env name the reference interpreter would create on first write.
+func (cc *compiler) globalSlot(name string) int {
+	if i, ok := cc.p.slotOf[name]; ok {
+		return i
+	}
+	i := len(cc.p.initFrame)
+	cc.p.slotOf[name] = i
+	cc.p.initFrame = append(cc.p.initFrame, val{0, cc.s.fields[name]})
+	return i
+}
+
+// newSlot allocates an anonymous frame slot (action params, m/o).
+func (cc *compiler) newSlot() int {
+	i := len(cc.p.initFrame)
+	cc.p.initFrame = append(cc.p.initFrame, val{})
+	return i
+}
+
+// controlSkeleton creates the cctl with compiled tables (key closures,
+// matcher specialization) and the full referenced-name set, but no
+// action bodies yet.
+func (cc *compiler) controlSkeleton(c *p4.Control) (*cctl, error) {
+	ctl := &cctl{c: c, actions: map[string]*caction{}, tables: map[string]*ctable{}, refNames: map[string]bool{}}
+	collect := func(body []p4.Stmt) {
+		p4.WalkExprs(body, func(e p4.Expr) {
+			if fr, ok := e.(*p4.FieldRef); ok {
+				ctl.refNames[fr.String()] = true
+			}
+		})
+		p4.Walk(body, func(st p4.Stmt) {
+			if at, ok := st.(*p4.ApplyTable); ok && at.HitVar != "" {
+				ctl.refNames[at.HitVar] = true
+			}
+		})
+	}
+	for _, a := range c.Actions {
+		collect(a.Body)
+	}
+	for _, ra := range c.RegActs {
+		collect(ra.Body)
+	}
+	for _, t := range c.Tables {
+		for _, k := range t.Keys {
+			p4.ExprRefs(k.Expr, func(fr *p4.FieldRef) {
+				ctl.refNames[fr.String()] = true
+			})
+		}
+		tb, err := cc.table(ctl, t)
+		if err != nil {
+			return nil, err
+		}
+		ctl.tables[t.Name] = tb
+		cc.p.tablesByName[t.Name] = append(cc.p.tablesByName[t.Name], tb)
+	}
+	return ctl, nil
+}
+
+// action compiles one action instance in the given invocation context.
+func (cc *compiler) action(c *p4.Control, sc *cscope, a *p4.ActionDecl) (*caction, error) {
+	if cc.depth > 32 {
+		return nil, fmt.Errorf("compile: action nesting too deep at %q", a.Name)
+	}
+	inst := &caction{name: a.Name}
+	child := &cscope{parent: sc, names: map[string]int{}}
+	for _, prm := range a.Params {
+		slot := cc.newSlot()
+		inst.params = append(inst.params, slot)
+		inst.bits = append(inst.bits, prm.Bits)
+		child.names[prm.Name] = slot
+	}
+	cc.depth++
+	body, err := cc.stmts(c, child, a.Body)
+	cc.depth--
+	if err != nil {
+		return nil, err
+	}
+	inst.body = body
+	return inst, nil
+}
+
+// regact compiles a register-action invocation at one call site. The
+// body is compiled against the caller's scope chain so free names
+// resolve exactly like the reference interpreter's dynamic frames.
+func (cc *compiler) regact(c *p4.Control, sc *cscope, ra *p4.RegisterAction, idxArgs []p4.Expr) (func(m *machine) (val, error), error) {
+	cells := cc.s.regs[ra.Register]
+	if cells == nil {
+		raName := ra.Name
+		return func(m *machine) (val, error) {
+			return val{}, fmt.Errorf("register action %q over unknown register", raName)
+		}, nil
+	}
+	reg := c.RegisterByName(ra.Register)
+	if reg == nil {
+		return nil, fmt.Errorf("compile: register action %q register %q not declared in control %q", ra.Name, ra.Register, c.Name)
+	}
+	if cc.depth > 32 {
+		return nil, fmt.Errorf("compile: register action nesting too deep at %q", ra.Name)
+	}
+	mSlot, oSlot := cc.newSlot(), cc.newSlot()
+	child := &cscope{parent: sc, names: map[string]int{"m": mSlot, "o": oSlot}}
+	cc.depth++
+	body, err := cc.stmts(c, child, ra.Body)
+	cc.depth--
+	if err != nil {
+		return nil, err
+	}
+	var idxFn evalFn
+	if len(idxArgs) > 0 {
+		idxFn, err = cc.expr(c, sc, idxArgs[0])
+		if err != nil {
+			return nil, err
+		}
+	}
+	bits := reg.Bits
+	return func(m *machine) (val, error) {
+		idx := 0
+		if idxFn != nil {
+			idx = int(idxFn(m).wrapped())
+		}
+		var mem uint64
+		if idx >= 0 && idx < len(cells) {
+			mem = cells[idx]
+		}
+		m.frame[mSlot] = val{mem, bits}
+		m.frame[oSlot] = val{0, bits}
+		if err := m.run(body); err != nil {
+			return val{}, err
+		}
+		if idx >= 0 && idx < len(cells) {
+			cells[idx] = m.frame[mSlot].wrapped()
+		}
+		return m.frame[oSlot], nil
+	}, nil
+}
+
+// parser compiles the parse graph to indexed states.
+func (cc *compiler) parser(ps *p4.Parser) error {
+	idxOf := map[string]int{}
+	for i, st := range ps.States {
+		idxOf[st.Name] = i
+	}
+	// resolve maps a transition target; the empty string is legal only
+	// for an unconditional Next (the reference treats that as accept —
+	// an empty select default, by contrast, is a runtime error there,
+	// so compilation is refused in that position).
+	resolve := func(name string, emptyIsAccept bool) (int, error) {
+		switch name {
+		case "":
+			if emptyIsAccept {
+				return stateAccept, nil
+			}
+			return 0, fmt.Errorf("compile: empty select transition")
+		case "accept":
+			return stateAccept, nil
+		case "reject":
+			return stateReject, nil
+		}
+		i, ok := idxOf[name]
+		if !ok {
+			return 0, fmt.Errorf("compile: parser transition to unknown state %q", name)
+		}
+		return i, nil
+	}
+	for _, st := range ps.States {
+		var cs cstate
+		for _, hn := range st.Extracts {
+			hi, ok := cc.p.hdrIdx[hn]
+			if !ok {
+				return fmt.Errorf("compile: parser extracts unknown header %q", hn)
+			}
+			cs.extracts = append(cs.extracts, hi)
+		}
+		if st.Select != nil {
+			key, err := cc.expr(cc.s.Prog.Ingress, nil, st.Select.Key)
+			if err != nil {
+				return err
+			}
+			def, err := resolve(st.Select.Default, false)
+			if err != nil {
+				return err
+			}
+			sel := &cselect{key: key, def: def}
+			for _, c := range st.Select.Cases {
+				next, err := resolve(c.State, false)
+				if err != nil {
+					return err
+				}
+				sel.cases = append(sel.cases, ccase{value: c.Value, mask: c.Mask, next: next})
+			}
+			cs.sel = sel
+		} else {
+			next, err := resolve(st.Next, true)
+			if err != nil {
+				return err
+			}
+			cs.next = next
+		}
+		cc.p.states = append(cc.p.states, cs)
+	}
+	start, ok := idxOf["start"]
+	if !ok {
+		return fmt.Errorf("compile: parser has no start state")
+	}
+	cc.p.startIdx = start
+	return nil
+}
+
+// Statements -----------------------------------------------------------
+
+func (cc *compiler) stmts(c *p4.Control, sc *cscope, body []p4.Stmt) ([]stmtFn, error) {
+	var out []stmtFn
+	for _, st := range body {
+		fn, err := cc.stmt(c, sc, st)
+		if err != nil {
+			return nil, err
+		}
+		if fn != nil {
+			out = append(out, fn)
+		}
+	}
+	return out, nil
+}
+
+// assignTarget compiles a write destination, reproducing the reference
+// assign: the innermost frame if it binds the name, else the global
+// env with the declared width (or the value's own width when unknown).
+func (cc *compiler) assignTarget(sc *cscope, fr *p4.FieldRef) func(m *machine, v val) {
+	name := fr.String()
+	if slot, ok := sc.lookupInner(name); ok {
+		return func(m *machine, v val) { m.frame[slot] = v }
+	}
+	slot := cc.globalSlot(name)
+	if db := cc.s.fields[name]; db != 0 {
+		return func(m *machine, v val) { m.frame[slot] = val{v.wrapped(), db} }
+	}
+	return func(m *machine, v val) { m.frame[slot] = val{v.wrapped(), v.bits} }
+}
+
+func (cc *compiler) stmt(c *p4.Control, sc *cscope, st p4.Stmt) (stmtFn, error) {
+	switch x := st.(type) {
+	case *p4.Comment:
+		return nil, nil
+	case *p4.Assign:
+		rhs, err := cc.expr(c, sc, x.RHS)
+		if err != nil {
+			return nil, err
+		}
+		dst := cc.assignTarget(sc, x.LHS)
+		return func(m *machine) error {
+			dst(m, rhs(m))
+			return nil
+		}, nil
+	case *p4.If:
+		cond, err := cc.expr(c, sc, x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		thenFns, err := cc.stmts(c, sc, x.Then)
+		if err != nil {
+			return nil, err
+		}
+		elseFns, err := cc.stmts(c, sc, x.Else)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *machine) error {
+			if cond(m).wrapped() != 0 {
+				return m.run(thenFns)
+			}
+			return m.run(elseFns)
+		}, nil
+	case *p4.ApplyTable:
+		tb, err := cc.applyGuard(c, sc, x.Table)
+		if err != nil {
+			return nil, err
+		}
+		if x.HitVar == "" {
+			return func(m *machine) error {
+				_, err := tb.apply(m)
+				return err
+			}, nil
+		}
+		dst := cc.assignTarget(sc, p4.FR(x.HitVar))
+		return func(m *machine) error {
+			hit, err := tb.apply(m)
+			if err != nil {
+				return err
+			}
+			hv := uint64(0)
+			if hit {
+				hv = 1
+			}
+			dst(m, val{hv, 1})
+			return nil
+		}, nil
+	case *p4.CallStmt:
+		return cc.callStmt(c, sc, x)
+	case *p4.SetValid:
+		hi, ok := cc.p.hdrIdx[x.Header]
+		if !ok {
+			return nil, fmt.Errorf("compile: setValid of unknown header %q", x.Header)
+		}
+		valid := x.Valid
+		return func(m *machine) error {
+			m.valid[hi] = valid
+			if valid {
+				for _, o := range m.ordered {
+					if o == hi {
+						return nil
+					}
+				}
+				m.ordered = append(m.ordered, hi)
+			}
+			return nil
+		}, nil
+	case *p4.Exit:
+		return func(m *machine) error {
+			m.exited = true
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("compile: unsupported statement %T", st)
+}
+
+// applyGuard resolves a table application site. When the site sits
+// inside an action/register-action scope, nothing referenced by the
+// control's actions, register actions, or table keys may be bound in
+// the enclosing scope chain: the reference interpreter would resolve
+// such names through its dynamic frame stack, which apply-level slot
+// resolution cannot reproduce, so we refuse to compile and the whole
+// switch falls back to the reference engine.
+func (cc *compiler) applyGuard(c *p4.Control, sc *cscope, name string) (*ctable, error) {
+	ctl := cc.ctlOf(c)
+	tb, ok := ctl.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("compile: unknown table %q", name)
+	}
+	if sc != nil {
+		for ref := range ctl.refNames {
+			if _, bound := sc.lookup(ref); bound {
+				return nil, fmt.Errorf("compile: table %q applied under a scope binding %q (dynamic scoping)", name, ref)
+			}
+		}
+	}
+	return tb, nil
+}
+
+func (cc *compiler) ctlOf(c *p4.Control) *cctl {
+	if cc.p.egress != nil && cc.p.egress.c == c {
+		return cc.p.egress
+	}
+	return cc.p.ingress
+}
+
+func (cc *compiler) callStmt(c *p4.Control, sc *cscope, x *p4.CallStmt) (stmtFn, error) {
+	if x.Recv == "" {
+		a := c.ActionByName(x.Method)
+		if a == nil {
+			return nil, fmt.Errorf("compile: unknown action %q", x.Method)
+		}
+		inst, err := cc.action(c, sc, a)
+		if err != nil {
+			return nil, err
+		}
+		argFns, err := cc.exprs(c, sc, x.Args)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *machine) error {
+			// Every argument is evaluated first (side effects included),
+			// matching the reference call sequence.
+			var buf [8]val
+			vals := buf[:0]
+			if len(argFns) > len(buf) {
+				vals = make([]val, 0, len(argFns))
+			}
+			for _, f := range argFns {
+				vals = append(vals, f(m))
+			}
+			for i, slot := range inst.params {
+				if i < len(vals) {
+					m.frame[slot] = val{vals[i].wrapped(), inst.bits[i]}
+				} else {
+					m.frame[slot] = val{0, inst.bits[i]}
+				}
+			}
+			return m.run(inst.body)
+		}, nil
+	}
+	// Register primitives (v1model style) take precedence over
+	// register actions, mirroring the reference dispatch order.
+	if cells, ok := cc.s.regs[x.Recv]; ok {
+		switch x.Method {
+		case "read":
+			if len(x.Args) < 2 {
+				return nil, fmt.Errorf("compile: register read needs destination and index")
+			}
+			dst, ok := x.Args[0].(*p4.FieldRef)
+			if !ok {
+				return nil, fmt.Errorf("compile: register read destination must be a field")
+			}
+			idxFn, err := cc.expr(c, sc, x.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			dbits := cc.s.fields[dst.String()]
+			store := cc.assignTarget(sc, dst)
+			return func(m *machine) error {
+				idx := int(idxFn(m).wrapped())
+				var v uint64
+				if idx >= 0 && idx < len(cells) {
+					v = cells[idx]
+				}
+				store(m, val{v, dbits})
+				return nil
+			}, nil
+		case "write":
+			if len(x.Args) < 2 {
+				return nil, fmt.Errorf("compile: register write needs index and value")
+			}
+			idxFn, err := cc.expr(c, sc, x.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			valFn, err := cc.expr(c, sc, x.Args[1])
+			if err != nil {
+				return nil, err
+			}
+			return func(m *machine) error {
+				idx := int(idxFn(m).wrapped())
+				v := valFn(m)
+				if idx >= 0 && idx < len(cells) {
+					cells[idx] = v.wrapped()
+				}
+				return nil
+			}, nil
+		}
+	}
+	if ra := c.RegActByName(x.Recv); ra != nil && x.Method == "execute" {
+		exec, err := cc.regact(c, sc, ra, x.Args)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *machine) error {
+			_, err := exec(m)
+			return err
+		}, nil
+	}
+	return nil, fmt.Errorf("compile: unsupported call %s.%s", x.Recv, x.Method)
+}
+
+// Expressions ----------------------------------------------------------
+
+func (cc *compiler) exprs(c *p4.Control, sc *cscope, es []p4.Expr) ([]evalFn, error) {
+	var out []evalFn
+	for _, e := range es {
+		f, err := cc.expr(c, sc, e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func (cc *compiler) expr(c *p4.Control, sc *cscope, e p4.Expr) (evalFn, error) {
+	switch x := e.(type) {
+	case *p4.IntLit:
+		b := x.Bits
+		if b == 0 {
+			b = 64
+		}
+		v := val{x.Val, b}
+		return func(m *machine) val { return v }, nil
+	case *p4.FieldRef:
+		name := x.String()
+		if slot, ok := sc.lookup(name); ok {
+			return func(m *machine) val { return m.frame[slot] }, nil
+		}
+		slot := cc.globalSlot(name)
+		return func(m *machine) val { return m.frame[slot] }, nil
+	case *p4.Bin:
+		xf, err := cc.expr(c, sc, x.X)
+		if err != nil {
+			return nil, err
+		}
+		yf, err := cc.expr(c, sc, x.Y)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := binOps[x.Op]
+		if !ok {
+			// The reference evalBin yields a zero of the combined width
+			// for unknown operators.
+			return func(m *machine) val {
+				a, b := xf(m), yf(m)
+				return val{0, combinedBits(a, b)}
+			}, nil
+		}
+		return func(m *machine) val { return op(xf(m), yf(m)) }, nil
+	case *p4.Un:
+		xf, err := cc.expr(c, sc, x.X)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := unOps[x.Op]
+		if !ok {
+			return xf, nil
+		}
+		return func(m *machine) val { return op(xf(m)) }, nil
+	case *p4.Cast:
+		xf, err := cc.expr(c, sc, x.X)
+		if err != nil {
+			return nil, err
+		}
+		bits := x.Bits
+		mask := maskOf(bits)
+		if x.Signed {
+			return func(m *machine) val {
+				v := xf(m)
+				if v.bits < bits {
+					return val{uint64(v.signed()) & mask, bits}
+				}
+				return val{v.wrapped() & mask, bits}
+			}, nil
+		}
+		return func(m *machine) val {
+			v := xf(m)
+			return val{v.wrapped() & mask, bits}
+		}, nil
+	case *p4.TernaryExpr:
+		condF, err := cc.expr(c, sc, x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		aF, err := cc.expr(c, sc, x.A)
+		if err != nil {
+			return nil, err
+		}
+		bF, err := cc.expr(c, sc, x.B)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *machine) val {
+			if condF(m).wrapped() != 0 {
+				return aF(m)
+			}
+			return bF(m)
+		}, nil
+	case *p4.CallExpr:
+		return cc.callExpr(c, sc, x)
+	}
+	return nil, fmt.Errorf("compile: unsupported expression %T", e)
+}
+
+func (cc *compiler) callExpr(c *p4.Control, sc *cscope, x *p4.CallExpr) (evalFn, error) {
+	if x.Method == "isValid" {
+		name := x.Recv
+		if len(name) > 4 && name[:4] == "hdr." {
+			name = name[4:]
+		}
+		hi, ok := cc.p.hdrIdx[name]
+		if !ok {
+			// Never-declared headers are never valid.
+			return func(m *machine) val { return val{0, 1} }, nil
+		}
+		return func(m *machine) val {
+			if m.valid[hi] {
+				return val{1, 1}
+			}
+			return val{0, 1}
+		}, nil
+	}
+	// Register actions and apply_hit resolve against the ingress
+	// control in expression position, mirroring the reference evalCall.
+	ing := cc.s.Prog.Ingress
+	if ra := ing.RegActByName(x.Recv); ra != nil && x.Method == "execute" {
+		exec, err := cc.regact(ing, sc, ra, x.Args)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *machine) val {
+			v, err := exec(m)
+			if err != nil {
+				return val{0, 32}
+			}
+			return v
+		}, nil
+	}
+	if h := cc.hashDecl(x.Recv); h != nil && x.Method == "get" {
+		bits := h.Bits
+		mask := maskOf(bits)
+		if h.Algo == "random" {
+			return func(m *machine) val {
+				m.sw.rng = m.sw.rng*6364136223846793005 + 1442695040888963407
+				return val{m.sw.rng >> 17 & mask, bits}
+			}, nil
+		}
+		argFns, err := cc.exprs(c, sc, x.Args)
+		if err != nil {
+			return nil, err
+		}
+		hf := hashFn(h.Algo)
+		return func(m *machine) val {
+			// Evaluate every argument before touching the shared hash
+			// buffer: an argument may itself hash (nested get), and the
+			// buffer must not alias across nesting levels.
+			var buf [8]val
+			vals := buf[:0]
+			if len(argFns) > len(buf) {
+				vals = make([]val, 0, len(argFns))
+			}
+			for _, af := range argFns {
+				vals = append(vals, af(m))
+			}
+			data := m.hashBuf[:0]
+			for _, v := range vals {
+				nb := (v.bits + 7) / 8
+				if nb == 0 {
+					nb = 4
+				}
+				for i := nb - 1; i >= 0; i-- {
+					data = append(data, byte(v.wrapped()>>(8*uint(i))))
+				}
+			}
+			m.hashBuf = data
+			return val{hf(data) & mask, bits}
+		}, nil
+	}
+	if x.Method == "apply_hit" {
+		if ing.TableByName(x.Recv) != nil {
+			tb, err := cc.applyGuard(ing, sc, x.Recv)
+			if err != nil {
+				return nil, err
+			}
+			return func(m *machine) val {
+				hit, err := tb.apply(m)
+				if err != nil {
+					return val{0, 32}
+				}
+				if hit {
+					return val{1, 1}
+				}
+				return val{0, 1}
+			}, nil
+		}
+		// Unknown table: the reference errored inside applyTable and
+		// eval folded that to val{0,32}.
+		return func(m *machine) val { return val{0, 32} }, nil
+	}
+	// The reference evalCall errors here; eval folds it to val{0,32}.
+	return func(m *machine) val { return val{0, 32} }, nil
+}
+
+// hashDecl finds a hash extern by name, ingress declarations first.
+func (cc *compiler) hashDecl(name string) *p4.HashDecl {
+	for _, h := range cc.s.Prog.Ingress.Hashes {
+		if h.Name == name {
+			return h
+		}
+	}
+	if cc.s.Prog.Egress != nil {
+		for _, h := range cc.s.Prog.Egress.Hashes {
+			if h.Name == name {
+				return h
+			}
+		}
+	}
+	return nil
+}
+
+// hashFn resolves an algorithm name to its implementation once, so the
+// per-packet path skips the string dispatch of hashBytes.
+func hashFn(algo string) func([]byte) uint64 {
+	switch algo {
+	case "crc16":
+		return crc16
+	case "crc32":
+		return crc32IEEE
+	case "crc64":
+		return crc64ECMA
+	case "xor16":
+		return xor16
+	case "csum16", "csum16r":
+		return csum16
+	case "identity":
+		return identityHash
+	}
+	return crc32IEEE
+}

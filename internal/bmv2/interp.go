@@ -35,6 +35,18 @@ func (x val) signed() int64 {
 	return int64(u)
 }
 
+// Engine selects the packet-processing implementation of a Switch.
+type Engine int
+
+// Engines. EngineCompiled is the slot-indexed prepare/execute engine
+// (compile.go); EngineReference is the original tree-walking
+// interpreter, kept both as the semantic oracle for differential tests
+// and as the fallback for programs the compiler refuses.
+const (
+	EngineCompiled Engine = iota
+	EngineReference
+)
+
 // Switch is an executable P4 switch instance with mutable runtime
 // state (registers, table entries, multicast groups).
 type Switch struct {
@@ -44,6 +56,10 @@ type Switch struct {
 	entries map[string][]*p4.Entry
 	fields  map[string]int // field path -> bits (headers, metadata, locals, params)
 	rng     uint64
+
+	prog       *cprog // compiled form; nil when compilation was refused
+	compileErr error
+	engine     Engine
 
 	// Counters for observability and tests.
 	PacketsIn, PacketsOut, PacketsDropped uint64
@@ -97,8 +113,22 @@ func New(prog *p4.Program) *Switch {
 	for _, f := range prog.Metadata {
 		s.fields["meta."+f.Name] = f.Bits
 	}
+	// Prepare step: compile the program to its slot-indexed form. On
+	// refusal (constructs needing dynamic scoping, malformed graphs)
+	// the switch silently runs the reference engine instead.
+	s.prog, s.compileErr = compileProgram(s)
 	return s
 }
+
+// SetEngine selects the processing engine. Selecting EngineCompiled on
+// a switch whose program failed to compile keeps the reference engine.
+func (s *Switch) SetEngine(e Engine) { s.engine = e }
+
+// Compiled reports whether packets run on the compiled engine.
+func (s *Switch) Compiled() bool { return s.prog != nil && s.engine == EngineCompiled }
+
+// CompileErr returns the reason compilation was refused, or nil.
+func (s *Switch) CompileErr() error { return s.compileErr }
 
 // Control plane --------------------------------------------------------
 
@@ -143,27 +173,57 @@ func (s *Switch) InsertEntry(table string, e *p4.Entry) error {
 		}
 	}
 	s.entries[table] = append(s.entries[table], e)
+	// Keep compiled matchers coherent: exact indexes and linear scans
+	// absorb the entry in place; LPM tables re-sort on next apply.
+	if s.prog != nil {
+		for _, tb := range s.prog.tablesByName[table] {
+			tb.insert(e)
+		}
+	}
 	return nil
 }
 
-// DeleteEntry removes entries whose first key value matches.
-func (s *Switch) DeleteEntry(table string, keyVal uint64) int {
+// DeleteEntry removes entries whose key values equal the given tuple:
+// an entry is deleted only when every key value matches, so multi-key
+// tables are no longer mass-deleted by a first-key collision. Callers
+// passing a single value on single-key tables keep their behavior.
+func (s *Switch) DeleteEntry(table string, keyVals ...uint64) int {
 	es := s.entries[table]
 	var keep []*p4.Entry
 	removed := 0
 	for _, e := range es {
-		if len(e.Keys) > 0 && e.Keys[0].Value == keyVal {
+		if entryKeysEqual(e, keyVals) {
 			removed++
 			continue
 		}
 		keep = append(keep, e)
 	}
 	s.entries[table] = keep
+	if removed > 0 {
+		s.invalidateTables(table)
+	}
 	return removed
 }
 
+// entryKeysEqual reports whether the entry's key values equal the
+// tuple exactly (same arity, all values equal).
+func entryKeysEqual(e *p4.Entry, keyVals []uint64) bool {
+	if len(keyVals) == 0 || len(e.Keys) != len(keyVals) {
+		return false
+	}
+	for i, kv := range keyVals {
+		if e.Keys[i].Value != kv {
+			return false
+		}
+	}
+	return true
+}
+
 // ClearEntries removes all runtime entries of a table.
-func (s *Switch) ClearEntries(table string) { s.entries[table] = nil }
+func (s *Switch) ClearEntries(table string) {
+	s.entries[table] = nil
+	s.invalidateTables(table)
+}
 
 // SetDefaultAction overrides a table's default action (the control
 // plane configures e.g. the AGG baseline's worker count this way).
@@ -173,7 +233,19 @@ func (s *Switch) SetDefaultAction(table, action string, args []uint64) error {
 		return fmt.Errorf("no table %q", table)
 	}
 	t.Default = &p4.ActionCall{Name: action, Args: args}
+	s.invalidateTables(table)
 	return nil
+}
+
+// invalidateTables marks every compiled matcher of a table dirty; the
+// next apply rebuilds from s.entries and the table's default action.
+func (s *Switch) invalidateTables(table string) {
+	if s.prog == nil {
+		return
+	}
+	for _, tb := range s.prog.tablesByName[table] {
+		tb.dirty = true
+	}
 }
 
 // Entries returns a copy of a table's current entries.
@@ -204,8 +276,18 @@ type exec struct {
 	frames  []map[string]val // action parameter frames
 }
 
-// Process runs one packet through parser, ingress, (egress,) deparser.
+// Process runs one packet through parser, ingress, (egress,) deparser
+// on the selected engine.
 func (s *Switch) Process(data []byte, inPort int) (*Result, error) {
+	if s.prog != nil && s.engine == EngineCompiled {
+		return s.prog.process(data)
+	}
+	return s.processReference(data, inPort)
+}
+
+// processReference is the original tree-walking interpreter: the
+// semantic oracle the compiled engine must match byte for byte.
+func (s *Switch) processReference(data []byte, inPort int) (*Result, error) {
 	s.PacketsIn++
 	ex := &exec{s: s, env: map[string]val{}, valid: map[string]bool{}}
 	for _, f := range s.Prog.Metadata {
@@ -512,7 +594,12 @@ func (ex *exec) applyTable(c *p4.Control, name string) (bool, error) {
 	}
 	entries := ex.s.entries[name]
 	var best *p4.Entry
-	bestScore := -(1 << 30) // priorities push ternary/range scores negative
+	// "no match" is tracked explicitly rather than with a sentinel
+	// score: ternary/range priorities are subtracted from the score and
+	// a large priority would underflow any sentinel, making a matching
+	// entry lose to nothing.
+	bestScore := 0
+	matched := false
 	for _, e := range entries {
 		if len(e.Keys) != len(keys) {
 			continue
@@ -557,9 +644,10 @@ func (ex *exec) applyTable(c *p4.Control, name string) (bool, error) {
 				break
 			}
 		}
-		if ok && score > bestScore {
+		if ok && (!matched || score > bestScore) {
 			best = e
 			bestScore = score
+			matched = true
 		}
 	}
 	if best == nil {
@@ -651,16 +739,8 @@ func (ex *exec) eval(e p4.Expr) val {
 		return ex.evalBin(x)
 	case *p4.Un:
 		v := ex.eval(x.X)
-		switch x.Op {
-		case "~":
-			return val{^v.wrapped() & v.mask(), v.bits}
-		case "-":
-			return val{(0 - v.wrapped()) & v.mask(), v.bits}
-		case "!":
-			if v.wrapped() == 0 {
-				return val{1, 1}
-			}
-			return val{0, 1}
+		if op, ok := unOps[x.Op]; ok {
+			return op(v)
 		}
 		return v
 	case *p4.Cast:
@@ -750,108 +830,10 @@ func (ex *exec) hashDecls() []*p4.HashDecl {
 func (ex *exec) evalBin(x *p4.Bin) val {
 	a := ex.eval(x.X)
 	b := ex.eval(x.Y)
-	bits := a.bits
-	if b.bits > bits {
-		bits = b.bits
+	if op, ok := binOps[x.Op]; ok {
+		return op(a, b)
 	}
-	if bits == 0 {
-		bits = 64
-	}
-	r := val{bits: bits}
-	au, bu := a.wrapped(), b.wrapped()
-	as, bs := a.signed(), b.signed()
-	bool1 := func(c bool) val {
-		if c {
-			return val{1, 1}
-		}
-		return val{0, 1}
-	}
-	switch x.Op {
-	case "+":
-		return val{(au + bu) & r.mask(), bits}
-	case "-":
-		return val{(au - bu) & r.mask(), bits}
-	case "*":
-		return val{(au * bu) & r.mask(), bits}
-	case "/":
-		if bu == 0 {
-			return val{0, bits}
-		}
-		return val{(au / bu) & r.mask(), bits}
-	case "s/":
-		if bs == 0 {
-			return val{0, bits}
-		}
-		return val{uint64(as/bs) & r.mask(), bits}
-	case "%":
-		if bu == 0 {
-			return val{0, bits}
-		}
-		return val{(au % bu) & r.mask(), bits}
-	case "s%":
-		if bs == 0 {
-			return val{0, bits}
-		}
-		return val{uint64(as%bs) & r.mask(), bits}
-	case "&":
-		return val{au & bu, bits}
-	case "|":
-		return val{au | bu, bits}
-	case "^":
-		return val{au ^ bu, bits}
-	case "<<":
-		if bu > 63 {
-			return val{0, a.bits}
-		}
-		return val{(au << bu) & a.mask(), a.bits}
-	case ">>":
-		if bu > 63 {
-			return val{0, a.bits}
-		}
-		return val{au >> bu, a.bits}
-	case "s>>":
-		sh := bu
-		if sh > 63 {
-			sh = 63
-		}
-		return val{uint64(as>>sh) & a.mask(), a.bits}
-	case "|+|":
-		sum := au + bu
-		if sum > r.mask() || sum < au {
-			sum = r.mask()
-		}
-		return val{sum & r.mask(), bits}
-	case "|-|":
-		if bu > au {
-			return val{0, bits}
-		}
-		return val{au - bu, bits}
-	case "==":
-		return bool1(au == bu)
-	case "!=":
-		return bool1(au != bu)
-	case "<":
-		return bool1(au < bu)
-	case "<=":
-		return bool1(au <= bu)
-	case ">":
-		return bool1(au > bu)
-	case ">=":
-		return bool1(au >= bu)
-	case "s<":
-		return bool1(as < bs)
-	case "s<=":
-		return bool1(as <= bs)
-	case "s>":
-		return bool1(as > bs)
-	case "s>=":
-		return bool1(as >= bs)
-	case "&&":
-		return bool1(au != 0 && bu != 0)
-	case "||":
-		return bool1(au != 0 || bu != 0)
-	}
-	return val{0, bits}
+	return val{0, combinedBits(a, b)}
 }
 
 // SortEntriesByPriority orders a table's runtime entries (lowest
@@ -859,4 +841,5 @@ func (ex *exec) evalBin(x *p4.Bin) val {
 func (s *Switch) SortEntriesByPriority(table string) {
 	es := s.entries[table]
 	sort.SliceStable(es, func(i, j int) bool { return es[i].Priority < es[j].Priority })
+	s.invalidateTables(table)
 }

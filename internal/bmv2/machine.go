@@ -1,0 +1,220 @@
+package bmv2
+
+// machine.go is the execute half of the prepare/execute split: the
+// per-packet state of the compiled engine. All dynamic name lookup was
+// resolved to slot indices at compile time, so a packet's entire
+// lifetime touches one flat []val frame plus a few flat scratch
+// slices, all pooled and reused across packets. Steady-state
+// allocations per packet are O(1): the Result struct and the exact-
+// sized deparse buffer (which escapes into the caller and cannot be
+// pooled).
+
+import "fmt"
+
+// machine is pooled per-packet execution state.
+type machine struct {
+	sw      *Switch
+	frame   []val
+	valid   []bool
+	emitted []bool
+	ordered []int // extracted/validated header indices, in order
+	emitOrd []int // deparse scratch: headers to emit, deduplicated
+	keys    []val // table-apply scratch
+	hashBuf []byte
+	payload []byte
+	exited  bool
+}
+
+// run executes a compiled statement list, honoring exit like the
+// reference stmts loop (checked before every statement).
+func (m *machine) run(fns []stmtFn) error {
+	for _, fn := range fns {
+		if m.exited {
+			return nil
+		}
+		if err := fn(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// getMachine checks a reset machine out of the pool.
+func (p *cprog) getMachine() *machine {
+	m := p.pool.Get().(*machine)
+	m.sw = p.sw
+	copy(m.frame, p.initFrame)
+	for i := range m.valid {
+		m.valid[i] = false
+		m.emitted[i] = false
+	}
+	m.ordered = m.ordered[:0]
+	m.payload = nil
+	m.exited = false
+	return m
+}
+
+func (p *cprog) putMachine(m *machine) {
+	m.payload = nil // do not retain the caller's packet buffer
+	p.pool.Put(m)
+}
+
+// process runs one packet through the compiled pipeline. Counters and
+// Result semantics match the reference Process exactly.
+func (p *cprog) process(data []byte) (*Result, error) {
+	s := p.sw
+	s.PacketsIn++
+	m := p.getMachine()
+	if err := m.parse(p, data); err != nil {
+		p.putMachine(m)
+		return nil, err
+	}
+	if err := m.run(p.ingress.body); err != nil {
+		p.putMachine(m)
+		return nil, err
+	}
+	if p.egress != nil && !m.exited {
+		if err := m.run(p.egress.body); err != nil {
+			p.putMachine(m)
+			return nil, err
+		}
+	}
+	res := &Result{
+		Port:  int(m.frame[p.portSlot].wrapped()),
+		Mcast: int(m.frame[p.mcastSlot].wrapped()),
+	}
+	if m.frame[p.dropSlot].wrapped() != 0 {
+		res.Dropped = true
+		s.PacketsDropped++
+		p.putMachine(m)
+		return res, nil
+	}
+	res.Data = m.deparse(p)
+	if res.Port == 0 && res.Mcast == 0 {
+		res.NoMatch = true
+	}
+	s.PacketsOut++
+	p.putMachine(m)
+	return res, nil
+}
+
+// parse walks the compiled parser FSM, replicating the reference
+// semantics: floor-byte header length check, bit-level extraction that
+// may read past the header into the remaining bytes for unaligned
+// tails, unconditional ordered append, and the 64-step loop guard.
+func (m *machine) parse(p *cprog, data []byte) error {
+	rest := data
+	si := p.startIdx
+	for steps := 0; ; steps++ {
+		if steps > 64 {
+			return fmt.Errorf("parser loop")
+		}
+		st := &p.states[si]
+		for _, hi := range st.extracts {
+			h := &p.headers[hi]
+			if len(rest) < h.nbytes {
+				return fmt.Errorf("packet too short for header %q (%d < %d)", h.name, len(rest), h.nbytes)
+			}
+			for fi := range h.fields {
+				f := &h.fields[fi]
+				if f.aligned && f.byteOff+f.nbytes <= len(rest) {
+					var v uint64
+					for _, b := range rest[f.byteOff : f.byteOff+f.nbytes] {
+						v = v<<8 | uint64(b)
+					}
+					m.frame[f.slot] = val{v, f.bits}
+				} else {
+					m.frame[f.slot] = val{extractBits(rest, f.bitOff, f.bits), f.bits}
+				}
+			}
+			rest = rest[h.nbytes:]
+			m.valid[hi] = true
+			m.ordered = append(m.ordered, hi)
+		}
+		next := stateAccept
+		if st.sel != nil {
+			key := st.sel.key(m).wrapped()
+			next = st.sel.def
+			for i := range st.sel.cases {
+				c := &st.sel.cases[i]
+				if c.mask != 0 {
+					if key&c.mask == c.value&c.mask {
+						next = c.next
+						break
+					}
+				} else if key == c.value {
+					next = c.next
+					break
+				}
+			}
+		} else {
+			next = st.next
+		}
+		switch next {
+		case stateAccept:
+			m.payload = rest
+			return nil
+		case stateReject:
+			return fmt.Errorf("parser rejected packet")
+		}
+		si = next
+	}
+}
+
+// deparse emits valid headers (extraction order, then program order)
+// plus payload into one exact-sized buffer.
+func (m *machine) deparse(p *cprog) []byte {
+	m.emitOrd = m.emitOrd[:0]
+	size := 0
+	for _, hi := range m.ordered {
+		if !m.emitted[hi] && m.valid[hi] {
+			m.emitted[hi] = true
+			m.emitOrd = append(m.emitOrd, hi)
+			size += p.headers[hi].nbytes
+		}
+	}
+	for hi := range p.headers {
+		if !m.emitted[hi] && m.valid[hi] {
+			m.emitted[hi] = true
+			m.emitOrd = append(m.emitOrd, hi)
+			size += p.headers[hi].nbytes
+		}
+	}
+	out := make([]byte, 0, size+len(m.payload))
+	for _, hi := range m.emitOrd {
+		h := &p.headers[hi]
+		if h.allAligned {
+			for fi := range h.fields {
+				f := &h.fields[fi]
+				v := m.frame[f.slot].wrapped()
+				for i := f.nbytes - 1; i >= 0; i-- {
+					out = append(out, byte(v>>(8*uint(i))))
+				}
+			}
+			continue
+		}
+		// Bit-packing path, byte-for-byte the reference emit loop:
+		// full bytes flush, a trailing partial byte is dropped.
+		var cur uint64
+		curBits := 0
+		for fi := range h.fields {
+			f := &h.fields[fi]
+			v := m.frame[f.slot]
+			remaining := f.bits
+			for remaining > 0 {
+				take := 8 - curBits
+				if take > remaining {
+					take = remaining
+				}
+				cur = cur<<uint(take) | (v.wrapped()>>uint(remaining-take))&((1<<uint(take))-1)
+				curBits += take
+				remaining -= take
+				if curBits == 8 {
+					out = append(out, byte(cur))
+					cur, curBits = 0, 0
+				}
+			}
+		}
+	}
+	return append(out, m.payload...)
+}

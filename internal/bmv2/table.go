@@ -1,0 +1,316 @@
+package bmv2
+
+// table.go specializes each match-action table into a matcher at
+// compile time: a hash index for all-exact-key tables (the CACHE and
+// CALC dispatch pattern), a sorted-prefix walk for single-key LPM
+// tables, and the reference linear scan for everything else (ternary,
+// range, mixed). Matchers stay coherent with control-plane mutations:
+// InsertEntry appends incrementally; delete/clear/sort/default-change
+// mark the table dirty and the next apply rebuilds it.
+
+import (
+	"fmt"
+	"sort"
+
+	"netcl/internal/p4"
+)
+
+// tkind selects the matcher specialization.
+type tkind int
+
+const (
+	tLinear tkind = iota
+	tExact
+	tLPM
+)
+
+// maxExactKeys bounds the width of the exact-index tuple key.
+const maxExactKeys = 4
+
+// centry is a compiled table entry: the action resolved to an
+// apply-level instance and the argument vals materialized once.
+type centry struct {
+	e        *p4.Entry
+	act      *caction // nil for NoAction / missing action call
+	args     []val
+	unknown  string // non-empty: action name that failed to resolve
+	eligible bool   // len(e.Keys) matches the table's key count
+	plen     int    // clamped prefix length (LPM sort key)
+}
+
+// ctable is a compiled match-action table.
+type ctable struct {
+	name   string
+	sw     *Switch
+	ctl    *cctl
+	t      *p4.Table
+	keyFns []evalFn
+	kinds  []p4.MatchKind
+	kind   tkind
+
+	ents   []centry
+	exact  map[[maxExactKeys]uint64]int // key tuple -> first entry index
+	lpmIdx []int                        // entry indices, prefix length descending (stable)
+
+	defAct     *caction
+	defArgs    []val
+	defUnknown string
+
+	dirty bool
+}
+
+// table compiles the static shape of one table (key closures at
+// apply-level scope, matcher choice). Entries are materialized later
+// by rebuild, once action instances exist.
+func (cc *compiler) table(ctl *cctl, t *p4.Table) (*ctable, error) {
+	tb := &ctable{name: t.Name, sw: cc.s, ctl: ctl, t: t, dirty: true}
+	for _, k := range t.Keys {
+		f, err := cc.expr(ctl.c, nil, k.Expr)
+		if err != nil {
+			return nil, err
+		}
+		tb.keyFns = append(tb.keyFns, f)
+		tb.kinds = append(tb.kinds, k.Match)
+	}
+	switch {
+	case len(t.Keys) >= 1 && len(t.Keys) <= maxExactKeys && t.AllExact():
+		tb.kind = tExact
+	case t.SingleLPM():
+		tb.kind = tLPM
+	default:
+		tb.kind = tLinear
+	}
+	return tb, nil
+}
+
+// tupleOf extracts the exact-index map key of an entry.
+func tupleOf(e *p4.Entry) [maxExactKeys]uint64 {
+	var k [maxExactKeys]uint64
+	for i := 0; i < len(e.Keys) && i < maxExactKeys; i++ {
+		k[i] = e.Keys[i].Value
+	}
+	return k
+}
+
+// compileEntry resolves one entry against the control's apply-level
+// action instances.
+func (tb *ctable) compileEntry(e *p4.Entry) centry {
+	ce := centry{e: e, eligible: len(e.Keys) == len(tb.keyFns)}
+	if tb.kind == tLPM && ce.eligible {
+		plen := e.Keys[0].PrefixLen
+		if plen < 0 {
+			plen = 0
+		}
+		ce.plen = plen
+	}
+	if e.Action != nil && e.Action.Name != "NoAction" {
+		a := tb.ctl.actions[e.Action.Name]
+		if a == nil {
+			ce.unknown = e.Action.Name
+		} else {
+			ce.act = a
+			for _, v := range e.Action.Args {
+				ce.args = append(ce.args, val{v, 64})
+			}
+		}
+	}
+	return ce
+}
+
+// rebuild rematerializes the matcher from the switch's current entry
+// list and the table's current default action.
+func (tb *ctable) rebuild() {
+	tb.dirty = false
+	entries := tb.sw.entries[tb.name]
+	tb.ents = tb.ents[:0]
+	for _, e := range entries {
+		tb.ents = append(tb.ents, tb.compileEntry(e))
+	}
+	switch tb.kind {
+	case tExact:
+		tb.exact = make(map[[maxExactKeys]uint64]int, len(tb.ents))
+		for i := range tb.ents {
+			if !tb.ents[i].eligible {
+				continue
+			}
+			k := tupleOf(tb.ents[i].e)
+			// First-inserted entry wins on duplicate tuples, like the
+			// strict score comparison of the linear scan.
+			if _, dup := tb.exact[k]; !dup {
+				tb.exact[k] = i
+			}
+		}
+	case tLPM:
+		tb.lpmIdx = tb.lpmIdx[:0]
+		for i := range tb.ents {
+			if tb.ents[i].eligible {
+				tb.lpmIdx = append(tb.lpmIdx, i)
+			}
+		}
+		// Stable: equal prefix lengths keep insertion order, so the
+		// walk finds the same winner the scan's strict > would.
+		sort.SliceStable(tb.lpmIdx, func(a, b int) bool {
+			return tb.ents[tb.lpmIdx[a]].plen > tb.ents[tb.lpmIdx[b]].plen
+		})
+	}
+	tb.defAct, tb.defArgs, tb.defUnknown = nil, nil, ""
+	if d := tb.t.Default; d != nil && d.Name != "NoAction" {
+		a := tb.ctl.actions[d.Name]
+		if a == nil {
+			tb.defUnknown = d.Name
+		} else {
+			tb.defAct = a
+			for _, v := range d.Args {
+				tb.defArgs = append(tb.defArgs, val{v, 64})
+			}
+		}
+	}
+}
+
+// insert keeps the matcher coherent with an appended entry without a
+// full rebuild (exact: index insert; linear: entry append; LPM needs
+// a re-sort, so it just goes dirty).
+func (tb *ctable) insert(e *p4.Entry) {
+	if tb.dirty {
+		return // next apply rebuilds anyway
+	}
+	switch tb.kind {
+	case tExact:
+		ce := tb.compileEntry(e)
+		tb.ents = append(tb.ents, ce)
+		if ce.eligible {
+			k := tupleOf(e)
+			if _, dup := tb.exact[k]; !dup {
+				tb.exact[k] = len(tb.ents) - 1
+			}
+		}
+	case tLinear:
+		tb.ents = append(tb.ents, tb.compileEntry(e))
+	default:
+		tb.dirty = true
+	}
+}
+
+// apply matches and executes the table on the current machine state.
+func (tb *ctable) apply(m *machine) (bool, error) {
+	if tb.dirty {
+		tb.rebuild()
+	}
+	keys := m.keys[:0]
+	for _, kf := range tb.keyFns {
+		keys = append(keys, kf(m))
+	}
+	m.keys = keys
+
+	var ce *centry
+	switch tb.kind {
+	case tExact:
+		var tk [maxExactKeys]uint64
+		for i := range keys {
+			tk[i] = keys[i].wrapped()
+		}
+		if idx, ok := tb.exact[tk]; ok {
+			ce = &tb.ents[idx]
+		}
+	case tLPM:
+		kval := keys[0].wrapped()
+		bits := keys[0].bits
+		for _, idx := range tb.lpmIdx {
+			e := &tb.ents[idx]
+			plen := e.plen
+			if plen > bits {
+				continue
+			}
+			shift := uint(bits - plen)
+			if plen == 0 || kval>>shift == e.e.Keys[0].Value>>shift {
+				ce = e
+				break
+			}
+		}
+	default:
+		ce = tb.scan(keys)
+	}
+
+	if ce == nil {
+		if tb.defUnknown != "" {
+			return false, fmt.Errorf("unknown default action %q", tb.defUnknown)
+		}
+		if tb.defAct != nil {
+			if err := tb.defAct.invoke(m, tb.defArgs); err != nil {
+				return false, err
+			}
+		}
+		return false, nil
+	}
+	if ce.unknown != "" {
+		return false, fmt.Errorf("unknown action %q", ce.unknown)
+	}
+	if ce.act != nil {
+		if err := ce.act.invoke(m, ce.args); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// scan is the fallback linear matcher — semantically identical to the
+// reference applyTable loop, including the explicit matched flag that
+// separates "no match" from "matched with score 0".
+func (tb *ctable) scan(keys []val) *centry {
+	var best *centry
+	bestScore := 0
+	matched := false
+	for i := range tb.ents {
+		ce := &tb.ents[i]
+		if !ce.eligible {
+			continue
+		}
+		ok := true
+		score := 0
+		for ki := range ce.e.Keys {
+			kv := &ce.e.Keys[ki]
+			kval := keys[ki].wrapped()
+			switch tb.kinds[ki] {
+			case p4.MatchExact:
+				if kval != kv.Value {
+					ok = false
+				}
+			case p4.MatchTernary:
+				if kval&kv.Mask != kv.Value&kv.Mask {
+					ok = false
+				}
+				score -= ce.e.Priority
+			case p4.MatchLPM:
+				bits := keys[ki].bits
+				plen := kv.PrefixLen
+				if plen < 0 {
+					plen = 0
+				}
+				if plen > bits {
+					ok = false
+					break
+				}
+				shift := uint(bits - plen)
+				if plen == 0 || kval>>shift == kv.Value>>shift {
+					score = plen
+				} else {
+					ok = false
+				}
+			case p4.MatchRange:
+				if kval < kv.Value || kval > kv.Hi {
+					ok = false
+				}
+				score -= ce.e.Priority
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok && (!matched || score > bestScore) {
+			best = ce
+			bestScore = score
+			matched = true
+		}
+	}
+	return best
+}

@@ -49,6 +49,70 @@ func TestEventHorizonAndBudget(t *testing.T) {
 	}
 }
 
+// TestHeapStressOrdering drains a large adversarial schedule — mixed
+// delays, many ties, events scheduling more events — and checks the
+// 4-ary heap pops in nondecreasing (time, seq) order and tracks its
+// high-water mark.
+func TestHeapStressOrdering(t *testing.T) {
+	var s Sim
+	last := Time(-1)
+	var ran int
+	// Deterministic pseudo-random delays (LCG) with heavy tie density.
+	x := uint64(12345)
+	next := func(n uint64) uint64 { x = x*6364136223846793005 + 1442695040888963407; return (x >> 33) % n }
+	var chain func()
+	chain = func() {
+		if s.Now() < last {
+			t.Fatalf("time went backwards: %v after %v", s.Now(), last)
+		}
+		last = s.Now()
+		ran++
+		if ran < 2000 {
+			s.At(Time(next(8)), chain)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		s.At(Time(next(16)), chain)
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if ran < 2000 {
+		t.Fatalf("only %d events ran", ran)
+	}
+	if s.Processed != uint64(ran) {
+		t.Errorf("Processed=%d, ran=%d", s.Processed, ran)
+	}
+	if s.PeakQueue < 500 {
+		t.Errorf("PeakQueue=%d, want >= 500", s.PeakQueue)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("%d events left", s.Pending())
+	}
+	if s.EventsPerSec() <= 0 {
+		t.Errorf("EventsPerSec=%v after a run", s.EventsPerSec())
+	}
+}
+
+// TestSameTimeFIFOAtScale: a thousand events at the identical instant
+// must run in scheduling order (the determinism contract).
+func TestSameTimeFIFOAtScale(t *testing.T) {
+	var s Sim
+	var order []int
+	for i := 0; i < 1000; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("position %d ran event %d", i, v)
+		}
+	}
+}
+
 // echoNet builds host(1) -- device(9) with the echo kernel.
 func echoNet(t *testing.T) (*Network, *Host, *Device, *runtime.MessageSpec) {
 	t.Helper()

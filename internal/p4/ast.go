@@ -425,6 +425,59 @@ func WalkExprs(body []Stmt, fn func(Expr)) {
 	})
 }
 
+// ExprRefs visits every FieldRef inside one expression (the expression
+// analog of WalkExprs); used by interpreter compilation to compute the
+// free names of table keys and action bodies.
+func ExprRefs(e Expr, fn func(*FieldRef)) {
+	switch x := e.(type) {
+	case nil:
+		return
+	case *FieldRef:
+		fn(x)
+	case *Bin:
+		ExprRefs(x.X, fn)
+		ExprRefs(x.Y, fn)
+	case *Un:
+		ExprRefs(x.X, fn)
+	case *Cast:
+		ExprRefs(x.X, fn)
+	case *CallExpr:
+		for _, a := range x.Args {
+			ExprRefs(a, fn)
+		}
+	case *TernaryExpr:
+		ExprRefs(x.Cond, fn)
+		ExprRefs(x.A, fn)
+		ExprRefs(x.B, fn)
+	}
+}
+
+// AllExact reports whether every key of the table is an exact match —
+// such tables are eligible for hash-index dispatch.
+func (t *Table) AllExact() bool {
+	for _, k := range t.Keys {
+		if k.Match != MatchExact {
+			return false
+		}
+	}
+	return true
+}
+
+// SingleLPM reports whether the table has exactly one key, matched by
+// longest prefix — eligible for sorted-prefix dispatch.
+func (t *Table) SingleLPM() bool {
+	return len(t.Keys) == 1 && t.Keys[0].Match == MatchLPM
+}
+
+// Controls returns the program's control blocks in pipeline order
+// (ingress, then egress when present).
+func (p *Program) Controls() []*Control {
+	if p.Egress == nil {
+		return []*Control{p.Ingress}
+	}
+	return []*Control{p.Ingress, p.Egress}
+}
+
 // HeaderByName finds a header declaration in the program.
 func (p *Program) HeaderByName(name string) *HeaderDecl {
 	for _, h := range p.Headers {

@@ -1,0 +1,60 @@
+package netcl
+
+import (
+	"fmt"
+	"strings"
+
+	"netcl/internal/apps"
+	"netcl/internal/passes"
+)
+
+// Interpreter benchmark: the slot-indexed compiled bmv2 engine against
+// the reference tree-walker, per evaluation app, emitted as
+// BENCH_interp.json by `nclbench -interp`.
+
+// InterpPoint is one app's old-vs-new comparison.
+type InterpPoint = apps.InterpPoint
+
+// InterpReport is the interpreter hot-path benchmark.
+type InterpReport struct {
+	PacketsPerApp int            `json:"packets_per_app"`
+	Points        []*InterpPoint `json:"points"`
+	// SimAgg reports the netsim event-engine counters of one AGG
+	// end-to-end run on the compiled engine (events, peak queue
+	// depth, events/sec).
+	SimAgg apps.SimStats `json:"sim_agg"`
+}
+
+// BenchInterp measures every benchmarked app with pkts packets per
+// engine (0 = default), plus one end-to-end AGG run for the simulator
+// counters.
+func BenchInterp(pkts int) (*InterpReport, error) {
+	if pkts <= 0 {
+		pkts = 20000
+	}
+	points, err := apps.BenchInterpApps(pkts)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := apps.RunAgg(apps.AggConfig{Workers: 4, Chunks: 48, Window: 4, Target: passes.TargetTNA})
+	if err != nil {
+		return nil, err
+	}
+	return &InterpReport{PacketsPerApp: pkts, Points: points, SimAgg: agg.Sim}, nil
+}
+
+// FormatInterp renders the benchmark as text.
+func FormatInterp(rep *InterpReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "INTERPRETER — compiled engine vs reference tree-walker (%d packets per app)\n", rep.PacketsPerApp)
+	fmt.Fprintf(&b, "%-8s %14s %14s %8s %12s %12s %10s %10s\n",
+		"APP", "REF(pkt/s)", "COMPILED", "SPEEDUP", "REF(B/pkt)", "NEW(B/pkt)", "REF(allocs)", "NEW(allocs)")
+	for _, p := range rep.Points {
+		fmt.Fprintf(&b, "%-8s %14.0f %14.0f %7.2fx %12.0f %12.0f %10.1f %10.1f\n",
+			p.App, p.ReferencePPS, p.CompiledPPS, p.Speedup,
+			p.ReferenceBytesPkt, p.CompiledBytesPkt, p.ReferenceAllocsPkt, p.CompiledAllocsPkt)
+	}
+	fmt.Fprintf(&b, "NETSIM — AGG end-to-end run: %d events, peak queue %d, %.0f events/sec\n",
+		rep.SimAgg.Events, rep.SimAgg.PeakQueue, rep.SimAgg.EventsPerSec)
+	return b.String()
+}
