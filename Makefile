@@ -1,20 +1,23 @@
 # NetCL build and test entry points.
 #
-# tier1 is the fast correctness gate (vet + build + test); tier2 adds
-# the race detector over the concurrent code (UDP backend, drivers,
-# chaos tests); bench emits the interpreter hot-path measurement,
-# bench-reliability the goodput-under-loss one.
+# tier1 is the fast correctness gate (vet + build + test); tier2 and
+# race run the race detector over the concurrent code (sharded engine,
+# UDP backend, drivers, chaos tests); bench emits the interpreter
+# hot-path measurement, bench-reliability the goodput-under-loss one,
+# bench-loadgen the shard-count sweep of the flow-parallel data plane.
 
 GO ?= go
 
-.PHONY: all tier1 tier2 bench bench-reliability examples clean
+.PHONY: all tier1 tier2 race bench bench-reliability bench-loadgen examples clean
 
 all: tier1
 
 tier1:
 	$(GO) vet ./... && $(GO) build ./... && $(GO) test ./...
 
-tier2:
+tier2: race
+
+race:
 	$(GO) vet ./... && $(GO) test -race ./...
 
 bench:
@@ -24,6 +27,9 @@ bench:
 bench-reliability:
 	$(GO) run ./cmd/nclbench -reliability -out BENCH_reliability.json
 
+bench-loadgen:
+	$(GO) run ./cmd/nclbench -loadgen -out BENCH_loadgen.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/allreduce
@@ -31,4 +37,4 @@ examples:
 	$(GO) run ./examples/paxos
 
 clean:
-	rm -f BENCH_reliability.json BENCH_interp.json
+	rm -f BENCH_reliability.json BENCH_interp.json BENCH_loadgen.json

@@ -13,6 +13,12 @@
 // each evaluation app — plus the netsim event-engine counters:
 //
 //	nclbench -interp -out BENCH_interp.json
+//
+// With -loadgen it sweeps the flow-sharded data plane over shard
+// counts {1,2,4,8} under the many-pool AGG workload, verifying
+// per-flow results against a single-shard replay at every point:
+//
+//	nclbench -loadgen -out BENCH_loadgen.json
 package main
 
 import (
@@ -28,13 +34,29 @@ func main() {
 	var (
 		reliability = flag.Bool("reliability", false, "run the goodput-under-loss sweep instead of the paper report")
 		interp      = flag.Bool("interp", false, "benchmark the interpreter hot path instead of the paper report")
-		out         = flag.String("out", "", "output JSON path (default BENCH_reliability.json / BENCH_interp.json)")
+		loadgen     = flag.Bool("loadgen", false, "sweep the flow-sharded data plane over shard counts")
+		out         = flag.String("out", "", "output JSON path (default BENCH_<mode>.json)")
 		workers     = flag.Int("workers", 4, "reliability: AGG workers")
 		chunks      = flag.Int("chunks", 48, "reliability: chunks per worker")
 		seed        = flag.Int64("seed", 1, "reliability: fault-injection seed")
 		pkts        = flag.Int("pkts", 20000, "interp: packets per app per engine")
+		flowPkts    = flag.Int("flowpkts", 256, "loadgen: packets per flow")
 	)
 	flag.Parse()
+
+	if *loadgen {
+		if *out == "" {
+			*out = "BENCH_loadgen.json"
+		}
+		rep, err := netcl.BenchLoadgen(*flowPkts)
+		check(err)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		check(err)
+		check(os.WriteFile(*out, append(data, '\n'), 0o644))
+		fmt.Print(netcl.FormatLoadgen(rep))
+		fmt.Println("wrote", *out)
+		return
+	}
 
 	if *interp {
 		if *out == "" {

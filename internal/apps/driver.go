@@ -110,16 +110,20 @@ type AggResult struct {
 	// Duplicates counts completions a worker discarded as already
 	// observed (multicast races and duplicated packets).
 	Duplicates int
-	// MeanChunkNs is the mean first-send-to-completion latency.
+	// MeanChunkNs is the mean first-send-to-completion latency;
+	// P50ChunkNs/P99ChunkNs are the median and tail of the same
+	// distribution (from a log-linear histogram, ~6% resolution).
 	MeanChunkNs float64
+	P50ChunkNs  float64
+	P99ChunkNs  float64
 	// Sim reports the discrete-event engine's work for this run.
 	Sim SimStats
 }
 
 // Summary implements Result.
 func (r *AggResult) Summary() string {
-	return fmt.Sprintf("AGG: %d slots completed, %.0f ATE/s per worker, %d mismatches, %d retransmissions, %d packets lost",
-		r.Completed, r.ATEPerWorker, r.Mismatches, r.Retransmissions, r.PacketsLost)
+	return fmt.Sprintf("AGG: %d slots completed, %.0f ATE/s per worker, chunk latency p50 %.1fµs p99 %.1fµs, %d mismatches, %d retransmissions, %d packets lost",
+		r.Completed, r.ATEPerWorker, r.P50ChunkNs/1e3, r.P99ChunkNs/1e3, r.Mismatches, r.Retransmissions, r.PacketsLost)
 }
 
 // RunAgg drives the SwitchML-style aggregation through the simulated
@@ -194,6 +198,7 @@ func RunAgg(cfg AggConfig) (*AggResult, error) {
 	}
 
 	res := &AggResult{}
+	var chunkHist Hist
 	numSlots := int(defines["NUM_SLOTS"])
 	slotSize := int(defines["SLOT_SIZE"])
 	budgetExceeded := 0
@@ -261,7 +266,9 @@ func RunAgg(cfg AggConfig) (*AggResult, error) {
 				return
 			}
 			delete(ws.outstanding, chunk)
-			res.MeanChunkNs += float64(n.Now() - ws.sentAt[chunk])
+			lat := n.Now() - ws.sentAt[chunk]
+			res.MeanChunkNs += float64(lat)
+			chunkHist.Record(uint64(lat))
 			for i := 0; i < slotSize; i++ {
 				want := uint64(cfg.Workers*(chunk+i)) + uint64(cfg.Workers*(cfg.Workers-1)/2)
 				if vals[i] != want {
@@ -297,6 +304,8 @@ func RunAgg(cfg AggConfig) (*AggResult, error) {
 	}
 	if res.Completed > 0 {
 		res.MeanChunkNs /= float64(res.Completed)
+		res.P50ChunkNs = float64(chunkHist.Quantile(0.50))
+		res.P99ChunkNs = float64(chunkHist.Quantile(0.99))
 	}
 	// Every worker must observe every chunk's completion.
 	for _, ws := range workers {
@@ -336,9 +345,14 @@ type CacheConfig struct {
 // CacheResult reports KVS response times.
 type CacheResult struct {
 	MeanResponseNs float64
-	HitRate        float64
-	Hits, Misses   int
-	WrongValues    int
+	// P50ResponseNs/P99ResponseNs split the response-time distribution:
+	// under partial caching the median is a switch hit while the tail is
+	// a server round trip, which the mean alone hides.
+	P50ResponseNs float64
+	P99ResponseNs float64
+	HitRate       float64
+	Hits, Misses  int
+	WrongValues   int
 	// Retransmissions/Duplicates/PacketsLost report the loss-recovery
 	// path (GETs are idempotent, so resends are safe).
 	Retransmissions int
@@ -350,8 +364,8 @@ type CacheResult struct {
 
 // Summary implements Result.
 func (r *CacheResult) Summary() string {
-	return fmt.Sprintf("CACHE: hit rate %.0f%%, mean response %.2fµs (%d hits, %d misses, %d wrong values, %d retransmissions)",
-		100*r.HitRate, r.MeanResponseNs/1e3, r.Hits, r.Misses, r.WrongValues, r.Retransmissions)
+	return fmt.Sprintf("CACHE: hit rate %.0f%%, mean response %.2fµs, p50 %.2fµs, p99 %.2fµs (%d hits, %d misses, %d wrong values, %d retransmissions)",
+		100*r.HitRate, r.MeanResponseNs/1e3, r.P50ResponseNs/1e3, r.P99ResponseNs/1e3, r.Hits, r.Misses, r.WrongValues, r.Retransmissions)
 }
 
 // RunCache drives NetCache through the simulated network: a client
@@ -461,6 +475,7 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 	}
 
 	res := &CacheResult{}
+	var rtHist Hist
 	var totalRT float64
 	outstandingKey := uint64(0)
 	answered := true
@@ -523,6 +538,7 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 		}
 		answered = true
 		totalRT += float64(n.Now() - sentAt)
+		rtHist.Record(uint64(n.Now() - sentAt))
 		if hit[0] != 0 {
 			res.Hits++
 		} else {
@@ -543,6 +559,8 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 	done := res.Hits + res.Misses
 	if done > 0 {
 		res.MeanResponseNs = totalRT / float64(done)
+		res.P50ResponseNs = float64(rtHist.Quantile(0.50))
+		res.P99ResponseNs = float64(rtHist.Quantile(0.99))
 		res.HitRate = float64(res.Hits) / float64(done)
 	}
 	res.PacketsLost = n.FaultsDropped

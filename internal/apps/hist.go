@@ -1,0 +1,83 @@
+package apps
+
+import "math/bits"
+
+// Hist is a log-linear latency histogram: 64 power-of-two major
+// buckets, each split into 16 linear minor buckets (~6% relative
+// resolution), the classic HDR layout. The zero value is ready to use.
+// Record and Quantile cost O(1)/O(buckets) with no allocation, so a
+// histogram can live on a hot path (one per flow, merged at the end).
+type Hist struct {
+	counts [64 * 16]uint64
+	n      uint64
+}
+
+// bucket maps a value to its bucket index.
+func histBucket(v uint64) int {
+	if v < 16 {
+		return int(v) // exact for tiny values
+	}
+	exp := bits.Len64(v) - 1        // position of the top bit, >= 4
+	minor := (v >> (uint(exp) - 4)) // top 5 bits, high bit set
+	return (exp-3)*16 + int(minor&15)
+}
+
+// histValue returns a representative value (the bucket's lower bound)
+// for a bucket index.
+func histValue(b int) uint64 {
+	if b < 16 {
+		return uint64(b)
+	}
+	exp := b/16 + 3
+	minor := uint64(b%16) | 16
+	return minor << (uint(exp) - 4)
+}
+
+// Record adds one observation.
+func (h *Hist) Record(v uint64) {
+	h.counts[histBucket(v)]++
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+}
+
+// Quantile returns the value at quantile q in [0, 1] (0 when empty).
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.n-1))
+	var seen uint64
+	for b, c := range h.counts {
+		seen += c
+		if c > 0 && seen > rank {
+			return histValue(b)
+		}
+	}
+	return histValue(len(h.counts) - 1)
+}
+
+// Max returns the lower bound of the highest occupied bucket.
+func (h *Hist) Max() uint64 {
+	for b := len(h.counts) - 1; b >= 0; b-- {
+		if h.counts[b] > 0 {
+			return histValue(b)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,78 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHistExactSmall(t *testing.T) {
+	var h Hist
+	for v := uint64(0); v < 16; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("p0 = %d", got)
+	}
+	if got := h.Quantile(1); got != 15 {
+		t.Errorf("p100 = %d", got)
+	}
+	if h.Count() != 16 {
+		t.Errorf("count %d", h.Count())
+	}
+}
+
+// TestHistQuantileAccuracy: quantiles of a known distribution land
+// within the layout's ~6% relative error.
+func TestHistQuantileAccuracy(t *testing.T) {
+	var h Hist
+	rng := rand.New(rand.NewSource(7))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Record(uint64(rng.Intn(1_000_000)))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := float64(h.Quantile(q))
+		want := q * 1_000_000
+		if got < want*0.9 || got > want*1.1 {
+			t.Errorf("q%.2f = %.0f, want within 10%% of %.0f", q, got, want)
+		}
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	for i := 0; i < 100; i++ {
+		a.Record(10)
+		b.Record(1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	if p50 := a.Quantile(0.49); p50 != 10 {
+		t.Errorf("p49 = %d, want 10", p50)
+	}
+	if p99 := a.Quantile(0.99); p99 < 900 {
+		t.Errorf("p99 = %d, want ~1000", p99)
+	}
+	if m := a.Max(); m < 900 || m > 1100 {
+		t.Errorf("max = %d", m)
+	}
+}
+
+// TestHistBucketMonotone: bucket index and representative value are
+// monotone, and the representative never exceeds the recorded value's
+// bucket bound.
+func TestHistBucketMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 15, 16, 17, 31, 32, 100, 1 << 20, 1 << 40, 1 << 62} {
+		b := histBucket(v)
+		if b < prev {
+			t.Errorf("bucket(%d) = %d < previous %d", v, b, prev)
+		}
+		prev = b
+		if rep := histValue(b); rep > v {
+			t.Errorf("value(bucket(%d)) = %d > %d", v, rep, v)
+		}
+	}
+}

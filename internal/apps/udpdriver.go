@@ -112,6 +112,7 @@ func RunAggUDP(cfg AggUDPConfig) (*AggResult, error) {
 	dev.SetMulticastGroup(42, members)
 
 	res := &AggResult{}
+	var chunkHist Hist
 	var mu sync.Mutex
 	start := time.Now()
 	errCh := make(chan error, cfg.Workers)
@@ -121,7 +122,7 @@ func RunAggUDP(cfg AggUDPConfig) (*AggResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errCh <- aggUDPWorker(cfg, conns[w], spec, w, numSlots, slotSize, res, &mu)
+			errCh <- aggUDPWorker(cfg, conns[w], spec, w, numSlots, slotSize, res, &chunkHist, &mu)
 		}()
 	}
 	wg.Wait()
@@ -134,6 +135,8 @@ func RunAggUDP(cfg AggUDPConfig) (*AggResult, error) {
 	}
 	if res.Completed > 0 {
 		res.MeanChunkNs /= float64(res.Completed)
+		res.P50ChunkNs = float64(chunkHist.Quantile(0.50))
+		res.P99ChunkNs = float64(chunkHist.Quantile(0.99))
 	}
 	// Close() joins the device loop, so the fault counters are settled.
 	res.PacketsLost = dev.FaultDropped
@@ -149,7 +152,7 @@ func RunAggUDP(cfg AggUDPConfig) (*AggResult, error) {
 // complete, resending every outstanding chunk whenever the completion
 // stream stalls for RetransmitTimeout.
 func aggUDPWorker(cfg AggUDPConfig, conn *runtime.HostConn, spec *runtime.MessageSpec,
-	w, numSlots, slotSize int, res *AggResult, mu *sync.Mutex) error {
+	w, numSlots, slotSize int, res *AggResult, hist *Hist, mu *sync.Mutex) error {
 	outstanding := map[int]bool{}
 	retries := map[int]int{}
 	sentAt := map[int]time.Time{}
@@ -234,7 +237,9 @@ func aggUDPWorker(cfg AggUDPConfig, conn *runtime.HostConn, spec *runtime.Messag
 			}
 		}
 		mu.Lock()
-		res.MeanChunkNs += float64(time.Since(sentAt[chunk]).Nanoseconds())
+		lat := time.Since(sentAt[chunk]).Nanoseconds()
+		res.MeanChunkNs += float64(lat)
+		hist.Record(uint64(lat))
 		if mismatch {
 			res.Mismatches++
 		}

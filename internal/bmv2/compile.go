@@ -872,8 +872,7 @@ func (cc *compiler) callExpr(c *p4.Control, sc *cscope, x *p4.CallExpr) (evalFn,
 		mask := maskOf(bits)
 		if h.Algo == "random" {
 			return func(m *machine) val {
-				m.sw.rng = m.sw.rng*6364136223846793005 + 1442695040888963407
-				return val{m.sw.rng >> 17 & mask, bits}
+				return val{m.sw.nextRand() >> 17 & mask, bits}
 			}, nil
 		}
 		argFns, err := cc.exprs(c, sc, x.Args)

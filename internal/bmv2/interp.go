@@ -8,6 +8,8 @@ package bmv2
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"netcl/internal/p4"
 )
@@ -49,19 +51,36 @@ const (
 
 // Switch is an executable P4 switch instance with mutable runtime
 // state (registers, table entries, multicast groups).
+//
+// Concurrency: on the compiled engine, control-plane table mutations
+// (InsertEntry/DeleteEntry/ClearEntries/SetDefaultAction/
+// SortEntriesByPriority) are safe to call concurrently with packet
+// processing — they serialize on the writer mutex and publish
+// immutable matcher snapshots the data path reads lock-free (RCU, see
+// table.go). Register cells are plain memory: concurrent packet
+// processing is safe only when packets touching the same cell run on
+// the same goroutine (the shard-by-flow invariant; see Sharded), and
+// control-plane RegisterRead/RegisterWrite against in-flight packets
+// must quiesce the data path (Sharded does). The reference engine is
+// single-goroutine only.
 type Switch struct {
 	Prog *p4.Program
+
+	// mu is the control-plane writer lock: it serializes mutations of
+	// the entry lists and register cells against each other. The data
+	// path never takes it.
+	mu sync.Mutex
 
 	regs    map[string][]uint64
 	entries map[string][]*p4.Entry
 	fields  map[string]int // field path -> bits (headers, metadata, locals, params)
-	rng     uint64
+	rng     uint64         // updated via CAS: the random extern must stay race-free under sharding
 
 	prog       *cprog // compiled form; nil when compilation was refused
 	compileErr error
 	engine     Engine
 
-	// Counters for observability and tests.
+	// Counters for observability and tests, updated atomically.
 	PacketsIn, PacketsOut, PacketsDropped uint64
 }
 
@@ -132,8 +151,12 @@ func (s *Switch) CompileErr() error { return s.compileErr }
 
 // Control plane --------------------------------------------------------
 
-// RegisterRead returns a register cell.
+// RegisterRead returns a register cell. Serialized against other
+// control-plane calls; concurrent in-flight packets must be quiesced
+// by the caller (Sharded.RegisterRead does).
 func (s *Switch) RegisterRead(name string, idx int) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cells, ok := s.regs[name]
 	if !ok {
 		return 0, fmt.Errorf("no register %q", name)
@@ -144,8 +167,12 @@ func (s *Switch) RegisterRead(name string, idx int) (uint64, error) {
 	return cells[idx], nil
 }
 
-// RegisterWrite sets a register cell.
+// RegisterWrite sets a register cell. Serialized against other
+// control-plane calls; concurrent in-flight packets must be quiesced
+// by the caller (Sharded.RegisterWrite does).
 func (s *Switch) RegisterWrite(name string, idx int, v uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cells, ok := s.regs[name]
 	if !ok {
 		return fmt.Errorf("no register %q", name)
@@ -165,21 +192,19 @@ func (s *Switch) RegisterSize(name string) int {
 	return -1
 }
 
-// InsertEntry adds a runtime table entry.
+// InsertEntry adds a runtime table entry. On the compiled engine the
+// new matcher snapshot is published atomically, so the call is safe
+// against in-flight packet processing.
 func (s *Switch) InsertEntry(table string, e *p4.Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.entries[table]; !ok {
 		if s.findTable(table) == nil {
 			return fmt.Errorf("no table %q", table)
 		}
 	}
 	s.entries[table] = append(s.entries[table], e)
-	// Keep compiled matchers coherent: exact indexes and linear scans
-	// absorb the entry in place; LPM tables re-sort on next apply.
-	if s.prog != nil {
-		for _, tb := range s.prog.tablesByName[table] {
-			tb.insert(e)
-		}
-	}
+	s.republishTables(table)
 	return nil
 }
 
@@ -188,6 +213,8 @@ func (s *Switch) InsertEntry(table string, e *p4.Entry) error {
 // tables are no longer mass-deleted by a first-key collision. Callers
 // passing a single value on single-key tables keep their behavior.
 func (s *Switch) DeleteEntry(table string, keyVals ...uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	es := s.entries[table]
 	var keep []*p4.Entry
 	removed := 0
@@ -200,7 +227,7 @@ func (s *Switch) DeleteEntry(table string, keyVals ...uint64) int {
 	}
 	s.entries[table] = keep
 	if removed > 0 {
-		s.invalidateTables(table)
+		s.republishTables(table)
 	}
 	return removed
 }
@@ -221,36 +248,57 @@ func entryKeysEqual(e *p4.Entry, keyVals []uint64) bool {
 
 // ClearEntries removes all runtime entries of a table.
 func (s *Switch) ClearEntries(table string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.entries[table] = nil
-	s.invalidateTables(table)
+	s.republishTables(table)
 }
 
 // SetDefaultAction overrides a table's default action (the control
 // plane configures e.g. the AGG baseline's worker count this way).
 func (s *Switch) SetDefaultAction(table, action string, args []uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	t := s.findTable(table)
 	if t == nil {
 		return fmt.Errorf("no table %q", table)
 	}
 	t.Default = &p4.ActionCall{Name: action, Args: args}
-	s.invalidateTables(table)
+	s.republishTables(table)
 	return nil
 }
 
-// invalidateTables marks every compiled matcher of a table dirty; the
-// next apply rebuilds from s.entries and the table's default action.
-func (s *Switch) invalidateTables(table string) {
+// republishTables rebuilds and atomically publishes the matcher
+// snapshot of every compiled table sharing the name. Callers hold
+// s.mu (or run single-threaded at construction time).
+func (s *Switch) republishTables(table string) {
 	if s.prog == nil {
 		return
 	}
 	for _, tb := range s.prog.tablesByName[table] {
-		tb.dirty = true
+		tb.rebuild()
 	}
 }
 
 // Entries returns a copy of a table's current entries.
 func (s *Switch) Entries(table string) []*p4.Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return append([]*p4.Entry(nil), s.entries[table]...)
+}
+
+// nextRand steps the random-extern LCG with a CAS loop: single-
+// threaded runs produce the exact reference sequence, while sharded
+// runs stay race-free (cross-shard draw order is load-dependent, like
+// hardware RNG externs).
+func (s *Switch) nextRand() uint64 {
+	for {
+		old := atomic.LoadUint64(&s.rng)
+		next := old*6364136223846793005 + 1442695040888963407
+		if atomic.CompareAndSwapUint64(&s.rng, old, next) {
+			return next
+		}
+	}
 }
 
 func (s *Switch) findTable(name string) *p4.Table {
@@ -288,7 +336,7 @@ func (s *Switch) Process(data []byte, inPort int) (*Result, error) {
 // processReference is the original tree-walking interpreter: the
 // semantic oracle the compiled engine must match byte for byte.
 func (s *Switch) processReference(data []byte, inPort int) (*Result, error) {
-	s.PacketsIn++
+	atomic.AddUint64(&s.PacketsIn, 1)
 	ex := &exec{s: s, env: map[string]val{}, valid: map[string]bool{}}
 	for _, f := range s.Prog.Metadata {
 		ex.env["meta."+f.Name] = val{0, f.Bits}
@@ -310,14 +358,14 @@ func (s *Switch) processReference(data []byte, inPort int) (*Result, error) {
 	}
 	if ex.env["meta.drop_flag"].wrapped() != 0 {
 		res.Dropped = true
-		s.PacketsDropped++
+		atomic.AddUint64(&s.PacketsDropped, 1)
 		return res, nil
 	}
 	res.Data = ex.deparse()
 	if res.Port == 0 && res.Mcast == 0 {
 		res.NoMatch = true
 	}
-	s.PacketsOut++
+	atomic.AddUint64(&s.PacketsOut, 1)
 	return res, nil
 }
 
@@ -786,8 +834,8 @@ func (ex *exec) evalCall(x *p4.CallExpr) (val, error) {
 	for _, h := range ex.hashDecls() {
 		if h.Name == x.Recv && x.Method == "get" {
 			if h.Algo == "random" {
-				ex.s.rng = ex.s.rng*6364136223846793005 + 1442695040888963407
-				return val{ex.s.rng >> 17 & (val{bits: h.Bits}).mask(), h.Bits}, nil
+				r := ex.s.nextRand()
+				return val{r >> 17 & (val{bits: h.Bits}).mask(), h.Bits}, nil
 			}
 			var data []byte
 			for _, a := range x.Args {
@@ -839,7 +887,9 @@ func (ex *exec) evalBin(x *p4.Bin) val {
 // SortEntriesByPriority orders a table's runtime entries (lowest
 // priority value first); useful after bulk inserts of ternary entries.
 func (s *Switch) SortEntriesByPriority(table string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	es := s.entries[table]
 	sort.SliceStable(es, func(i, j int) bool { return es[i].Priority < es[j].Priority })
-	s.invalidateTables(table)
+	s.republishTables(table)
 }

@@ -9,7 +9,10 @@ package bmv2
 // sized deparse buffer (which escapes into the caller and cannot be
 // pooled).
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // machine is pooled per-packet execution state.
 type machine struct {
@@ -60,10 +63,11 @@ func (p *cprog) putMachine(m *machine) {
 }
 
 // process runs one packet through the compiled pipeline. Counters and
-// Result semantics match the reference Process exactly.
+// Result semantics match the reference Process exactly; counter
+// updates are atomic because shards call process concurrently.
 func (p *cprog) process(data []byte) (*Result, error) {
 	s := p.sw
-	s.PacketsIn++
+	atomic.AddUint64(&s.PacketsIn, 1)
 	m := p.getMachine()
 	if err := m.parse(p, data); err != nil {
 		p.putMachine(m)
@@ -85,7 +89,7 @@ func (p *cprog) process(data []byte) (*Result, error) {
 	}
 	if m.frame[p.dropSlot].wrapped() != 0 {
 		res.Dropped = true
-		s.PacketsDropped++
+		atomic.AddUint64(&s.PacketsDropped, 1)
 		p.putMachine(m)
 		return res, nil
 	}
@@ -93,7 +97,7 @@ func (p *cprog) process(data []byte) (*Result, error) {
 	if res.Port == 0 && res.Mcast == 0 {
 		res.NoMatch = true
 	}
-	s.PacketsOut++
+	atomic.AddUint64(&s.PacketsOut, 1)
 	p.putMachine(m)
 	return res, nil
 }

@@ -4,13 +4,18 @@ package bmv2
 // compile time: a hash index for all-exact-key tables (the CACHE and
 // CALC dispatch pattern), a sorted-prefix walk for single-key LPM
 // tables, and the reference linear scan for everything else (ternary,
-// range, mixed). Matchers stay coherent with control-plane mutations:
-// InsertEntry appends incrementally; delete/clear/sort/default-change
-// mark the table dirty and the next apply rebuilds it.
+// range, mixed). The materialized matcher lives in an immutable
+// snapshot (tsnap) behind an atomic pointer, RCU style: the data path
+// loads the snapshot with a single atomic read and never takes a lock,
+// while control-plane mutations (insert/delete/clear/sort/default
+// change) rebuild a fresh snapshot under the switch's writer mutex and
+// publish it atomically. Readers mid-packet keep the snapshot they
+// loaded; the next packet sees the new one.
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"netcl/internal/p4"
 )
@@ -38,6 +43,19 @@ type centry struct {
 	plen     int    // clamped prefix length (LPM sort key)
 }
 
+// tsnap is one immutable published matcher state. Everything the data
+// path needs to match and act is in here; nothing in a published tsnap
+// is ever mutated again.
+type tsnap struct {
+	ents   []centry
+	exact  map[[maxExactKeys]uint64]int // key tuple -> first entry index
+	lpmIdx []int                        // entry indices, prefix length descending (stable)
+
+	defAct     *caction
+	defArgs    []val
+	defUnknown string
+}
+
 // ctable is a compiled match-action table.
 type ctable struct {
 	name   string
@@ -48,22 +66,14 @@ type ctable struct {
 	kinds  []p4.MatchKind
 	kind   tkind
 
-	ents   []centry
-	exact  map[[maxExactKeys]uint64]int // key tuple -> first entry index
-	lpmIdx []int                        // entry indices, prefix length descending (stable)
-
-	defAct     *caction
-	defArgs    []val
-	defUnknown string
-
-	dirty bool
+	snap atomic.Pointer[tsnap]
 }
 
 // table compiles the static shape of one table (key closures at
 // apply-level scope, matcher choice). Entries are materialized later
 // by rebuild, once action instances exist.
 func (cc *compiler) table(ctl *cctl, t *p4.Table) (*ctable, error) {
-	tb := &ctable{name: t.Name, sw: cc.s, ctl: ctl, t: t, dirty: true}
+	tb := &ctable{name: t.Name, sw: cc.s, ctl: ctl, t: t}
 	for _, k := range t.Keys {
 		f, err := cc.expr(ctl.c, nil, k.Expr)
 		if err != nil {
@@ -117,85 +127,59 @@ func (tb *ctable) compileEntry(e *p4.Entry) centry {
 	return ce
 }
 
-// rebuild rematerializes the matcher from the switch's current entry
-// list and the table's current default action.
+// rebuild materializes a fresh snapshot from the switch's current entry
+// list and the table's current default action, and publishes it. Called
+// at compile time and, under the switch's writer mutex, on every
+// control-plane mutation — never from the data path.
 func (tb *ctable) rebuild() {
-	tb.dirty = false
+	sn := &tsnap{}
 	entries := tb.sw.entries[tb.name]
-	tb.ents = tb.ents[:0]
 	for _, e := range entries {
-		tb.ents = append(tb.ents, tb.compileEntry(e))
+		sn.ents = append(sn.ents, tb.compileEntry(e))
 	}
 	switch tb.kind {
 	case tExact:
-		tb.exact = make(map[[maxExactKeys]uint64]int, len(tb.ents))
-		for i := range tb.ents {
-			if !tb.ents[i].eligible {
+		sn.exact = make(map[[maxExactKeys]uint64]int, len(sn.ents))
+		for i := range sn.ents {
+			if !sn.ents[i].eligible {
 				continue
 			}
-			k := tupleOf(tb.ents[i].e)
+			k := tupleOf(sn.ents[i].e)
 			// First-inserted entry wins on duplicate tuples, like the
 			// strict score comparison of the linear scan.
-			if _, dup := tb.exact[k]; !dup {
-				tb.exact[k] = i
+			if _, dup := sn.exact[k]; !dup {
+				sn.exact[k] = i
 			}
 		}
 	case tLPM:
-		tb.lpmIdx = tb.lpmIdx[:0]
-		for i := range tb.ents {
-			if tb.ents[i].eligible {
-				tb.lpmIdx = append(tb.lpmIdx, i)
+		for i := range sn.ents {
+			if sn.ents[i].eligible {
+				sn.lpmIdx = append(sn.lpmIdx, i)
 			}
 		}
 		// Stable: equal prefix lengths keep insertion order, so the
 		// walk finds the same winner the scan's strict > would.
-		sort.SliceStable(tb.lpmIdx, func(a, b int) bool {
-			return tb.ents[tb.lpmIdx[a]].plen > tb.ents[tb.lpmIdx[b]].plen
+		sort.SliceStable(sn.lpmIdx, func(a, b int) bool {
+			return sn.ents[sn.lpmIdx[a]].plen > sn.ents[sn.lpmIdx[b]].plen
 		})
 	}
-	tb.defAct, tb.defArgs, tb.defUnknown = nil, nil, ""
 	if d := tb.t.Default; d != nil && d.Name != "NoAction" {
 		a := tb.ctl.actions[d.Name]
 		if a == nil {
-			tb.defUnknown = d.Name
+			sn.defUnknown = d.Name
 		} else {
-			tb.defAct = a
+			sn.defAct = a
 			for _, v := range d.Args {
-				tb.defArgs = append(tb.defArgs, val{v, 64})
+				sn.defArgs = append(sn.defArgs, val{v, 64})
 			}
 		}
 	}
-}
-
-// insert keeps the matcher coherent with an appended entry without a
-// full rebuild (exact: index insert; linear: entry append; LPM needs
-// a re-sort, so it just goes dirty).
-func (tb *ctable) insert(e *p4.Entry) {
-	if tb.dirty {
-		return // next apply rebuilds anyway
-	}
-	switch tb.kind {
-	case tExact:
-		ce := tb.compileEntry(e)
-		tb.ents = append(tb.ents, ce)
-		if ce.eligible {
-			k := tupleOf(e)
-			if _, dup := tb.exact[k]; !dup {
-				tb.exact[k] = len(tb.ents) - 1
-			}
-		}
-	case tLinear:
-		tb.ents = append(tb.ents, tb.compileEntry(e))
-	default:
-		tb.dirty = true
-	}
+	tb.snap.Store(sn)
 }
 
 // apply matches and executes the table on the current machine state.
 func (tb *ctable) apply(m *machine) (bool, error) {
-	if tb.dirty {
-		tb.rebuild()
-	}
+	sn := tb.snap.Load()
 	keys := m.keys[:0]
 	for _, kf := range tb.keyFns {
 		keys = append(keys, kf(m))
@@ -209,14 +193,14 @@ func (tb *ctable) apply(m *machine) (bool, error) {
 		for i := range keys {
 			tk[i] = keys[i].wrapped()
 		}
-		if idx, ok := tb.exact[tk]; ok {
-			ce = &tb.ents[idx]
+		if idx, ok := sn.exact[tk]; ok {
+			ce = &sn.ents[idx]
 		}
 	case tLPM:
 		kval := keys[0].wrapped()
 		bits := keys[0].bits
-		for _, idx := range tb.lpmIdx {
-			e := &tb.ents[idx]
+		for _, idx := range sn.lpmIdx {
+			e := &sn.ents[idx]
 			plen := e.plen
 			if plen > bits {
 				continue
@@ -228,15 +212,15 @@ func (tb *ctable) apply(m *machine) (bool, error) {
 			}
 		}
 	default:
-		ce = tb.scan(keys)
+		ce = tb.scan(sn, keys)
 	}
 
 	if ce == nil {
-		if tb.defUnknown != "" {
-			return false, fmt.Errorf("unknown default action %q", tb.defUnknown)
+		if sn.defUnknown != "" {
+			return false, fmt.Errorf("unknown default action %q", sn.defUnknown)
 		}
-		if tb.defAct != nil {
-			if err := tb.defAct.invoke(m, tb.defArgs); err != nil {
+		if sn.defAct != nil {
+			if err := sn.defAct.invoke(m, sn.defArgs); err != nil {
 				return false, err
 			}
 		}
@@ -256,12 +240,12 @@ func (tb *ctable) apply(m *machine) (bool, error) {
 // scan is the fallback linear matcher — semantically identical to the
 // reference applyTable loop, including the explicit matched flag that
 // separates "no match" from "matched with score 0".
-func (tb *ctable) scan(keys []val) *centry {
+func (tb *ctable) scan(sn *tsnap, keys []val) *centry {
 	var best *centry
 	bestScore := 0
 	matched := false
-	for i := range tb.ents {
-		ce := &tb.ents[i]
+	for i := range sn.ents {
+		ce := &sn.ents[i]
 		if !ce.eligible {
 			continue
 		}

@@ -295,9 +295,15 @@ func (d *Device) receive(pkt []byte, inPort int) {
 	d.net.At(d.PipelineNs, func() {
 		if res.Mcast != 0 {
 			ports := d.mcast[res.Mcast]
-			for _, p := range ports {
-				cp := append([]byte(nil), res.Data...)
-				deliver(p, cp)
+			for i, p := range ports {
+				// Each recipient gets its own buffer; the last one can
+				// take ownership of res.Data itself, like the unicast
+				// path (one allocation saved per multicast).
+				data := res.Data
+				if i < len(ports)-1 {
+					data = append([]byte(nil), res.Data...)
+				}
+				deliver(p, data)
 			}
 			if len(ports) == 0 {
 				d.net.PacketsDropped++

@@ -18,37 +18,46 @@ const (
 // Frame wraps a NetCL message in Ethernet+IPv4+UDP headers addressed
 // to the NetCL UDP port. dstMAC/srcMAC occupy the low 48 bits.
 func Frame(msg []byte, srcMAC, dstMAC uint64) []byte {
-	out := make([]byte, 0, FrameOverhead+len(msg))
+	buf := make([]byte, FrameOverhead+len(msg))
+	copy(buf[FrameOverhead:], msg)
+	return FrameInPlace(buf, srcMAC, dstMAC)
+}
+
+// FrameInPlace writes the encapsulation headers into buf[:FrameOverhead],
+// assuming the NetCL message already occupies buf[FrameOverhead:]. It
+// returns buf. This is the zero-copy path of the UDP device: datagrams
+// are read directly into a pooled buffer at offset FrameOverhead and
+// framed without copying the payload.
+func FrameInPlace(buf []byte, srcMAC, dstMAC uint64) []byte {
+	msgLen := len(buf) - FrameOverhead
 	// Ethernet.
-	for i := 5; i >= 0; i-- {
-		out = append(out, byte(dstMAC>>(8*uint(i))))
+	for i := 0; i < 6; i++ {
+		buf[i] = byte(dstMAC >> (8 * uint(5-i)))
+		buf[6+i] = byte(srcMAC >> (8 * uint(5-i)))
 	}
-	for i := 5; i >= 0; i-- {
-		out = append(out, byte(srcMAC>>(8*uint(i))))
-	}
-	out = append(out, 0x08, 0x00) // IPv4
+	buf[12], buf[13] = 0x08, 0x00 // IPv4
 	// IPv4 (no options, zero checksum; the simulator does not verify).
-	totalLen := ipv4Bytes + udpBytes + len(msg)
-	out = append(out,
+	totalLen := ipv4Bytes + udpBytes + msgLen
+	copy(buf[ethBytes:], []byte{
 		0x45, 0x00,
-		byte(totalLen>>8), byte(totalLen),
+		byte(totalLen >> 8), byte(totalLen),
 		0x00, 0x00, // identification
 		0x00, 0x00, // flags/frag
 		64, 17, // ttl, protocol=UDP
 		0x00, 0x00, // checksum
 		10, 0, 0, 1, // src ip
 		10, 0, 0, 2, // dst ip
-	)
+	})
 	// UDP.
-	udpLen := udpBytes + len(msg)
+	udpLen := udpBytes + msgLen
 	port := uint16(wire.NetCLPort)
-	out = append(out,
-		byte(port>>8), byte(port),
-		byte(port>>8), byte(port),
-		byte(udpLen>>8), byte(udpLen),
+	copy(buf[ethBytes+ipv4Bytes:], []byte{
+		byte(port >> 8), byte(port),
+		byte(port >> 8), byte(port),
+		byte(udpLen >> 8), byte(udpLen),
 		0x00, 0x00,
-	)
-	return append(out, msg...)
+	})
+	return buf
 }
 
 // Deframe strips the Ethernet+IPv4+UDP encapsulation, returning the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netcl/internal/bmv2"
@@ -13,31 +14,46 @@ import (
 
 // UDPDevice runs a behavioral-model switch behind a real UDP socket:
 // the deployment analogue of the paper's UDP communication backend
-// (§VI-C). NetCL messages arrive as UDP payloads, are framed, pushed
-// through the P4 pipeline, and forwarded to the UDP address of the
-// next-hop node. The device also implements the control-plane Client
-// interface, serialized with packet processing.
+// (§VI-C). NetCL messages arrive as UDP payloads, are framed in place
+// inside pooled receive buffers, pushed through the P4 pipeline, and
+// forwarded to the UDP address of the next-hop node. With Workers > 1
+// the pipeline is a flow-sharded worker pool (bmv2.Sharded) with
+// bounded queues: a full queue drops the datagram and counts it in
+// QueueFull, the UDP analogue of a line-rate device shedding load.
+// The device also implements the control-plane Client interface; on
+// the sharded path register access quiesces the workers while table
+// updates publish RCU snapshots without stalling them.
 type UDPDevice struct {
 	ID uint16
 
-	mu     sync.Mutex
-	sw     *bmv2.Switch
-	conn   *net.UDPConn
-	addrs  map[uint16]*net.UDPAddr
-	mcast  map[int][]uint16
-	done   chan struct{}
-	wg     sync.WaitGroup
-	faults *faultInjector
-	paused bool
+	mu      sync.Mutex
+	sw      *bmv2.Switch
+	sharded *bmv2.Sharded // nil when Workers <= 1 (serialized legacy path)
+	conn    *net.UDPConn
+	addrs   map[uint16]*net.UDPAddr
+	mcast   map[int][]uint16
+	done    chan struct{}
+	wg      sync.WaitGroup
+	faults  *faultInjector
+	paused  bool
+	bufs    sync.Pool
 
+	// Counters are updated atomically; read them via Stats, or
+	// directly once the device is closed.
 	Processed uint64
 	Dropped   uint64
+	// QueueFull counts datagrams shed because a worker queue was full.
+	QueueFull uint64
 	// FaultDropped counts datagrams discarded by the fault injector or
 	// while the device was paused (chaos testing).
 	FaultDropped uint64
 	// FaultDuplicated counts datagrams duplicated by the injector.
 	FaultDuplicated uint64
 }
+
+// dbuf is a pooled datagram buffer: FrameOverhead bytes of headroom
+// for in-place framing plus a max-size UDP payload.
+type dbuf struct{ b []byte }
 
 // DeviceConfig parameterizes a UDP device process.
 type DeviceConfig struct {
@@ -50,6 +66,16 @@ type DeviceConfig struct {
 	// Faults optionally injects seeded probabilistic loss/duplication
 	// for chaos testing (zero value = faultless).
 	Faults FaultSpec
+	// Workers > 1 processes packets on a flow-sharded worker pool.
+	// Requires the compiled engine (reference-engine programs fall
+	// back to the serialized path) and a FlowKey that honors the
+	// shard-by-flow invariant.
+	Workers int
+	// QueueDepth bounds each worker's queue (default 256).
+	QueueDepth int
+	// FlowKey extracts the flow identity from a framed packet. nil
+	// serializes all packets on one worker (always safe).
+	FlowKey bmv2.FlowKeyFunc
 }
 
 // ServeDevice starts a device process described by cfg.
@@ -70,6 +96,17 @@ func ServeDevice(cfg DeviceConfig) (*UDPDevice, error) {
 		mcast:  map[int][]uint16{},
 		done:   make(chan struct{}),
 		faults: newFaultInjector(cfg.Faults),
+	}
+	d.bufs.New = func() any { return &dbuf{b: make([]byte, FrameOverhead+65536)} }
+	if cfg.Workers > 1 && d.sw.Compiled() {
+		sh, err := bmv2.NewSharded(d.sw, bmv2.ShardedConfig{
+			Shards: cfg.Workers, QueueDepth: cfg.QueueDepth, FlowKey: cfg.FlowKey,
+		})
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		d.sharded = sh
 	}
 	d.wg.Add(1)
 	go d.loop()
@@ -103,12 +140,42 @@ func (d *UDPDevice) Restart() {
 // Addr returns the device's UDP address.
 func (d *UDPDevice) Addr() string { return d.conn.LocalAddr().String() }
 
-// Close stops the device.
+// Close stops the device: the receive loop exits, queued packets
+// drain, and the workers stop.
 func (d *UDPDevice) Close() error {
 	close(d.done)
 	err := d.conn.Close()
 	d.wg.Wait()
+	if d.sharded != nil {
+		d.sharded.Close()
+	}
 	return err
+}
+
+// DeviceStats is a consistent snapshot of the device counters.
+type DeviceStats struct {
+	Processed       uint64
+	Dropped         uint64
+	QueueFull       uint64
+	FaultDropped    uint64
+	FaultDuplicated uint64
+	Workers         int
+}
+
+// Stats snapshots the device counters (safe while traffic is flowing).
+func (d *UDPDevice) Stats() DeviceStats {
+	st := DeviceStats{
+		Processed:       atomic.LoadUint64(&d.Processed),
+		Dropped:         atomic.LoadUint64(&d.Dropped),
+		QueueFull:       atomic.LoadUint64(&d.QueueFull),
+		FaultDropped:    atomic.LoadUint64(&d.FaultDropped),
+		FaultDuplicated: atomic.LoadUint64(&d.FaultDuplicated),
+		Workers:         1,
+	}
+	if d.sharded != nil {
+		st.Workers = d.sharded.Shards()
+	}
+	return st
 }
 
 // SetNodeAddr registers the UDP address of a node (host or device) and
@@ -137,10 +204,14 @@ func (d *UDPDevice) SetMulticastGroup(gid int, members []uint16) {
 
 func (d *UDPDevice) loop() {
 	defer d.wg.Done()
-	buf := make([]byte, 65536)
 	for {
-		n, _, err := d.conn.ReadFromUDP(buf)
+		db := d.bufs.Get().(*dbuf)
+		// Datagrams land at offset FrameOverhead so the encapsulation
+		// headers can be written in place: no per-packet allocation and
+		// no payload copy on the receive path.
+		n, _, err := d.conn.ReadFromUDP(db.b[FrameOverhead:])
 		if err != nil {
+			d.bufs.Put(db)
 			select {
 			case <-d.done:
 				return
@@ -148,42 +219,79 @@ func (d *UDPDevice) loop() {
 				continue
 			}
 		}
-		msg := append([]byte(nil), buf[:n]...)
+		pkt := FrameInPlace(db.b[:FrameOverhead+n], uint64(d.ID), 0)
 		d.mu.Lock()
 		paused := d.paused
+		d.mu.Unlock()
 		if paused || d.faults.drop() {
-			d.FaultDropped++
-			d.mu.Unlock()
+			atomic.AddUint64(&d.FaultDropped, 1)
+			d.bufs.Put(db)
 			continue
 		}
-		d.mu.Unlock()
-		d.process(msg)
-		if d.faults.dup() {
-			d.mu.Lock()
-			d.FaultDuplicated++
-			d.mu.Unlock()
-			d.process(msg)
+		dup := d.faults.dup()
+		if dup {
+			atomic.AddUint64(&d.FaultDuplicated, 1)
 		}
+		if d.sharded != nil {
+			if dup {
+				// The duplicate needs its own buffer: the original is
+				// released by its completion callback.
+				db2 := d.bufs.Get().(*dbuf)
+				pkt2 := db2.b[:len(pkt)]
+				copy(pkt2, pkt)
+				d.submit(pkt2, db2)
+			}
+			d.submit(pkt, db)
+			continue
+		}
+		d.processInline(pkt)
+		if dup {
+			d.processInline(pkt)
+		}
+		d.bufs.Put(db)
 	}
 }
 
-func (d *UDPDevice) process(msg []byte) {
-	pkt := Frame(msg, uint64(d.ID), 0)
+// submit hands a framed packet to its flow's worker; a full queue
+// sheds the packet (open-loop backpressure).
+func (d *UDPDevice) submit(pkt []byte, db *dbuf) {
+	ok := d.sharded.Submit(pkt, func(res *bmv2.Result, err error) {
+		d.emit(res, err)
+		d.bufs.Put(db)
+	})
+	if !ok {
+		atomic.AddUint64(&d.QueueFull, 1)
+		atomic.AddUint64(&d.Dropped, 1)
+		d.bufs.Put(db)
+	}
+}
+
+// processInline is the serialized path (Workers <= 1): processing
+// holds d.mu, preserving the seed behavior of one packet at a time,
+// strictly ordered with control-plane calls.
+func (d *UDPDevice) processInline(pkt []byte) {
 	d.mu.Lock()
 	res, err := d.sw.Process(pkt, 0)
-	d.Processed++
+	d.mu.Unlock()
+	d.emit(res, err)
+}
+
+// emit counts one processed packet and forwards its output, if any.
+// Safe from any worker goroutine: the maps are read under d.mu and
+// net.UDPConn writes are concurrency-safe.
+func (d *UDPDevice) emit(res *bmv2.Result, err error) {
+	atomic.AddUint64(&d.Processed, 1)
 	if err != nil || res.Dropped {
-		d.Dropped++
-		d.mu.Unlock()
+		atomic.AddUint64(&d.Dropped, 1)
 		return
 	}
 	out, ok := Deframe(res.Data)
 	if !ok {
-		d.Dropped++
-		d.mu.Unlock()
+		atomic.AddUint64(&d.Dropped, 1)
 		return
 	}
 	var dests []*net.UDPAddr
+	d.mu.Lock()
 	if res.Mcast != 0 {
 		for _, m := range d.mcast[res.Mcast] {
 			if a := d.addrs[m]; a != nil {
@@ -195,24 +303,29 @@ func (d *UDPDevice) process(msg []byte) {
 	}
 	d.mu.Unlock()
 	if len(dests) == 0 {
-		d.Dropped++
+		atomic.AddUint64(&d.Dropped, 1)
 		return
 	}
 	for _, a := range dests {
 		if d.faults.drop() {
-			d.mu.Lock()
-			d.FaultDropped++
-			d.mu.Unlock()
+			atomic.AddUint64(&d.FaultDropped, 1)
 			continue
 		}
 		d.conn.WriteToUDP(out, a)
 	}
 }
 
-// Control-plane Client implementation (serialized with the data path).
+// Control-plane Client implementation. On the serialized path every
+// call holds d.mu, which also serializes it with inline processing. On
+// the sharded path register access quiesces the workers (registers are
+// plain memory owned by the data path) while table mutations publish
+// RCU snapshots and never stall a worker.
 
 // RegisterRead implements p4rt.Client.
 func (d *UDPDevice) RegisterRead(name string, idx int) (uint64, error) {
+	if d.sharded != nil {
+		return d.sharded.RegisterRead(name, idx)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.sw.RegisterRead(name, idx)
@@ -220,6 +333,9 @@ func (d *UDPDevice) RegisterRead(name string, idx int) (uint64, error) {
 
 // RegisterWrite implements p4rt.Client.
 func (d *UDPDevice) RegisterWrite(name string, idx int, v uint64) error {
+	if d.sharded != nil {
+		return d.sharded.RegisterWrite(name, idx, v)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.sw.RegisterWrite(name, idx, v)
@@ -228,6 +344,9 @@ func (d *UDPDevice) RegisterWrite(name string, idx int, v uint64) error {
 // SetDefaultAction configures a table's default action (operator
 // configuration, e.g. the baseline AGG worker count).
 func (d *UDPDevice) SetDefaultAction(table, action string, args []uint64) error {
+	if d.sharded != nil {
+		return d.sharded.SetDefaultAction(table, action, args)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.sw.SetDefaultAction(table, action, args)
@@ -235,6 +354,9 @@ func (d *UDPDevice) SetDefaultAction(table, action string, args []uint64) error 
 
 // InsertEntry implements p4rt.Client.
 func (d *UDPDevice) InsertEntry(table string, e *p4.Entry) error {
+	if d.sharded != nil {
+		return d.sharded.InsertEntry(table, e)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.sw.InsertEntry(table, e)
@@ -242,6 +364,9 @@ func (d *UDPDevice) InsertEntry(table string, e *p4.Entry) error {
 
 // DeleteEntry implements p4rt.Client.
 func (d *UDPDevice) DeleteEntry(table string, keyVal uint64) (int, error) {
+	if d.sharded != nil {
+		return d.sharded.DeleteEntry(table, keyVal), nil
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.sw.DeleteEntry(table, keyVal), nil

@@ -1,0 +1,115 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"netcl/internal/passes"
+	"netcl/internal/testutil"
+	"netcl/internal/wire"
+)
+
+// counterFlowKey extracts the CounterKernel's slot argument (the flow
+// identity: two messages for the same slot touch the same register
+// cell) from a framed packet.
+func counterFlowKey(pkt []byte) uint64 {
+	off := FrameOverhead + wire.HeaderBytes
+	if len(pkt) < off+4 {
+		return 0
+	}
+	return uint64(pkt[off])<<24 | uint64(pkt[off+1])<<16 |
+		uint64(pkt[off+2])<<8 | uint64(pkt[off+3])
+}
+
+// TestUDPDeviceWorkers runs the UDP device with a flow-sharded worker
+// pool: concurrent hosts hammer disjoint counter slots while the
+// control plane reads registers (quiescing the workers) mid-traffic.
+// Per-slot counts must come out exact — the shard-by-flow invariant
+// over real sockets.
+func TestUDPDeviceWorkers(t *testing.T) {
+	prog, mod, err := testutil.CompileOne(testutil.CounterKernel, passes.TargetTNA, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := ServeDevice(DeviceConfig{
+		ID: 5, Addr: "127.0.0.1:0", Prog: prog,
+		Workers: 4, QueueDepth: 64, FlowKey: counterFlowKey,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if st := dev.Stats(); st.Workers != 4 {
+		t.Fatalf("device reports %d workers, want 4", st.Workers)
+	}
+
+	spec := &MessageSpec{Comp: 1, Args: []ArgSpec{
+		{Name: "slot", Bytes: 4, Count: 1},
+		{Name: "count", Bytes: 4, Count: 1, Out: true},
+	}}
+
+	const hosts, perHost = 4, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, hosts)
+	for h := 0; h < hosts; h++ {
+		host, err := DialUDP(uint16(1+h), "127.0.0.1:0", dev.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer host.Close()
+		if err := dev.SetNodeAddr(uint16(1+h), host.Addr()); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(host *HostConn, slot uint64) {
+			defer wg.Done()
+			for i := 1; i <= perHost; i++ {
+				err := host.SendMessage(spec,
+					Message{Src: host.ID, Dst: 2, Device: 5, Comp: 1},
+					[][]uint64{{slot}, nil})
+				if err != nil {
+					errs <- err
+					return
+				}
+				count := make([]uint64, 1)
+				if _, err := host.RecvMessage(spec, [][]uint64{nil, count}, 2*time.Second); err != nil {
+					errs <- fmt.Errorf("slot %d msg %d: %w", slot, i, err)
+					return
+				}
+				if count[0] != uint64(i) {
+					errs <- fmt.Errorf("slot %d msg %d: count %d", slot, i, count[0])
+					return
+				}
+			}
+		}(host, uint64(h))
+	}
+
+	// Control-plane reads while traffic is in flight exercise the
+	// quiesce barrier under load.
+	conn := &DeviceConnection{CP: dev, Mems: mod.Mems}
+	for i := 0; i < 10; i++ {
+		if _, err := conn.ManagedRead("hits", []int{i % hosts}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	for h := 0; h < hosts; h++ {
+		v, err := conn.ManagedRead("hits", []int{h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != perHost {
+			t.Errorf("hits[%d] = %d, want %d", h, v, perHost)
+		}
+	}
+	if st := dev.Stats(); st.Processed != hosts*perHost {
+		t.Errorf("processed %d, want %d (queuefull %d)", st.Processed, hosts*perHost, st.QueueFull)
+	}
+}
