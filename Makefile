@@ -4,11 +4,13 @@
 # race run the race detector over the concurrent code (sharded engine,
 # UDP backend, drivers, chaos tests); bench emits the interpreter
 # hot-path measurement, bench-reliability the goodput-under-loss one,
-# bench-loadgen the shard-count sweep of the flow-parallel data plane.
+# bench-loadgen the shard-count sweep of the flow-parallel data plane,
+# bench-host the window sweep of the pipelined host channel plus the
+# send-path allocation check.
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race bench bench-reliability bench-loadgen examples clean
+.PHONY: all tier1 tier2 race bench bench-reliability bench-loadgen bench-host examples clean
 
 all: tier1
 
@@ -30,6 +32,10 @@ bench-reliability:
 bench-loadgen:
 	$(GO) run ./cmd/nclbench -loadgen -out BENCH_loadgen.json
 
+bench-host:
+	$(GO) test -run xxx -bench BenchmarkHostSendPath -benchmem .
+	$(GO) run ./cmd/nclbench -hostpath -out BENCH_hostpath.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/allreduce
@@ -37,4 +43,4 @@ examples:
 	$(GO) run ./examples/paxos
 
 clean:
-	rm -f BENCH_reliability.json BENCH_interp.json BENCH_loadgen.json
+	rm -f BENCH_reliability.json BENCH_interp.json BENCH_loadgen.json BENCH_hostpath.json

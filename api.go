@@ -56,6 +56,37 @@ type (
 	FaultConfig = netsim.FaultConfig
 )
 
+// Pipelined messaging (the windowed host path, DESIGN.md §9).
+type (
+	// Channel slides a window of unacked reliable messages over an
+	// Endpoint's transport: one shared retransmit timer, per-entry
+	// exponential backoff, anti-replay dedup. Created with
+	// HostConn.NewChannel or HostEndpoint.NewChannel.
+	Channel = runtime.Channel
+	// ChannelConfig sizes the window and names the metrics gauges.
+	ChannelConfig = runtime.ChannelConfig
+	// ChannelStats snapshots the channel counters (sent, completed,
+	// retransmits, duplicates, peak in-flight).
+	ChannelStats = runtime.ChannelStats
+	// Pending is an in-flight windowed call; Wait blocks for its
+	// response.
+	Pending = runtime.Pending
+)
+
+// PackAppend is Pack into a caller-owned buffer (zero-alloc with
+// GetBuf/PutBuf scratch).
+var PackAppend = runtime.PackAppend
+
+// UnpackInto is Unpack without retained allocations; it also accepts
+// seq-trailered payloads from the reliable layer.
+var UnpackInto = runtime.UnpackInto
+
+// GetBuf and PutBuf recycle packing scratch through a pool.
+var (
+	GetBuf = runtime.GetBuf
+	PutBuf = runtime.PutBuf
+)
+
 // Reliability errors and helpers.
 var (
 	// ErrTimeout reports that no message arrived within the deadline.

@@ -313,3 +313,42 @@ func BenchmarkInterpHotPath(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkHostSendPath measures the channel send path (pooled pack +
+// post + complete over a null transport) — the `make bench-host`
+// counterpart of the BENCH_hostpath.json sweep. Run with -benchmem:
+// the steady state must stay allocation-free.
+func BenchmarkHostSendPath(b *testing.B) {
+	send, closeFn, err := apps.HostpathSender()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer closeFn()
+	for i := 0; i < 64; i++ { // warm the buffer pool
+		if err := send(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := send(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestHostSendPathAllocs is the tier-2 allocation gate: the channel
+// send path must average at most 2 heap allocations per message (the
+// pooled steady state is 0; the bound leaves headroom for pool
+// refills under GC pressure).
+func TestHostSendPathAllocs(t *testing.T) {
+	allocs, err := apps.HostpathSendAllocs(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs > 2 {
+		t.Errorf("channel send path allocates %.2f allocs/msg, want <= 2", allocs)
+	}
+	t.Logf("send path: %.3f allocs/msg", allocs)
+}

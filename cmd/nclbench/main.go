@@ -19,6 +19,12 @@
 // per-flow results against a single-shard replay at every point:
 //
 //	nclbench -loadgen -out BENCH_loadgen.json
+//
+// With -hostpath it sweeps the pipelined host channel over window
+// sizes {1,4,16,64} on the simulated network (deterministic simulated
+// time) and probes send-path allocations:
+//
+//	nclbench -hostpath -out BENCH_hostpath.json
 package main
 
 import (
@@ -35,14 +41,30 @@ func main() {
 		reliability = flag.Bool("reliability", false, "run the goodput-under-loss sweep instead of the paper report")
 		interp      = flag.Bool("interp", false, "benchmark the interpreter hot path instead of the paper report")
 		loadgen     = flag.Bool("loadgen", false, "sweep the flow-sharded data plane over shard counts")
+		hostpath    = flag.Bool("hostpath", false, "sweep the pipelined host channel over window sizes")
 		out         = flag.String("out", "", "output JSON path (default BENCH_<mode>.json)")
 		workers     = flag.Int("workers", 4, "reliability: AGG workers")
 		chunks      = flag.Int("chunks", 48, "reliability: chunks per worker")
 		seed        = flag.Int64("seed", 1, "reliability: fault-injection seed")
 		pkts        = flag.Int("pkts", 20000, "interp: packets per app per engine")
 		flowPkts    = flag.Int("flowpkts", 256, "loadgen: packets per flow")
+		ops         = flag.Int("ops", 512, "hostpath: CALC calls per window size")
 	)
 	flag.Parse()
+
+	if *hostpath {
+		if *out == "" {
+			*out = "BENCH_hostpath.json"
+		}
+		rep, err := netcl.BenchHostpath(*ops)
+		check(err)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		check(err)
+		check(os.WriteFile(*out, append(data, '\n'), 0o644))
+		fmt.Print(netcl.FormatHostpath(rep))
+		fmt.Println("wrote", *out)
+		return
+	}
 
 	if *loadgen {
 		if *out == "" {

@@ -227,6 +227,134 @@ func TestRunPaxosUDP(t *testing.T) {
 	}
 }
 
+// TestHostpathChannelChaosSim drives the pipelined channel through
+// seeded loss, duplication, and reordering jitter on the simulator
+// backend, and checks the windowed run produces the byte-identical
+// result stream of a stop-and-wait run: the window reorders transport
+// traffic, never application results.
+func TestHostpathChannelChaosSim(t *testing.T) {
+	faults := netsim.FaultConfig{LossRate: 0.03, DupRate: 0.02, JitterNs: 500, Seed: 7}
+	base, err := RunHostpath(HostpathConfig{Window: 1, Ops: 96, Faults: faults, Target: passes.TargetTNA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := RunHostpath(HostpathConfig{Window: 32, Ops: 96, Faults: faults, Target: passes.TargetTNA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Mismatches != 0 || pipe.Mismatches != 0 {
+		t.Errorf("wrong results under chaos: stop-and-wait %d, windowed %d",
+			base.Mismatches, pipe.Mismatches)
+	}
+	if base.Results != pipe.Results {
+		t.Errorf("windowed result stream diverged from stop-and-wait: %#x vs %#x",
+			pipe.Results, base.Results)
+	}
+	if pipe.Retransmits == 0 {
+		t.Error("3% loss retransmitted nothing; recovery not exercised")
+	}
+	// Simulated time is deterministic: the same seed must reproduce the
+	// run exactly.
+	again, err := RunHostpath(HostpathConfig{Window: 32, Ops: 96, Faults: faults, Target: passes.TargetTNA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SimDurationNs != pipe.SimDurationNs || again.Results != pipe.Results ||
+		again.Retransmits != pipe.Retransmits {
+		t.Errorf("same seed diverged:\n  %+v\n  %+v", *pipe, *again)
+	}
+}
+
+// runCalcUDPChannel drives ops CALC calls through a pipelined channel
+// over a (possibly lossy) UDP device, returning the raw response
+// bodies in op order, the channel stats, and the device's drop count.
+func runCalcUDPChannel(t *testing.T, window, ops int, faults runtime.FaultSpec) ([][]byte, runtime.ChannelStats, uint64) {
+	t.Helper()
+	prog, specs, err := CompileApp(ByName("CALC"), passes.TargetTNA, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specs[1]
+	dev, err := runtime.ServeDevice(runtime.DeviceConfig{
+		ID: 1, Addr: "127.0.0.1:0", Prog: prog, Faults: faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devClosed := false
+	defer func() {
+		if !devClosed {
+			dev.Close()
+		}
+	}()
+	conn, err := runtime.Dial(runtime.DialConfig{
+		ID: 7, Local: "127.0.0.1:0", Device: dev.Addr(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := dev.SetNodeAddr(7, conn.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	ch := conn.NewChannel(runtime.ChannelConfig{
+		Window: window,
+		Reliability: runtime.ReliabilityConfig{
+			Timeout: 5 * time.Millisecond, MaxRetries: 32,
+		},
+	})
+	defer ch.Close()
+	pend := make([]*runtime.Pending, ops)
+	for i := range pend {
+		msg, err := runtime.Pack(spec,
+			runtime.Message{Src: 7, Dst: 7, Device: 1, Comp: 1}.Header(),
+			[][]uint64{{1}, {uint64(i)}, {uint64(1000 + i)}, nil})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pend[i], err = ch.CallAsync(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([][]byte, ops)
+	for i, p := range pend {
+		resp, err := p.Wait(0)
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		out[i] = append([]byte(nil), resp...)
+	}
+	st := ch.Stats()
+	devClosed = true
+	dev.Close() // joins the device loop, settling the fault counters
+	return out, st, dev.FaultDropped
+}
+
+// TestCalcUDPChannelChaos is the real-socket counterpart: a pipelined
+// channel through a lossy, duplicating UDP device must return the
+// byte-identical responses of a stop-and-wait run through a clean one.
+func TestCalcUDPChannelChaos(t *testing.T) {
+	const ops = 96
+	clean, _, _ := runCalcUDPChannel(t, 1, ops, runtime.FaultSpec{})
+	chaotic, st, lost := runCalcUDPChannel(t, 16, ops,
+		runtime.FaultSpec{LossRate: 0.05, DupRate: 0.02, Seed: 31})
+	for i := range clean {
+		if string(clean[i]) != string(chaotic[i]) {
+			t.Fatalf("op %d response diverged under chaos:\n  %x\n  %x", i, clean[i], chaotic[i])
+		}
+	}
+	// ~200 RNG draws at 5%: a zero-drop run is a broken injector, not
+	// bad luck — and any drop can only be recovered by retransmission.
+	if lost == 0 {
+		t.Error("5%% device loss dropped nothing; injection broken")
+	} else if st.Retransmits == 0 {
+		t.Errorf("%d packets dropped but nothing retransmitted", lost)
+	}
+	if st.PeakInFlight < 2 {
+		t.Errorf("window 16 never pipelined: peak %d in flight", st.PeakInFlight)
+	}
+}
+
 // TestRunPaxosUDPUnderLoss is the acceptance case: consensus completes
 // under seeded loss at every device on the real-UDP backend.
 func TestRunPaxosUDPUnderLoss(t *testing.T) {

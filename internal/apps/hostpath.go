@@ -1,0 +1,216 @@
+package apps
+
+// hostpath.go measures the pipelined host runtime on the simulator
+// backend: a host issues CALC request/response calls through a
+// runtime.Channel at several window sizes, so the sweep isolates what
+// the sliding window buys over stop-and-wait (window 1) with the
+// network model held fixed. Time is simulated time, which makes the
+// msgs/sec numbers deterministic and machine-independent; the
+// allocation probe runs the same send path against a null transport
+// with wall-clock allocations counted.
+
+import (
+	"fmt"
+	gort "runtime"
+	"time"
+
+	"netcl/internal/netsim"
+	"netcl/internal/passes"
+	"netcl/internal/runtime"
+)
+
+// HostpathConfig parameterizes one hostpath run.
+type HostpathConfig struct {
+	// Window is the channel's sliding-window size (default 1:
+	// stop-and-wait).
+	Window int
+	// Ops is the number of CALC calls (default 512).
+	Ops int
+	// Faults injects seeded loss/duplication/jitter into the simulated
+	// network (zero value = faultless).
+	Faults netsim.FaultConfig
+	// Target selects the compile target (default TNA).
+	Target passes.Target
+}
+
+// HostpathResult reports one window size's measurement.
+type HostpathResult struct {
+	Window        int     `json:"window"`
+	Ops           int     `json:"ops"`
+	SimDurationNs float64 `json:"sim_duration_ns"`
+	// MsgsPerSec is completed calls per second of simulated time.
+	MsgsPerSec   float64 `json:"msgs_per_sec"`
+	P50Ns        float64 `json:"p50_ns"`
+	P99Ns        float64 `json:"p99_ns"`
+	Retransmits  uint64  `json:"retransmits"`
+	Duplicates   uint64  `json:"duplicates"`
+	PeakInFlight int     `json:"peak_in_flight"`
+	Mismatches   int     `json:"mismatches"`
+	// Results chains every response value so runs can be compared
+	// byte-for-byte across window sizes (FNV-1a over the result args).
+	Results uint64 `json:"results_hash"`
+}
+
+// RunHostpath drives Ops CALC calls through a windowed channel over
+// the simulated network and reports throughput and latency in
+// simulated time.
+func RunHostpath(cfg HostpathConfig) (*HostpathResult, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 512
+	}
+	prog, specs, err := CompileApp(ByName("CALC"), cfg.Target, 1)
+	if err != nil {
+		return nil, err
+	}
+	spec := specs[1]
+
+	n := netsim.NewNetwork()
+	n.MaxEvents = 10_000_000
+	n.InjectFaults(cfg.Faults)
+	dev := n.AddDevice(1, prog)
+	host := n.AddHost(7)
+	n.Connect(host, dev, 1)
+	if err := n.AutoWire(); err != nil {
+		return nil, err
+	}
+
+	ep := n.NewEndpoint(host, runtime.ReliabilityConfig{
+		Timeout: time.Duration(100 * netsim.Microsecond), MaxRetries: 16,
+	})
+	ch := ep.NewChannel(runtime.ChannelConfig{Window: cfg.Window, Name: "hostpath"})
+	defer ch.Close()
+
+	res := &HostpathResult{Window: cfg.Window, Ops: cfg.Ops}
+	var hist Hist
+	pend := make([]*runtime.Pending, cfg.Ops)
+	args := make([]uint64, 1)
+	start := n.Now()
+	for i := 0; i < cfg.Ops; i++ {
+		buf := runtime.GetBuf()
+		a, b := uint64(i)&0xffffffff, uint64(3*i+1)&0xffffffff
+		args[0] = 1 // OP_ADD
+		msg, err := runtime.PackAppend(*buf, spec,
+			runtime.Message{Src: 7, Dst: 7, Device: 1, Comp: 1}.Header(),
+			[][]uint64{args, {a}, {b}, nil})
+		if err == nil {
+			*buf = msg
+			pend[i], err = ch.CallAsync(msg)
+		}
+		runtime.PutBuf(buf)
+		if err != nil {
+			return nil, fmt.Errorf("hostpath: op %d: %w", i, err)
+		}
+	}
+	got := make([]uint64, 1)
+	const prime = 1099511628211
+	res.Results = 14695981039346656037 // FNV-1a offset basis
+	for i, p := range pend {
+		resp, err := p.Wait(0)
+		if err != nil {
+			return nil, fmt.Errorf("hostpath: op %d: %w", i, err)
+		}
+		if _, err := runtime.UnpackInto(spec, resp, [][]uint64{nil, nil, nil, got}); err != nil {
+			return nil, fmt.Errorf("hostpath: op %d: %w", i, err)
+		}
+		want := (uint64(i) + uint64(3*i+1)) & 0xffffffff
+		if got[0] != want {
+			res.Mismatches++
+		}
+		for s := 0; s < 64; s += 8 {
+			res.Results ^= (got[0] >> s) & 0xff
+			res.Results *= prime
+		}
+		hist.Record(uint64(p.Latency()))
+	}
+	res.SimDurationNs = float64(n.Now() - start)
+	if res.SimDurationNs > 0 {
+		res.MsgsPerSec = float64(cfg.Ops) / (res.SimDurationNs / 1e9)
+	}
+	res.P50Ns = float64(hist.Quantile(0.50))
+	res.P99Ns = float64(hist.Quantile(0.99))
+	st := ch.Stats()
+	res.Retransmits = st.Retransmits
+	res.Duplicates = st.Duplicates
+	res.PeakInFlight = st.PeakInFlight
+	return res, nil
+}
+
+// nullTransport sinks sends instantly: the harness for measuring the
+// host send path alone (pack + admit + complete), without a network.
+type nullTransport struct{ now time.Duration }
+
+func (t *nullTransport) Send([]byte) error { return nil }
+func (t *nullTransport) Recv(time.Duration) ([]byte, error) {
+	return nil, runtime.ErrTimeout
+}
+func (t *nullTransport) Now() time.Duration {
+	t.now += time.Microsecond
+	return t.now
+}
+
+// HostpathSender builds the channel send-path closure used by the
+// allocation probe and the benchmark: each call packs one CALC message
+// into a pooled buffer, posts it to a window-64 channel over a null
+// transport, and completes it. The second return closes the channel.
+func HostpathSender() (func(i int) error, func(), error) {
+	_, specs, err := CompileApp(ByName("CALC"), passes.TargetTNA, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := specs[1]
+	ch := runtime.NewChannel(&nullTransport{}, runtime.ChannelConfig{Window: 64})
+
+	hdr := runtime.Message{Src: 7, Dst: 7, Device: 1, Comp: 1}.Header()
+	op := []uint64{1}
+	a := []uint64{0}
+	b := []uint64{0}
+	send := func(i int) error {
+		buf := runtime.GetBuf()
+		a[0], b[0] = uint64(i), uint64(2*i)
+		msg, err := runtime.PackAppend(*buf, spec, hdr, [][]uint64{op, a, b, nil})
+		if err == nil {
+			*buf = msg
+			err = ch.Post(uint64(i), msg)
+		}
+		runtime.PutBuf(buf)
+		if err != nil {
+			return err
+		}
+		ch.Complete(uint64(i))
+		return nil
+	}
+	return send, func() { ch.Close() }, nil
+}
+
+// HostpathSendAllocs measures steady-state heap allocations per
+// message on the channel send path (pooled pack + Post + Complete)
+// over a null transport. The first few iterations warm the buffer
+// pool before counting starts.
+func HostpathSendAllocs(ops int) (float64, error) {
+	if ops <= 0 {
+		ops = 4096
+	}
+	send, closeFn, err := HostpathSender()
+	if err != nil {
+		return 0, err
+	}
+	defer closeFn()
+	for i := 0; i < 64; i++ { // warm the pool
+		if err := send(i); err != nil {
+			return 0, err
+		}
+	}
+	var before, after gort.MemStats
+	gort.GC()
+	gort.ReadMemStats(&before)
+	for i := 0; i < ops; i++ {
+		if err := send(i); err != nil {
+			return 0, err
+		}
+	}
+	gort.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(ops), nil
+}

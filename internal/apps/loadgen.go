@@ -40,6 +40,10 @@ type LoadgenConfig struct {
 	// closed-loop at maximum rate (retrying on backpressure instead of
 	// shedding).
 	OfferedPPS float64
+	// Window caps the packets in flight (submitted, completion callback
+	// not yet run) across all hosts; 0 leaves the load generator
+	// open-throttle (the pre-windowing behavior).
+	Window int
 	// Verify replays every flow on a fresh single-shard switch and
 	// compares result-hash chains.
 	Verify bool
@@ -63,6 +67,9 @@ type LoadgenResult struct {
 	QueueFull  uint64  `json:"queue_full"`
 	DurationNs float64 `json:"duration_ns"`
 	PPS        float64 `json:"pkts_per_sec"`
+	// PeakInFlight is the highest concurrent in-flight count observed
+	// when Window > 0 bounds the submitters.
+	PeakInFlight int `json:"peak_in_flight,omitempty"`
 	P50Ns      float64 `json:"p50_ns"`
 	P90Ns      float64 `json:"p90_ns"`
 	P99Ns      float64 `json:"p99_ns"`
@@ -204,6 +211,11 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
 		hostInterval = time.Duration(float64(time.Second) * float64(cfg.Hosts) / cfg.OfferedPPS)
 	}
 
+	// The Window knob bounds in-flight packets across all hosts with a
+	// shared FlightWindow: a slot is taken at submission and released by
+	// the completion callback (or immediately when the packet sheds).
+	fw := runtime.NewFlightWindow(cfg.Window, nil)
+
 	var wg sync.WaitGroup
 	var shed, submitted uint64
 	var mu sync.Mutex // folds per-host totals
@@ -228,7 +240,9 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
 					cb := func(r *bmv2.Result, err error) {
 						hashes[flow] = loadHash(hashes[flow], r, err)
 						hists[flow].Record(uint64(time.Since(sched)))
+						fw.Release()
 					}
+					fw.Acquire()
 					if cfg.OfferedPPS > 0 {
 						// Open loop: a full queue sheds the packet.
 						if sh.Submit(packets[p][s], cb) {
@@ -236,6 +250,7 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
 							hostSent++
 						} else {
 							hostShed++
+							fw.Release() // the callback will never run
 						}
 					} else {
 						// Closed loop: retry until the queue accepts.
@@ -261,6 +276,9 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
 	st := sh.Stats()
 	res.Processed = st.Processed
 	res.QueueFull = st.QueueFull
+	if cfg.Window > 0 {
+		res.PeakInFlight = fw.Peak()
+	}
 	if res.DurationNs > 0 {
 		res.PPS = float64(res.Processed) / (res.DurationNs / 1e9)
 	}

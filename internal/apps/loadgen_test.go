@@ -38,6 +38,28 @@ func TestLoadgenClosedLoop(t *testing.T) {
 	}
 }
 
+// TestLoadgenWindowed: the in-flight cap bounds concurrent packets
+// across all hosts without losing any work, and reports its peak.
+func TestLoadgenWindowed(t *testing.T) {
+	res, err := RunLoadgen(LoadgenConfig{
+		Shards: 2, QueueDepth: 16, Hosts: 4, Pools: 8, Packets: 16,
+		Window: 3, Verify: true, Target: passes.TargetTNA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(8 * 16)
+	if res.Submitted != want || res.Processed != want {
+		t.Errorf("submitted %d processed %d, want %d", res.Submitted, res.Processed, want)
+	}
+	if res.PeakInFlight < 1 || res.PeakInFlight > 3 {
+		t.Errorf("peak in-flight %d, want within (0,3]", res.PeakInFlight)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("%d per-flow mismatches with windowed submission", res.Mismatches)
+	}
+}
+
 // TestLoadgenOpenLoop: a paced run sheds rather than blocks when
 // queues fill; whatever was accepted must still verify per flow.
 func TestLoadgenOpenLoop(t *testing.T) {

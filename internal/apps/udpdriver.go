@@ -16,6 +16,13 @@ import (
 // workers run as concurrent goroutines over real sockets, so these
 // drivers double as an end-to-end check that loss recovery works
 // outside simulated time.
+//
+// Both drivers ride the pipelined runtime.Channel: each worker posts
+// its outstanding messages into a sliding window under an application
+// token (the chunk or command value) and resolves them with Complete
+// when it observes the protocol-level effect, so the Window knobs map
+// directly onto the channel's window while retransmission timing,
+// backoff and the retry budget live in one place.
 
 // AggUDPConfig parameterizes the aggregation run over UDP.
 type AggUDPConfig struct {
@@ -149,69 +156,74 @@ func RunAggUDP(cfg AggUDPConfig) (*AggResult, error) {
 }
 
 // aggUDPWorker runs one worker's slot protocol until its chunks all
-// complete, resending every outstanding chunk whenever the completion
-// stream stalls for RetransmitTimeout.
+// complete. Outstanding chunks are posted into a pipelined Channel
+// whose window is the slot window: the channel retransmits stalled
+// chunks on its shared timer (fixed cadence, preserving the old resend
+// rhythm) and enforces the retry budget, while the worker keeps the
+// protocol semantics — it resolves a chunk with Complete only when the
+// matching slot completion arrives.
 func aggUDPWorker(cfg AggUDPConfig, conn *runtime.HostConn, spec *runtime.MessageSpec,
 	w, numSlots, slotSize int, res *AggResult, hist *Hist, mu *sync.Mutex) error {
+	ch := conn.NewChannel(runtime.ChannelConfig{
+		Window: cfg.Window,
+		Name:   fmt.Sprintf("agg.w%d", w),
+		Reliability: runtime.ReliabilityConfig{
+			Timeout:    cfg.RetransmitTimeout,
+			MaxRetries: cfg.RetryBudget,
+			Backoff:    1, // the slot protocol resends at a fixed cadence
+		},
+	})
+	defer func() {
+		st := ch.Stats()
+		mu.Lock()
+		res.Retransmissions += int(st.Retransmits)
+		mu.Unlock()
+		ch.Close()
+	}()
 	outstanding := map[int]bool{}
-	retries := map[int]int{}
 	sentAt := map[int]time.Time{}
+	contrib := make([]uint64, slotSize)
 
-	send := func(chunk int, retrans bool) error {
+	send := func(chunk int) error {
 		slot := chunk % cfg.Window
 		ver := uint64(chunk/cfg.Window) % 2
-		vals := make([]uint64, slotSize)
-		for i := range vals {
-			vals[i] = uint64(chunk + i + w)
+		for i := range contrib {
+			contrib[i] = uint64(chunk + i + w)
 		}
 		aggIdx := uint64(slot) + ver*uint64(numSlots)
-		msg, err := runtime.Pack(spec,
+		buf := runtime.GetBuf()
+		defer runtime.PutBuf(buf)
+		msg, err := runtime.PackAppend(*buf, spec,
 			runtime.Message{Src: uint16(10 + w), Dst: 100, Device: 1, Comp: 1}.Header(),
-			[][]uint64{{ver}, {uint64(slot)}, {aggIdx}, {1 << uint(w)}, {uint64(chunk)}, vals})
+			[][]uint64{{ver}, {uint64(slot)}, {aggIdx}, {1 << uint(w)}, {uint64(chunk)}, contrib})
 		if err != nil {
 			return err
 		}
+		*buf = msg
 		outstanding[chunk] = true
-		if retrans {
-			retries[chunk]++
-			mu.Lock()
-			res.Retransmissions++
-			mu.Unlock()
-		} else {
-			sentAt[chunk] = time.Now()
-		}
-		return conn.Send(msg)
+		sentAt[chunk] = time.Now()
+		return ch.Post(uint64(chunk), msg)
 	}
 
 	for c := 0; c < cfg.Window && c < cfg.Chunks; c++ {
-		if err := send(c, false); err != nil {
+		if err := send(c); err != nil {
 			return err
 		}
 	}
 	done := 0
+	ver := make([]uint64, 1)
+	slot := make([]uint64, 1)
+	vals := make([]uint64, slotSize)
 	for done < cfg.Chunks {
-		msg, err := conn.Recv(cfg.RetransmitTimeout)
+		msg, err := ch.Recv(cfg.RetransmitTimeout)
 		if err != nil {
 			if runtime.IsTimeout(err) {
-				// The completion stream stalled: resend everything still
-				// outstanding, within the per-chunk retry budget.
-				for c := range outstanding {
-					if retries[c] >= cfg.RetryBudget {
-						return fmt.Errorf("agg-udp: worker %d: retry budget (%d) exhausted for chunk %d; %d/%d slots completed",
-							w, cfg.RetryBudget, c, done, cfg.Chunks)
-					}
-					if err := send(c, true); err != nil {
-						return err
-					}
-				}
-				continue
+				continue // the channel retransmits; keep waiting
 			}
-			return err
+			return fmt.Errorf("agg-udp: worker %d: %w; %d/%d slots completed",
+				w, err, done, cfg.Chunks)
 		}
-		ver := make([]uint64, 1)
-		slot := make([]uint64, 1)
-		vals := make([]uint64, slotSize)
-		if _, err := runtime.Unpack(spec, msg, [][]uint64{ver, slot, nil, nil, nil, vals}); err != nil {
+		if _, err := runtime.UnpackInto(spec, msg, [][]uint64{ver, slot, nil, nil, nil, vals}); err != nil {
 			continue
 		}
 		chunk := -1
@@ -228,6 +240,7 @@ func aggUDPWorker(cfg AggUDPConfig, conn *runtime.HostConn, spec *runtime.Messag
 			continue
 		}
 		delete(outstanding, chunk)
+		ch.Complete(uint64(chunk))
 		mismatch := false
 		for i := 0; i < slotSize; i++ {
 			want := uint64(cfg.Workers*(chunk+i)) + uint64(cfg.Workers*(cfg.Workers-1)/2)
@@ -247,7 +260,7 @@ func aggUDPWorker(cfg AggUDPConfig, conn *runtime.HostConn, spec *runtime.Messag
 		mu.Unlock()
 		done++
 		if next := chunk + cfg.Window; next < cfg.Chunks {
-			if err := send(next, false); err != nil {
+			if err := send(next); err != nil {
 				return err
 			}
 		}
@@ -258,7 +271,10 @@ func aggUDPWorker(cfg AggUDPConfig, conn *runtime.HostConn, spec *runtime.Messag
 // PaxosUDPConfig parameterizes the consensus run over UDP.
 type PaxosUDPConfig struct {
 	Commands int
-	Target   passes.Target
+	// Window is how many commands the client keeps in flight at once
+	// (default 1: serial submission, the pre-pipelining behavior).
+	Window int
+	Target passes.Target
 	// Faults injects seeded probabilistic loss/duplication at every
 	// device; each device derives its own RNG stream from Seed.
 	Faults runtime.FaultSpec
@@ -278,6 +294,9 @@ type PaxosUDPConfig struct {
 func RunPaxosUDP(cfg PaxosUDPConfig) (*PaxosResult, error) {
 	if cfg.Commands <= 0 {
 		cfg.Commands = 8
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1
 	}
 	if cfg.RetransmitTimeout <= 0 {
 		cfg.RetransmitTimeout = 20 * time.Millisecond
@@ -359,11 +378,22 @@ func RunPaxosUDP(cfg PaxosUDPConfig) (*PaxosResult, error) {
 	var mu sync.Mutex
 	delivered := map[uint64]bool{}    // by instance
 	deliveredVal := map[uint64]bool{} // by command value (app-level dedup)
-	isDelivered := func(val uint64) bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return deliveredVal[val]
-	}
+
+	// The client submits through a pipelined channel: up to Window
+	// commands ride as posted entries that the channel retransmits on
+	// its timer (fixed cadence), and the listener below resolves them by
+	// command value when the learner delivers — a cross-socket
+	// completion, which is exactly what Post/Complete exists for.
+	ch := client.NewChannel(runtime.ChannelConfig{
+		Window: cfg.Window,
+		Name:   "paxos.client",
+		Reliability: runtime.ReliabilityConfig{
+			Timeout:    cfg.RetransmitTimeout,
+			MaxRetries: cfg.RetryBudget,
+			Backoff:    1,
+		},
+	})
+	defer ch.Close()
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -392,6 +422,7 @@ func RunPaxosUDP(cfg PaxosUDPConfig) (*PaxosResult, error) {
 				continue
 			}
 			mu.Lock()
+			fresh := false
 			switch {
 			case delivered[inst[0]]:
 				res.Duplicates++ // at-most-once per instance
@@ -402,47 +433,57 @@ func RunPaxosUDP(cfg PaxosUDPConfig) (*PaxosResult, error) {
 				delivered[inst[0]] = true
 				deliveredVal[v[0]] = true
 				res.Delivered++
-				if !lossy && v[0] != 1000+inst[0]-1 {
+				fresh = true
+				// Serial submission chooses instances in command order;
+				// pipelined submission does not guarantee arrival order at
+				// the leader, so the check only applies at Window 1.
+				if !lossy && cfg.Window <= 1 && v[0] != 1000+inst[0]-1 {
 					res.WrongValue++
 				}
 			}
 			mu.Unlock()
+			if fresh {
+				ch.Complete(v[0])
+			}
 		}
 	}()
 
 	var firstErr error
+	vals := make([]uint64, 8)
 	for c := 0; c < cfg.Commands; c++ {
 		val := uint64(1000 + c)
 		res.Submitted++
-		vals := make([]uint64, 8)
+		for i := range vals {
+			vals[i] = 0
+		}
 		vals[0] = val
-		msg, err := runtime.Pack(spec,
+		buf := runtime.GetBuf()
+		msg, err := runtime.PackAppend(*buf, spec,
 			runtime.Message{Src: 100, Dst: 101, Device: PaxosLeader, Comp: 1}.Header(),
 			[][]uint64{{1}, {0}, {0}, {0}, {0}, vals})
+		if err == nil {
+			*buf = msg
+			// Post blocks (retransmitting as it waits) until a window
+			// slot frees up; a command that exhausts its budget frees its
+			// slot and is counted below as undelivered.
+			err = ch.Post(val, msg)
+		}
+		runtime.PutBuf(buf)
 		if err != nil {
 			firstErr = err
 			break
 		}
-		for attempt := 0; attempt <= cfg.RetryBudget && !isDelivered(val); attempt++ {
-			if attempt > 0 {
-				mu.Lock()
-				res.Retries++
-				mu.Unlock()
-			}
-			if err := client.Send(msg); err != nil {
-				firstErr = err
-				break
-			}
-			// Poll for delivery until the retransmission timeout.
-			deadline := time.Now().Add(cfg.RetransmitTimeout)
-			for !isDelivered(val) && time.Now().Before(deadline) {
-				time.Sleep(time.Millisecond)
-			}
-		}
-		if firstErr != nil {
-			break
-		}
 	}
+	if firstErr == nil {
+		// Wait out the window: every posted command either completes via
+		// the listener or exhausts its retry budget. Budget exhaustion is
+		// accounted as Undelivered below, not surfaced as the run error.
+		ch.Drain(0)
+	}
+	st := ch.Stats()
+	mu.Lock()
+	res.Retries += int(st.Retransmits)
+	mu.Unlock()
 	close(stop)
 	appHost.Close()
 	wg.Wait()

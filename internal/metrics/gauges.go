@@ -1,0 +1,95 @@
+package metrics
+
+// Runtime gauges: lightweight atomic instruments the host runtime
+// publishes while traffic is flowing (window occupancy, in-flight
+// peaks, retransmission counts). They complement the static code
+// metrics in this package: the paper's evaluation measures programs,
+// the gauges measure the running system.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge is an instantaneous value with a high-water mark. All methods
+// are safe for concurrent use.
+type Gauge struct {
+	v    atomic.Int64
+	peak atomic.Int64
+}
+
+// Add moves the gauge by delta and returns the new value, updating the
+// peak.
+func (g *Gauge) Add(delta int64) int64 {
+	v := g.v.Add(delta)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return v
+		}
+	}
+}
+
+// Set stores an absolute value, updating the peak.
+func (g *Gauge) Set(v int64) {
+	g.v.Store(v)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Peak returns the highest value ever observed.
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+// Set is a named collection of gauges. Lookups intern the gauge on
+// first use; reads while traffic flows are lock-free on the gauge
+// itself.
+type Set struct {
+	mu sync.Mutex
+	m  map[string]*Gauge
+}
+
+// NewSet builds an empty gauge set.
+func NewSet() *Set { return &Set{m: map[string]*Gauge{}} }
+
+// Gauge returns the named gauge, creating it on first use.
+func (s *Set) Gauge(name string) *Gauge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.m[name]
+	if g == nil {
+		g = &Gauge{}
+		s.m[name] = g
+	}
+	return g
+}
+
+// Snapshot returns the current value of every gauge, keyed by name.
+func (s *Set) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.m))
+	for name, g := range s.m {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Names returns the registered gauge names, sorted.
+func (s *Set) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.m))
+	for name := range s.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -40,12 +40,32 @@ func (n *Network) NewEndpoint(h *Host, cfg runtime.ReliabilityConfig) *HostEndpo
 // Stats returns the endpoint's reliability counters.
 func (ep *HostEndpoint) Stats() runtime.RelStats { return ep.rel.Stats() }
 
+// NewChannel opens a pipelined sliding-window channel over this
+// endpoint's transport (see runtime.Channel). A zero cfg.Reliability
+// inherits the endpoint's reliability knobs. Like the endpoint itself
+// the channel is single-threaded: pump it from the goroutine that owns
+// the network.
+func (ep *HostEndpoint) NewChannel(cfg runtime.ChannelConfig) *runtime.Channel {
+	if cfg.Reliability == (runtime.ReliabilityConfig{}) {
+		cfg.Reliability = ep.rel.Config()
+	}
+	return runtime.NewChannel(simTransport{ep}, cfg)
+}
+
 // Transport implementation (raw, unreliable primitives).
 
 type simTransport struct{ ep *HostEndpoint }
 
 func (t simTransport) Send(msg []byte) error {
 	t.ep.h.Send(msg)
+	return nil
+}
+
+// SendBatch flushes several messages as one host operation (see
+// Host.SendBatch): the per-send processing cost is amortized over the
+// batch.
+func (t simTransport) SendBatch(msgs [][]byte) error {
+	t.ep.h.SendBatch(msgs)
 	return nil
 }
 

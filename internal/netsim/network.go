@@ -263,6 +263,34 @@ func (h *Host) Send(msg []byte) {
 	})
 }
 
+// SendBatch transmits several NetCL messages as one host operation:
+// the buffered-flush analogue, paying the ProcessingNs wakeup once for
+// the whole batch. Each message still frames, serializes and faults on
+// the link individually, so loss and ordering behave exactly as with
+// per-message Send.
+func (h *Host) SendBatch(msgs [][]byte) {
+	if h.lnk == nil || len(msgs) == 0 {
+		return
+	}
+	me := port{node: h}
+	peerNode, peerPort := h.lnk.peer(me)
+	dev, ok := peerNode.(*Device)
+	if !ok {
+		return
+	}
+	h.Sent += uint64(len(msgs))
+	pkts := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		pkts[i] = runtime.Frame(m, uint64(h.ID), 0)
+	}
+	h.net.At(h.ProcessingNs, func() {
+		for _, pkt := range pkts {
+			pkt := pkt
+			h.net.transmit(h.lnk, me, pkt, func() { dev.receive(pkt, peerPort) })
+		}
+	})
+}
+
 // receive runs the P4 pipeline and forwards the result.
 func (d *Device) receive(pkt []byte, inPort int) {
 	if d.paused {

@@ -1,0 +1,35 @@
+package runtime
+
+import "sync"
+
+// Pooled message buffers for the zero-alloc host path. A buffer is
+// borrowed with GetBuf, filled through PackAppend/Seq.AppendTo, handed
+// to a Transport (whose Send must finish with the bytes before
+// returning: UDP copies into the kernel, the simulator frames into its
+// own packet buffer), and recycled with PutBuf. The sliding-window
+// Channel keeps each buffer checked out for as long as the message may
+// be retransmitted and recycles it on completion — ownership follows
+// the pending-send entry, not the Send call (DESIGN.md §9).
+
+// msgBufCap comfortably holds the largest evaluation-app message
+// (header + data + trailer); bigger messages simply grow their buffer
+// once and the grown buffer is what returns to the pool.
+const msgBufCap = 2048
+
+var msgBufs = sync.Pool{New: func() any { b := make([]byte, 0, msgBufCap); return &b }}
+
+// GetBuf borrows an empty pooled buffer.
+func GetBuf() *[]byte {
+	b := msgBufs.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a buffer to the pool. The caller must not retain any
+// slice of it afterwards.
+func PutBuf(b *[]byte) {
+	if b == nil || cap(*b) == 0 {
+		return
+	}
+	msgBufs.Put(b)
+}

@@ -1,0 +1,96 @@
+package runtime
+
+// Receiver-side duplicate suppression as a fixed-size sequence bitmap
+// (the DTLS/IPsec anti-replay scheme) instead of a map plus eviction
+// slice: per source, a sliding window of the last W sequence numbers
+// is one []uint64 bitmap anchored at the highest sequence seen.
+// Observing a sequence is O(1) with no allocation in steady state —
+// advancing the anchor shifts the bitmap, membership is a bit test —
+// and the serial-number comparison int32(seq-top) keeps the window
+// well-defined across uint32 wraparound.
+
+// seqWindow is the anti-replay window for one source.
+type seqWindow struct {
+	bits []uint64 // bit i (counted from top) set = top-i was seen
+	top  uint32   // highest sequence observed, valid once seeded
+	seen bool     // false until the first observation
+}
+
+// observe records seq and reports whether it was already seen. A
+// sequence older than the window is reported as a duplicate: the
+// window is the receiver's entire memory, and a sender whose
+// retransmission budget is far smaller than the window can never
+// legitimately deliver that late.
+func (w *seqWindow) observe(seq uint32) bool {
+	size := uint32(len(w.bits) * 64)
+	if !w.seen {
+		w.seen = true
+		w.top = seq
+		w.bits[0] = 1
+		return false
+	}
+	d := int32(seq - w.top) // serial-number distance, wrap-safe
+	switch {
+	case d > 0:
+		w.shift(uint32(d))
+		w.top = seq
+		w.bits[0] |= 1
+		return false
+	case uint32(-d) >= size:
+		return true // beyond the window: treat as replayed
+	default:
+		off := uint32(-d)
+		word, bit := off/64, off%64
+		dup := w.bits[word]&(1<<bit) != 0
+		w.bits[word] |= 1 << bit
+		return dup
+	}
+}
+
+// shift slides the window forward by n sequence numbers (towards
+// higher seqs), dropping the oldest bits.
+func (w *seqWindow) shift(n uint32) {
+	if n >= uint32(len(w.bits)*64) {
+		for i := range w.bits {
+			w.bits[i] = 0
+		}
+		return
+	}
+	words, bits := int(n/64), n%64
+	for i := len(w.bits) - 1; i >= 0; i-- {
+		var v uint64
+		if i-words >= 0 {
+			v = w.bits[i-words] << bits
+			if bits > 0 && i-words-1 >= 0 {
+				v |= w.bits[i-words-1] >> (64 - bits)
+			}
+		}
+		w.bits[i] = v
+	}
+}
+
+// dedupTable maps sources to their anti-replay windows. The number of
+// sources is the number of peers (workers, devices reflecting
+// requests), so the map stays tiny and allocates once per source.
+type dedupTable struct {
+	words int
+	srcs  map[uint16]*seqWindow
+}
+
+func newDedupTable(window int) *dedupTable {
+	words := (window + 63) / 64
+	if words < 1 {
+		words = 1
+	}
+	return &dedupTable{words: words, srcs: map[uint16]*seqWindow{}}
+}
+
+// observe records (src, seq) and reports whether it was already seen.
+func (t *dedupTable) observe(src uint16, seq uint32) bool {
+	w := t.srcs[src]
+	if w == nil {
+		w = &seqWindow{bits: make([]uint64, t.words)}
+		t.srcs[src] = w
+	}
+	return w.observe(seq)
+}

@@ -1,0 +1,128 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSeqWindowBasic: fresh sequences pass once and repeat as
+// duplicates, in order or slightly out of order.
+func TestSeqWindowBasic(t *testing.T) {
+	w := &seqWindow{bits: make([]uint64, 2)} // 128-seq window
+	for _, seq := range []uint32{1, 2, 3, 5, 4, 10, 7} {
+		if w.observe(seq) {
+			t.Errorf("seq %d reported duplicate on first sight", seq)
+		}
+	}
+	for _, seq := range []uint32{1, 2, 3, 4, 5, 7, 10} {
+		if !w.observe(seq) {
+			t.Errorf("seq %d not reported duplicate on second sight", seq)
+		}
+	}
+	// 6, 8, 9 were never observed and are still inside the window.
+	for _, seq := range []uint32{6, 8, 9} {
+		if w.observe(seq) {
+			t.Errorf("unseen in-window seq %d reported duplicate", seq)
+		}
+	}
+}
+
+// TestSeqWindowEviction: sequences older than the window are treated
+// as duplicates (the window is the receiver's entire memory), and
+// advancing the anchor evicts old state so a bit index is never
+// aliased to a newer sequence.
+func TestSeqWindowEviction(t *testing.T) {
+	w := &seqWindow{bits: make([]uint64, 1)} // 64-seq window
+	if w.observe(1000) {
+		t.Fatal("first observation reported duplicate")
+	}
+	if !w.observe(1000 - 64) {
+		t.Error("seq older than the window must be treated as duplicate")
+	}
+	if w.observe(1000 - 63) {
+		t.Error("oldest in-window seq reported duplicate though never seen")
+	}
+	// Slide far forward: everything before must be forgotten (evicted),
+	// and the evicted seqs now classify as too-old duplicates.
+	if w.observe(5000) {
+		t.Fatal("fresh high seq reported duplicate")
+	}
+	if !w.observe(1000) {
+		t.Error("evicted seq must classify as too-old duplicate")
+	}
+	if w.observe(5000 - 1) {
+		t.Error("in-window seq near new anchor reported duplicate; stale bits survived the shift")
+	}
+}
+
+// TestSeqWindowShiftCarry: shifting by a non-multiple of 64 must carry
+// bits across word boundaries.
+func TestSeqWindowShiftCarry(t *testing.T) {
+	w := &seqWindow{bits: make([]uint64, 2)} // 128-seq window
+	w.observe(100)
+	w.observe(70)
+	// Advance by 60: 100 lands at offset 60 (word 0), 70 at offset 90
+	// (word 1) — both cross into higher bit positions.
+	w.observe(160)
+	if !w.observe(100) || !w.observe(70) {
+		t.Error("seen seqs lost across a sub-word shift")
+	}
+	if w.observe(99) || w.observe(71) {
+		t.Error("neighbor seqs falsely marked seen after shift")
+	}
+}
+
+// TestSeqWindowWraparound: the serial-number arithmetic keeps the
+// window well-defined across the uint32 wrap.
+func TestSeqWindowWraparound(t *testing.T) {
+	w := &seqWindow{bits: make([]uint64, 1)}
+	pre := []uint32{math.MaxUint32 - 2, math.MaxUint32 - 1, math.MaxUint32}
+	post := []uint32{0, 1, 2}
+	for _, seq := range pre {
+		if w.observe(seq) {
+			t.Errorf("seq %d duplicate on first sight", seq)
+		}
+	}
+	for _, seq := range post {
+		if w.observe(seq) {
+			t.Errorf("post-wrap seq %d duplicate on first sight", seq)
+		}
+	}
+	// All six remain within the 64-seq window and must read as seen.
+	for _, seq := range append(append([]uint32{}, pre...), post...) {
+		if !w.observe(seq) {
+			t.Errorf("seq %d not duplicate across the wrap", seq)
+		}
+	}
+	// A gap that wraps: unseen seqs stay unseen.
+	if w.observe(math.MaxUint32 - 30) {
+		t.Error("unseen pre-wrap seq inside window reported duplicate")
+	}
+}
+
+// TestDedupTablePerSource: windows are independent per source, so the
+// same sequence number from different peers never collides.
+func TestDedupTablePerSource(t *testing.T) {
+	tab := newDedupTable(64)
+	if tab.observe(1, 42) {
+		t.Error("src 1 seq 42 duplicate on first sight")
+	}
+	if tab.observe(2, 42) {
+		t.Error("src 2 seq 42 duplicate on first sight (cross-source collision)")
+	}
+	if !tab.observe(1, 42) || !tab.observe(2, 42) {
+		t.Error("per-source repeat not reported duplicate")
+	}
+}
+
+// TestDedupTableWindowRounding: tiny windows round up to one word.
+func TestDedupTableWindowRounding(t *testing.T) {
+	tab := newDedupTable(0)
+	if tab.words != 1 {
+		t.Errorf("zero window rounded to %d words, want 1", tab.words)
+	}
+	tab = newDedupTable(65)
+	if tab.words != 2 {
+		t.Errorf("65-seq window rounded to %d words, want 2", tab.words)
+	}
+}

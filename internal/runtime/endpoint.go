@@ -36,28 +36,59 @@ type Transport interface {
 	Now() time.Duration
 }
 
+// BatchTransport is an optional Transport extension: SendBatch
+// transmits several messages in one operation. The simulator amortizes
+// the per-send host processing cost over the batch; the UDP backend
+// bursts the datagrams through one writer pass. Senders with more than
+// one message due (a window fill, a retransmission sweep) use it when
+// available.
+type BatchTransport interface {
+	SendBatch(msgs [][]byte) error
+}
+
+// BufRecver is an optional Transport extension for allocation-free
+// receiving: the datagram lands in buf (which must be large enough for
+// the transport's MTU) and the returned slice aliases it. Callers that
+// own a scratch buffer — the Channel's pump is single-threaded by
+// design — avoid the per-datagram allocation of Recv.
+type BufRecver interface {
+	RecvBuf(buf []byte, timeout time.Duration) ([]byte, error)
+}
+
 // SendTo packs and sends a message over any endpoint (ncl::pack +
-// send, fire-and-forget).
+// send, fire-and-forget). The message is packed into a pooled buffer,
+// so the steady-state path allocates nothing; Endpoint.Send must not
+// retain the buffer past its return (both backends copy or frame it
+// synchronously).
 func SendTo(e Endpoint, spec *MessageSpec, m Message, args [][]uint64) error {
-	buf, err := Pack(spec, m.Header(), args)
+	buf := GetBuf()
+	defer PutBuf(buf)
+	packed, err := PackAppend(*buf, spec, m.Header(), args)
 	if err != nil {
 		return err
 	}
-	return e.Send(buf)
+	*buf = packed
+	return e.Send(packed)
 }
 
 // CallMessage packs m, performs a reliable Call over the endpoint, and
-// unpacks the response into out (nil slices are skipped).
+// unpacks the response into out (nil slices are skipped). The request
+// is packed into a pooled buffer: Call appends the sequence trailer
+// into its own retransmission copy, so the buffer is recycled as soon
+// as Call returns.
 func CallMessage(e Endpoint, spec *MessageSpec, m Message, args, out [][]uint64, timeout time.Duration) (wire.Header, error) {
-	buf, err := Pack(spec, m.Header(), args)
+	buf := GetBuf()
+	defer PutBuf(buf)
+	packed, err := PackAppend(*buf, spec, m.Header(), args)
 	if err != nil {
 		return wire.Header{}, err
 	}
-	reply, err := e.Call(buf, timeout)
+	*buf = packed
+	reply, err := e.Call(packed, timeout)
 	if err != nil {
 		return wire.Header{}, err
 	}
-	return Unpack(spec, reply, out)
+	return UnpackInto(spec, reply, out)
 }
 
 // RecvFrom receives and unpacks one message from any endpoint.

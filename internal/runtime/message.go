@@ -72,14 +72,22 @@ func (m Message) Header() wire.Header {
 // Count element values; a nil slice packs zeros (the ncl::pack NULL
 // convention that skips copying, §V-A).
 func Pack(spec *MessageSpec, hdr wire.Header, args [][]uint64) ([]byte, error) {
+	return PackAppend(make([]byte, 0, spec.Size()), spec, hdr, args)
+}
+
+// PackAppend serializes a NetCL message at the end of dst, growing it
+// like the append builtin. It performs no allocation when dst has
+// spec.Size() bytes of spare capacity, which makes it the zero-alloc
+// counterpart of Pack for pooled send buffers (see GetBuf/PutBuf).
+func PackAppend(dst []byte, spec *MessageSpec, hdr wire.Header, args [][]uint64) ([]byte, error) {
 	if len(args) != len(spec.Args) {
-		return nil, fmt.Errorf("pack: %d argument slots for %d-argument specification %s", len(args), len(spec.Args), spec)
+		return dst, fmt.Errorf("pack: %d argument slots for %d-argument specification %s", len(args), len(spec.Args), spec)
 	}
-	buf := hdr.Marshal(make([]byte, 0, spec.Size()))
+	buf := hdr.Marshal(dst)
 	for i, a := range spec.Args {
 		vals := args[i]
 		if vals != nil && len(vals) != a.Count {
-			return nil, fmt.Errorf("pack: argument %d (%s) needs %d elements, got %d", i, a.Name, a.Count, len(vals))
+			return dst, fmt.Errorf("pack: argument %d (%s) needs %d elements, got %d", i, a.Name, a.Count, len(vals))
 		}
 		for k := 0; k < a.Count; k++ {
 			var v uint64
@@ -98,22 +106,31 @@ func Pack(spec *MessageSpec, hdr wire.Header, args [][]uint64) ([]byte, error) {
 // corresponding element values (they must have the right length); nil
 // slices are skipped.
 func Unpack(spec *MessageSpec, data []byte, args [][]uint64) (wire.Header, error) {
+	return UnpackInto(spec, data, args)
+}
+
+// UnpackInto is Unpack under its zero-alloc contract: the element
+// values land in the caller-provided arg slices and no memory is
+// allocated on any path, success or error, so it is safe on hot
+// receive loops with preallocated scratch. Bytes past the data region
+// (the payload area, e.g. a reliability trailer) are ignored.
+func UnpackInto(spec *MessageSpec, data []byte, args [][]uint64) (wire.Header, error) {
 	var hdr wire.Header
 	rest, ok := hdr.Unmarshal(data)
 	if !ok {
-		return hdr, fmt.Errorf("unpack: short message (%d bytes)", len(data))
+		return hdr, errUnpackShort
 	}
 	if len(args) != len(spec.Args) {
-		return hdr, fmt.Errorf("unpack: %d argument slots for %d-argument specification %s", len(args), len(spec.Args), spec)
+		return hdr, errUnpackArgSlots
 	}
 	if len(rest) < spec.DataBytes() {
-		return hdr, fmt.Errorf("unpack: message data %d bytes, specification needs %d", len(rest), spec.DataBytes())
+		return hdr, errUnpackDataShort
 	}
 	off := 0
 	for i, a := range spec.Args {
 		vals := args[i]
 		if vals != nil && len(vals) != a.Count {
-			return hdr, fmt.Errorf("unpack: argument %d (%s) needs %d elements, got %d", i, a.Name, a.Count, len(vals))
+			return hdr, errUnpackArgLen
 		}
 		for k := 0; k < a.Count; k++ {
 			var v uint64
@@ -128,3 +145,12 @@ func Unpack(spec *MessageSpec, data []byte, args [][]uint64) (wire.Header, error
 	}
 	return hdr, nil
 }
+
+// Unpack error values are fixed instances so the parse path allocates
+// nothing even when rejecting malformed input.
+var (
+	errUnpackShort     = fmt.Errorf("unpack: short message")
+	errUnpackArgSlots  = fmt.Errorf("unpack: argument slot count does not match specification")
+	errUnpackDataShort = fmt.Errorf("unpack: message data shorter than specification")
+	errUnpackArgLen    = fmt.Errorf("unpack: argument slice length does not match element count")
+)

@@ -1,0 +1,204 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"netcl/internal/wire"
+)
+
+// Differential fuzzing of the message codec: Pack against PackAppend
+// (fresh buffer vs append-into-pooled-buffer must be byte-identical),
+// and Unpack/UnpackInto round-tripping what was packed, including the
+// nil-slice conventions (pack zeros, skip on unpack) and short-input
+// rejection. The fuzz input is interpreted as a little spec-and-values
+// program so the corpus explores layouts, not just payloads.
+
+// fuzzSpec derives a MessageSpec plus argument values from raw bytes.
+func fuzzSpec(data []byte) (*MessageSpec, [][]uint64, []byte) {
+	if len(data) < 2 {
+		return nil, nil, nil
+	}
+	nargs := int(data[0]%5) + 1 // 1..5 arguments
+	sizes := []int{1, 2, 4, 8}
+	spec := &MessageSpec{Comp: 1}
+	args := make([][]uint64, 0, nargs)
+	rest := data[1:]
+	take := func() byte {
+		if len(rest) == 0 {
+			return 0
+		}
+		b := rest[0]
+		rest = rest[1:]
+		return b
+	}
+	for i := 0; i < nargs; i++ {
+		ctl := take()
+		a := ArgSpec{
+			Name:  "a",
+			Bytes: sizes[int(ctl)%len(sizes)],
+			Count: int(ctl/4)%6 + 1, // 1..6 elements
+		}
+		spec.Args = append(spec.Args, a)
+		if ctl&0x80 != 0 {
+			args = append(args, nil) // the NULL convention: pack zeros
+			continue
+		}
+		vals := make([]uint64, a.Count)
+		for k := range vals {
+			var raw [8]byte
+			for b := range raw {
+				raw[b] = take()
+			}
+			vals[k] = binary.BigEndian.Uint64(raw[:])
+		}
+		args = append(args, vals)
+	}
+	return spec, args, rest
+}
+
+func FuzzPackUnpackRoundTrip(f *testing.F) {
+	f.Add([]byte{0x01, 0x03, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0x04, 0x80, 0x07, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x02, 0x15, 0, 0, 0, 0, 0, 0, 0, 0, 0x96})
+	f.Add(bytes.Repeat([]byte{0xA5}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, args, _ := fuzzSpec(data)
+		if spec == nil {
+			return
+		}
+		hdr := Message{Src: 3, Dst: 9, Device: 1, Comp: spec.Comp}.Header()
+
+		packed, err := Pack(spec, hdr, args)
+		if err != nil {
+			t.Fatalf("Pack rejected a well-formed spec: %v", err)
+		}
+		if len(packed) != spec.Size() {
+			t.Fatalf("packed %d bytes, spec.Size() %d", len(packed), spec.Size())
+		}
+
+		// Differential: PackAppend onto a non-empty prefix must append
+		// the identical bytes and leave the prefix alone.
+		prefix := []byte{0xDE, 0xAD}
+		appended, err := PackAppend(append([]byte(nil), prefix...), spec, hdr, args)
+		if err != nil {
+			t.Fatalf("PackAppend: %v", err)
+		}
+		if !bytes.Equal(appended[:len(prefix)], prefix) {
+			t.Fatal("PackAppend clobbered the prefix")
+		}
+		if !bytes.Equal(appended[len(prefix):], packed) {
+			t.Fatalf("PackAppend diverged from Pack:\n  %x\n  %x", appended[len(prefix):], packed)
+		}
+
+		// Round trip through both unpack entry points, with a trailing
+		// reliability trailer that both must ignore.
+		trailered := wire.Seq{Seq: 7}.Append(append([]byte(nil), packed...))
+		out := make([][]uint64, len(spec.Args))
+		for i, a := range spec.Args {
+			if i%2 == 1 {
+				continue // nil slice: skipped on unpack
+			}
+			out[i] = make([]uint64, a.Count)
+		}
+		h1, err := Unpack(spec, packed, out)
+		if err != nil {
+			t.Fatalf("Unpack: %v", err)
+		}
+		out2 := make([][]uint64, len(spec.Args))
+		for i := range out {
+			if out[i] != nil {
+				out2[i] = make([]uint64, len(out[i]))
+			}
+		}
+		h2, err := UnpackInto(spec, trailered, out2)
+		if err != nil {
+			t.Fatalf("UnpackInto: %v", err)
+		}
+		if h1 != h2 || h1.Src != 3 || h1.Dst != 9 {
+			t.Fatalf("headers diverged: %+v vs %+v", h1, h2)
+		}
+		for i := range out {
+			if out[i] == nil {
+				continue
+			}
+			a := spec.Args[i]
+			mask := ^uint64(0)
+			if a.Bytes < 8 {
+				mask = 1<<(8*uint(a.Bytes)) - 1
+			}
+			for k := range out[i] {
+				want := uint64(0)
+				if args[i] != nil {
+					want = args[i][k] & mask
+				}
+				if out[i][k] != want {
+					t.Fatalf("arg %d[%d]: got %#x want %#x", i, k, out[i][k], want)
+				}
+				if out[i][k] != out2[i][k] {
+					t.Fatalf("Unpack and UnpackInto diverged at arg %d[%d]", i, k)
+				}
+			}
+		}
+
+		// Truncations must reject without panicking, on every length.
+		for cut := 0; cut < len(packed); cut++ {
+			if _, err := UnpackInto(spec, packed[:cut], out); err == nil {
+				t.Fatalf("truncated message (%d/%d bytes) accepted", cut, len(packed))
+			}
+		}
+	})
+}
+
+// FuzzUnpackIntoRaw feeds arbitrary bytes straight into the parser:
+// whatever the input, it must never panic and never write outside the
+// provided slices.
+func FuzzUnpackIntoRaw(f *testing.F) {
+	f.Add([]byte{}, byte(1))
+	f.Add(bytes.Repeat([]byte{0xFF}, 40), byte(2))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, byte(0))
+	f.Fuzz(func(t *testing.T, data []byte, nargs byte) {
+		spec := &MessageSpec{Comp: 1}
+		args := make([][]uint64, int(nargs)%4)
+		for i := range args {
+			spec.Args = append(spec.Args, ArgSpec{Name: "x", Bytes: 4, Count: 2})
+			if i%2 == 0 {
+				args[i] = make([]uint64, 2)
+			}
+		}
+		_, _ = UnpackInto(spec, data, args)
+	})
+}
+
+// TestPackArgumentValidation pins the codec's error paths: wrong slot
+// counts and wrong element counts are rejected by both pack variants,
+// and nil-slice packing really writes zeros.
+func TestPackArgumentValidation(t *testing.T) {
+	spec := &MessageSpec{Comp: 1, Args: []ArgSpec{
+		{Name: "a", Bytes: 4, Count: 2},
+		{Name: "b", Bytes: 1, Count: 1},
+	}}
+	hdr := Message{Src: 1, Dst: 2, Device: 1, Comp: 1}.Header()
+	if _, err := Pack(spec, hdr, [][]uint64{{1, 2}}); err == nil {
+		t.Error("slot-count mismatch accepted by Pack")
+	}
+	if _, err := PackAppend(nil, spec, hdr, [][]uint64{{1, 2}, {3}, {4}}); err == nil {
+		t.Error("slot-count mismatch accepted by PackAppend")
+	}
+	if _, err := Pack(spec, hdr, [][]uint64{{1}, {3}}); err == nil {
+		t.Error("element-count mismatch accepted")
+	}
+	msg, err := Pack(spec, hdr, [][]uint64{nil, {0xAB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := wire.HeaderBytes; i < wire.HeaderBytes+8; i++ {
+		if msg[i] != 0 {
+			t.Fatalf("nil arg byte %d = %#x, want zero", i, msg[i])
+		}
+	}
+	if msg[wire.HeaderBytes+8] != 0xAB {
+		t.Errorf("second arg = %#x, want 0xAB", msg[wire.HeaderBytes+8])
+	}
+}

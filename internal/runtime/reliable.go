@@ -3,9 +3,9 @@ package runtime
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netcl/internal/wire"
@@ -80,63 +80,66 @@ type RelStats struct {
 	StrayMessages uint64 // unmatched inbound messages discarded mid-call
 }
 
+// relCounters is RelStats sharded onto atomics, so counting never
+// touches the dedup mutex and concurrent endpoint workers do not
+// serialize on statistics.
+type relCounters struct {
+	sent, retransmits, timeouts, duplicates atomic.Uint64
+	acksSent, acksReceived                  atomic.Uint64
+	failures, strayMessages                 atomic.Uint64
+}
+
+// snapshot loads a plain RelStats view.
+func (c *relCounters) snapshot() RelStats {
+	return RelStats{
+		Sent:          c.sent.Load(),
+		Retransmits:   c.retransmits.Load(),
+		Timeouts:      c.timeouts.Load(),
+		Duplicates:    c.duplicates.Load(),
+		AcksSent:      c.acksSent.Load(),
+		AcksReceived:  c.acksReceived.Load(),
+		Failures:      c.failures.Load(),
+		StrayMessages: c.strayMessages.Load(),
+	}
+}
+
 // Reliability implements the policy over any Transport. It is safe for
 // concurrent use.
 type Reliability struct {
 	cfg ReliabilityConfig
 
-	mu    sync.Mutex
-	seq   uint32
-	seen  map[uint64]struct{}
-	order []uint64
-	stats RelStats
+	seq   atomic.Uint32
+	stats relCounters
+
+	mu    sync.Mutex // guards dedup only
+	dedup *dedupTable
 }
 
 // NewReliability builds a reliability policy instance.
 func NewReliability(cfg ReliabilityConfig) *Reliability {
-	return &Reliability{cfg: cfg.withDefaults(), seen: map[uint64]struct{}{}}
+	cfg = cfg.withDefaults()
+	return &Reliability{cfg: cfg, dedup: newDedupTable(cfg.DedupWindow)}
 }
 
 // Config returns the effective (default-filled) configuration.
 func (r *Reliability) Config() ReliabilityConfig { return r.cfg }
 
 // Stats returns a snapshot of the counters.
-func (r *Reliability) Stats() RelStats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
-}
+func (r *Reliability) Stats() RelStats { return r.stats.snapshot() }
 
 // NextSeq allocates a sequence number.
-func (r *Reliability) NextSeq() uint32 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.seq++
-	return r.seq
-}
+func (r *Reliability) NextSeq() uint32 { return r.seq.Add(1) }
 
-// isDup records (src, seq) and reports whether it was already seen.
+// isDup records (src, seq) in the anti-replay window and reports
+// whether it was already seen.
 func (r *Reliability) isDup(src uint16, seq uint32) bool {
-	key := uint64(src)<<32 | uint64(seq)
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.seen[key]; ok {
-		r.stats.Duplicates++
-		return true
-	}
-	r.seen[key] = struct{}{}
-	r.order = append(r.order, key)
-	if len(r.order) > r.cfg.DedupWindow {
-		delete(r.seen, r.order[0])
-		r.order = r.order[1:]
-	}
-	return false
-}
-
-func (r *Reliability) count(f func(s *RelStats)) {
-	r.mu.Lock()
-	f(&r.stats)
+	dup := r.dedup.observe(src, seq)
 	r.mu.Unlock()
+	if dup {
+		r.stats.duplicates.Add(1)
+	}
+	return dup
 }
 
 // IsTimeout classifies transport receive errors: timeouts are retried
@@ -180,10 +183,10 @@ func (r *Reliability) confirm(t Transport, req []byte, seq uint32, timeout time.
 	if timeout > 0 {
 		per = timeout
 	}
-	r.count(func(s *RelStats) { s.Sent++ })
+	r.stats.sent.Add(1)
 	for attempt := 0; attempt <= r.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			r.count(func(s *RelStats) { s.Retransmits++ })
+			r.stats.retransmits.Add(1)
 		}
 		if err := t.Send(req); err != nil {
 			return nil, err
@@ -204,7 +207,7 @@ func (r *Reliability) confirm(t Transport, req []byte, seq uint32, timeout time.
 			body, sq, ok := wire.ParseSeq(m)
 			if !ok {
 				// Untrailered traffic is not ours to consume here.
-				r.count(func(s *RelStats) { s.StrayMessages++ })
+				r.stats.strayMessages.Add(1)
 				continue
 			}
 			if sq.Flags&wire.SeqFlagWantAck != 0 {
@@ -214,11 +217,11 @@ func (r *Reliability) confirm(t Transport, req []byte, seq uint32, timeout time.
 				r.ack(t, body, sq.Seq)
 			}
 			if sq.Seq != seq {
-				r.count(func(s *RelStats) { s.StrayMessages++ })
+				r.stats.strayMessages.Add(1)
 				continue
 			}
 			if sq.Flags&wire.SeqFlagAck != 0 {
-				r.count(func(s *RelStats) { s.AcksReceived++ })
+				r.stats.acksReceived.Add(1)
 				if ackOnly {
 					return nil, nil
 				}
@@ -236,13 +239,10 @@ func (r *Reliability) confirm(t Transport, req []byte, seq uint32, timeout time.
 			}
 			return body, nil
 		}
-		r.count(func(s *RelStats) { s.Timeouts++ })
-		per = time.Duration(float64(per) * r.cfg.Backoff)
-		if per > r.cfg.MaxTimeout {
-			per = r.cfg.MaxTimeout
-		}
+		r.stats.timeouts.Add(1)
+		per = nextBackoff(per, r.cfg.Backoff, r.cfg.MaxTimeout)
 	}
-	r.count(func(s *RelStats) { s.Failures++ })
+	r.stats.failures.Add(1)
 	return nil, fmt.Errorf("%w (seq %d, %d attempts)", ErrRetryBudget, seq, r.cfg.MaxRetries+1)
 }
 
@@ -272,7 +272,7 @@ func (r *Reliability) Recv(t Transport, timeout time.Duration) ([]byte, error) {
 			return m, nil
 		}
 		if sq.Flags&wire.SeqFlagAck != 0 {
-			r.count(func(s *RelStats) { s.AcksReceived++ })
+			r.stats.acksReceived.Add(1)
 			continue
 		}
 		if sq.Flags&wire.SeqFlagWantAck != 0 {
@@ -292,22 +292,48 @@ func (r *Reliability) Recv(t Transport, timeout time.Duration) ([]byte, error) {
 
 // ack echoes msg back to its source as an acknowledgement of seq: the
 // header's src/dst are swapped and to is cleared so transit devices
-// forward it without invoking kernels.
+// forward it without invoking kernels. The ack is built in a pooled
+// scratch buffer — both backends are done with the bytes when Send
+// returns, so the buffer recycles immediately and the steady-state ack
+// path allocates nothing.
 func (r *Reliability) ack(t Transport, body []byte, seq uint32) {
+	buf := GetBuf()
+	defer PutBuf(buf)
+	out, ok := appendAck(*buf, body, seq)
+	if !ok {
+		return
+	}
+	*buf = out
+	if err := t.Send(out); err == nil {
+		r.stats.acksSent.Add(1)
+	}
+}
+
+// appendAck builds the acknowledgement of (body, seq) at the end of
+// dst: body's header with src/dst swapped and transit fields cleared,
+// body's data, and an ack trailer.
+func appendAck(dst, body []byte, seq uint32) ([]byte, bool) {
 	var hdr wire.Header
 	rest, ok := hdr.Unmarshal(body)
 	if !ok {
-		return
+		return dst, false
 	}
 	hdr.Src, hdr.Dst = hdr.Dst, hdr.Src
 	hdr.From, hdr.To = wire.None, wire.None
 	hdr.Act = wire.ActPass
-	out := hdr.Marshal(make([]byte, 0, len(body)+wire.SeqBytes))
+	out := hdr.Marshal(dst)
 	out = append(out, rest...)
-	out = wire.Seq{Seq: seq, Flags: wire.SeqFlagAck}.Append(out)
-	if err := t.Send(out); err == nil {
-		r.count(func(s *RelStats) { s.AcksSent++ })
+	return wire.Seq{Seq: seq, Flags: wire.SeqFlagAck}.AppendTo(out), true
+}
+
+// nextBackoff advances a per-attempt timeout by the backoff factor,
+// capped at max.
+func nextBackoff(per time.Duration, factor float64, max time.Duration) time.Duration {
+	per = time.Duration(float64(per) * factor)
+	if per > max {
+		per = max
 	}
+	return per
 }
 
 // FaultSpec injects probabilistic faults into the real-UDP backend for
@@ -326,11 +352,14 @@ type FaultSpec struct {
 
 func (f FaultSpec) active() bool { return f.LossRate > 0 || f.DupRate > 0 }
 
-// faultInjector is the seeded RNG behind FaultSpec decisions.
+// faultInjector is the seeded RNG behind FaultSpec decisions. The
+// stream is a splitmix64 counter generator advanced with one atomic
+// add, so concurrent device workers draw decisions without sharing a
+// lock (and without touching the global math/rand source); for a fixed
+// seed the serial decision sequence is reproducible.
 type faultInjector struct {
-	mu   sync.Mutex
-	rng  *rand.Rand
-	spec FaultSpec
+	state atomic.Uint64
+	spec  FaultSpec
 }
 
 func newFaultInjector(spec FaultSpec) *faultInjector {
@@ -341,7 +370,18 @@ func newFaultInjector(spec FaultSpec) *faultInjector {
 	if seed == 0 {
 		seed = 1
 	}
-	return &faultInjector{rng: rand.New(rand.NewSource(seed)), spec: spec}
+	f := &faultInjector{spec: spec}
+	f.state.Store(uint64(seed))
+	return f
+}
+
+// next draws a uniform value in [0, 1).
+func (f *faultInjector) next() float64 {
+	z := f.state.Add(0x9E3779B97F4A7C15) // splitmix64
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
 }
 
 // drop decides whether to drop one datagram.
@@ -349,9 +389,7 @@ func (f *faultInjector) drop() bool {
 	if f == nil {
 		return false
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.rng.Float64() < f.spec.LossRate
+	return f.next() < f.spec.LossRate
 }
 
 // dup decides whether to duplicate one datagram.
@@ -359,7 +397,5 @@ func (f *faultInjector) dup() bool {
 	if f == nil {
 		return false
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.rng.Float64() < f.spec.DupRate
+	return f.next() < f.spec.DupRate
 }

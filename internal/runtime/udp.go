@@ -444,12 +444,17 @@ func (t hostTransport) Send(msg []byte) error {
 }
 
 func (t hostTransport) Recv(timeout time.Duration) ([]byte, error) {
+	return t.RecvBuf(make([]byte, 65536), timeout)
+}
+
+// RecvBuf receives one datagram into the caller's buffer (the
+// allocation-free path; see BufRecver).
+func (t hostTransport) RecvBuf(buf []byte, timeout time.Duration) ([]byte, error) {
 	if timeout > 0 {
 		if err := t.h.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
 			return nil, err
 		}
 	}
-	buf := make([]byte, 65536)
 	n, _, err := t.h.conn.ReadFromUDP(buf)
 	if err != nil {
 		return nil, err
@@ -457,19 +462,37 @@ func (t hostTransport) Recv(timeout time.Duration) ([]byte, error) {
 	return buf[:n], nil
 }
 
+// SendBatch bursts several datagrams to the device in one writer
+// pass: one deadline-free loop over the socket, amortizing the
+// per-send interface dispatch of the retransmission sweep.
+func (t hostTransport) SendBatch(msgs [][]byte) error {
+	for _, m := range msgs {
+		if _, err := t.h.conn.WriteToUDP(m, t.h.device); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (t hostTransport) Now() time.Duration { return time.Since(t.h.start) }
 
 // Send transmits a packed NetCL message to the device, unreliably.
 func (h *HostConn) Send(msg []byte) error { return hostTransport{h}.Send(msg) }
 
-// SendMessage packs and sends in one call.
+// SendMessage packs (into a pooled buffer) and sends in one call.
 func (h *HostConn) SendMessage(spec *MessageSpec, m Message, args [][]uint64) error {
-	hdr := m.Header()
-	buf, err := Pack(spec, hdr, args)
-	if err != nil {
-		return err
+	return SendTo(h, spec, m, args)
+}
+
+// NewChannel opens a pipelined sliding-window channel over this
+// connection's socket (see Channel). A zero cfg.Reliability inherits
+// the connection's reliability knobs. The channel and the stop-and-
+// wait methods share the socket — use one or the other, not both.
+func (h *HostConn) NewChannel(cfg ChannelConfig) *Channel {
+	if cfg.Reliability == (ReliabilityConfig{}) {
+		cfg.Reliability = h.rel.Config()
 	}
-	return h.Send(buf)
+	return NewChannel(hostTransport{h}, cfg)
 }
 
 // SendReliable transmits msg with an ack request, retransmitting until

@@ -1,0 +1,74 @@
+package runtime
+
+import (
+	"sync"
+
+	"netcl/internal/metrics"
+)
+
+// FlightWindow is the in-flight cap shared by multi-goroutine
+// submitters: where Channel pumps its own window from one owner
+// goroutine, a FlightWindow lets many producers bound their collective
+// outstanding work with blocking Acquire/Release (the load generator's
+// Window knob). Occupancy and peak ride the same metrics gauges the
+// Channel publishes.
+type FlightWindow struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int
+	used int
+
+	gauge *metrics.Gauge
+}
+
+// NewFlightWindow builds a window admitting up to n concurrent
+// holders; n <= 0 makes the window unbounded (Acquire never blocks),
+// so a zero knob preserves open-throttle behavior. The gauge may be
+// nil.
+func NewFlightWindow(n int, gauge *metrics.Gauge) *FlightWindow {
+	if gauge == nil {
+		gauge = &metrics.Gauge{}
+	}
+	w := &FlightWindow{cap: n, gauge: gauge}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Acquire blocks until a slot is free and takes it. Unbounded windows
+// skip the accounting entirely so an open-throttle hot path pays
+// nothing.
+func (w *FlightWindow) Acquire() {
+	if w.cap <= 0 {
+		return
+	}
+	w.mu.Lock()
+	for w.used >= w.cap {
+		w.cond.Wait()
+	}
+	w.used++
+	w.mu.Unlock()
+	w.gauge.Add(1)
+}
+
+// Release frees a slot. Safe from completion callbacks on any
+// goroutine.
+func (w *FlightWindow) Release() {
+	if w.cap <= 0 {
+		return
+	}
+	w.mu.Lock()
+	w.used--
+	w.cond.Signal()
+	w.mu.Unlock()
+	w.gauge.Add(-1)
+}
+
+// Occupancy returns the current holder count.
+func (w *FlightWindow) Occupancy() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.used
+}
+
+// Peak returns the highest occupancy observed by the gauge.
+func (w *FlightWindow) Peak() int { return int(w.gauge.Peak()) }

@@ -36,11 +36,17 @@ type Seq struct {
 	Flags uint8
 }
 
-// Append serializes the trailer after msg.
+// Append serializes the trailer after msg into a fresh buffer.
 func (s Seq) Append(msg []byte) []byte {
-	out := make([]byte, 0, len(msg)+SeqBytes)
-	out = append(out, msg...)
-	return append(out,
+	return s.AppendTo(append(make([]byte, 0, len(msg)+SeqBytes), msg...))
+}
+
+// AppendTo serializes the trailer in place at the end of msg, growing
+// it like the append builtin: no allocation when msg has SeqBytes of
+// spare capacity. The zero-alloc send path pairs it with PackAppend
+// over pooled buffers.
+func (s Seq) AppendTo(msg []byte) []byte {
+	return append(msg,
 		SeqMagic0, SeqMagic1, SeqVersion, s.Flags,
 		byte(s.Seq>>24), byte(s.Seq>>16), byte(s.Seq>>8), byte(s.Seq),
 	)
