@@ -6,11 +6,13 @@
 # hot-path measurement, bench-reliability the goodput-under-loss one,
 # bench-loadgen the shard-count sweep of the flow-parallel data plane,
 # bench-host the window sweep of the pipelined host channel plus the
-# send-path allocation check.
+# send-path allocation check, bench-ctrl the transactional control
+# plane (batched vs single-op CRUD, plus data-path p99 under a
+# control-plane storm).
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race bench bench-reliability bench-loadgen bench-host examples clean
+.PHONY: all tier1 tier2 race bench bench-reliability bench-loadgen bench-host bench-ctrl examples clean
 
 all: tier1
 
@@ -36,6 +38,9 @@ bench-host:
 	$(GO) test -run xxx -bench BenchmarkHostSendPath -benchmem .
 	$(GO) run ./cmd/nclbench -hostpath -out BENCH_hostpath.json
 
+bench-ctrl:
+	$(GO) run ./cmd/nclbench -ctrl -out BENCH_ctrl.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/allreduce
@@ -43,4 +48,4 @@ examples:
 	$(GO) run ./examples/paxos
 
 clean:
-	rm -f BENCH_reliability.json BENCH_interp.json BENCH_loadgen.json BENCH_hostpath.json
+	rm -f BENCH_reliability.json BENCH_interp.json BENCH_loadgen.json BENCH_hostpath.json BENCH_ctrl.json

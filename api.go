@@ -139,12 +139,28 @@ func NewSwitch(prog *p4.Program) *Switch { return bmv2.New(prog) }
 
 // Control plane and managed memory (requirement R6).
 type (
-	// ControlPlane is the device control-plane surface (P4Runtime-like).
+	// ControlPlane is the device control-plane surface (P4Runtime-like):
+	// register reads plus transactional write batches.
 	ControlPlane = p4rt.Client
+	// WriteBatch groups control-plane mutations into one all-or-nothing
+	// transaction: a packet observes the whole batch or none of it.
+	WriteBatch = p4rt.WriteBatch
+	// WriteResult reports per-op outcomes of a committed batch.
+	WriteResult = p4rt.WriteResult
+	// BatchError names the op that failed a Write; the batch had no
+	// effect.
+	BatchError = p4rt.BatchError
 	// DeviceConnection mirrors ncl::device_connection: _managed_
 	// memory access by NetCL-level names.
 	DeviceConnection = runtime.DeviceConnection
+	// ManagedTxn batches managed-memory mutations (register writes,
+	// lookup inserts/deletes) into one transactional commit with
+	// write-combining. Created with DeviceConnection.Txn.
+	ManagedTxn = runtime.ManagedTxn
 )
+
+// NewWriteBatch returns an empty control-plane transaction.
+func NewWriteBatch() *WriteBatch { return p4rt.NewWriteBatch() }
 
 // DirectControlPlane binds a control plane to an in-process switch.
 func DirectControlPlane(sw *Switch) ControlPlane { return &p4rt.Direct{SW: sw} }

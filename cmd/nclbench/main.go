@@ -25,6 +25,13 @@
 // time) and probes send-path allocations:
 //
 //	nclbench -hostpath -out BENCH_hostpath.json
+//
+// With -ctrl it benchmarks the transactional control plane — batched
+// write throughput against single-op CRUD on a 100k-entry table
+// (in-process and over TCP), and data-path p99 while the control plane
+// storms:
+//
+//	nclbench -ctrl -out BENCH_ctrl.json
 package main
 
 import (
@@ -42,6 +49,7 @@ func main() {
 		interp      = flag.Bool("interp", false, "benchmark the interpreter hot path instead of the paper report")
 		loadgen     = flag.Bool("loadgen", false, "sweep the flow-sharded data plane over shard counts")
 		hostpath    = flag.Bool("hostpath", false, "sweep the pipelined host channel over window sizes")
+		ctrl        = flag.Bool("ctrl", false, "benchmark the transactional control plane")
 		out         = flag.String("out", "", "output JSON path (default BENCH_<mode>.json)")
 		workers     = flag.Int("workers", 4, "reliability: AGG workers")
 		chunks      = flag.Int("chunks", 48, "reliability: chunks per worker")
@@ -49,8 +57,23 @@ func main() {
 		pkts        = flag.Int("pkts", 20000, "interp: packets per app per engine")
 		flowPkts    = flag.Int("flowpkts", 256, "loadgen: packets per flow")
 		ops         = flag.Int("ops", 512, "hostpath: CALC calls per window size")
+		updates     = flag.Int("updates", 4000, "ctrl: CRUD ops per (transport, mode) point")
 	)
 	flag.Parse()
+
+	if *ctrl {
+		if *out == "" {
+			*out = "BENCH_ctrl.json"
+		}
+		rep, err := netcl.BenchCtrl(*updates)
+		check(err)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		check(err)
+		check(os.WriteFile(*out, append(data, '\n'), 0o644))
+		fmt.Print(netcl.FormatCtrl(rep))
+		fmt.Println("wrote", *out)
+		return
+	}
 
 	if *hostpath {
 		if *out == "" {

@@ -1,0 +1,92 @@
+package netcl
+
+import (
+	"fmt"
+	gort "runtime"
+	"strings"
+
+	"netcl/internal/apps"
+)
+
+// Control-plane benchmark: transactional write batches against
+// single-op CRUD on a 100k-entry table, over the in-process client and
+// the TCP wire, plus data-path p99 during a control-plane storm.
+// Emitted as BENCH_ctrl.json by `nclbench -ctrl`.
+
+// CtrlPoint is one (transport, mode) throughput measurement.
+type CtrlPoint = apps.CtrlPoint
+
+// CtrlStorm is the storm-phase measurement (data-path latency under
+// control-plane churn).
+type CtrlStorm = apps.CtrlStorm
+
+// CtrlReport is the control-plane benchmark.
+type CtrlReport struct {
+	// GOMAXPROCS/NumCPU record the machine: on one CPU the storm writer
+	// and the data path time-share a core, so storm p99 includes
+	// scheduling delay, not just snapshot-publication cost.
+	GOMAXPROCS   int          `json:"gomaxprocs"`
+	NumCPU       int          `json:"num_cpu"`
+	TableEntries int          `json:"table_entries"`
+	BatchSize    int          `json:"batch_size"`
+	Points       []*CtrlPoint `json:"points"`
+	// SpeedupDirect/SpeedupTCP are batched over single-op updates/sec
+	// per transport.
+	SpeedupDirect float64    `json:"speedup_direct"`
+	SpeedupTCP    float64    `json:"speedup_tcp"`
+	Storm         *CtrlStorm `json:"storm"`
+}
+
+// BenchCtrl measures control-plane update throughput (updates ops per
+// mode, 0 = default) and data-path latency under churn.
+func BenchCtrl(updates int) (*CtrlReport, error) {
+	res, err := apps.RunCtrl(apps.CtrlConfig{Updates: updates})
+	if err != nil {
+		return nil, err
+	}
+	rep := &CtrlReport{
+		GOMAXPROCS: gort.GOMAXPROCS(0), NumCPU: gort.NumCPU(),
+		TableEntries: res.TableEntries, BatchSize: res.BatchSize,
+		Points: res.Points, Storm: res.Storm,
+	}
+	rate := map[string]float64{}
+	for _, p := range res.Points {
+		rate[p.Transport+"/"+p.Mode] = p.OpsPerSec
+	}
+	if s := rate["direct/single"]; s > 0 {
+		rep.SpeedupDirect = rate["direct/batched"] / s
+	}
+	if s := rate["tcp/single"]; s > 0 {
+		rep.SpeedupTCP = rate["tcp/batched"] / s
+	}
+	return rep, nil
+}
+
+// FormatCtrl renders the benchmark as text.
+func FormatCtrl(rep *CtrlReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CTRL — transactional control plane, %d-entry exact table, batch=%d (GOMAXPROCS=%d, NumCPU=%d)\n",
+		rep.TableEntries, rep.BatchSize, rep.GOMAXPROCS, rep.NumCPU)
+	fmt.Fprintf(&b, "%-9s %-9s %10s %12s %9s\n", "TRANSPORT", "MODE", "OPS", "UPDATES/SEC", "SPEEDUP")
+	for _, p := range rep.Points {
+		speed := ""
+		if p.Mode == "batched" {
+			s := rep.SpeedupDirect
+			if p.Transport == "tcp" {
+				s = rep.SpeedupTCP
+			}
+			speed = fmt.Sprintf("%.1fx", s)
+		}
+		fmt.Fprintf(&b, "%-9s %-9s %10d %12.0f %9s\n", p.Transport, p.Mode, p.Ops, p.OpsPerSec, speed)
+	}
+	if st := rep.Storm; st != nil {
+		fmt.Fprintf(&b, "storm: %d batches × %d ops at %.0f updates/sec over TCP\n",
+			st.Batches, st.OpsPerBatch, st.UpdatesPerSec)
+		fmt.Fprintf(&b, "data path: quiet p50/p99 = %.2f/%.2f µs, under storm = %.2f/%.2f µs (%d pkts)\n",
+			st.QuietP50Us, st.QuietP99Us, st.StormP50Us, st.StormP99Us, st.Packets)
+	}
+	if rep.NumCPU == 1 {
+		b.WriteString("note: single-CPU machine — the storm writer and data path time-share one core, so storm p99 includes scheduling delay\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,317 @@
+package apps
+
+import (
+	"fmt"
+	gort "runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"netcl/internal/bmv2"
+	"netcl/internal/p4"
+	"netcl/internal/p4rt"
+)
+
+// Control-plane benchmark (`nclbench -ctrl`): transactional batch
+// throughput against single-op CRUD on a large table, over both the
+// in-process client and the TCP wire, plus a "storm" phase measuring
+// data-path latency while the control plane churns. The interesting
+// properties under test: batch commits amortize the per-write publish
+// (and, over TCP, the round trip), and O(delta) snapshots keep a
+// 100k-entry table updatable without rebuild stalls on the packet
+// path.
+
+// CtrlConfig parameterizes the control-plane benchmark.
+type CtrlConfig struct {
+	TableEntries int // preloaded exact-table size
+	Updates      int // CRUD ops measured per (transport, mode) point
+	BatchSize    int // ops per batch in batched mode
+	Trials       int // timed repetitions per point; the median is kept
+	StormBatches int // batches committed during the storm phase
+	StormPackets int // data-path packets processed for baseline p99
+}
+
+// CtrlPoint is one (transport, mode) throughput measurement.
+type CtrlPoint struct {
+	Transport string  `json:"transport"` // "direct" | "tcp"
+	Mode      string  `json:"mode"`      // "single" | "batched"
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// CtrlStorm reports data-path latency while the control plane churns:
+// a TCP client commits batched updates as fast as it can while the
+// data path processes packets against the same table.
+type CtrlStorm struct {
+	Batches       int     `json:"batches"`
+	OpsPerBatch   int     `json:"ops_per_batch"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	Packets       int     `json:"packets"`
+	QuietP50Us    float64 `json:"quiet_p50_us"` // data path alone
+	QuietP99Us    float64 `json:"quiet_p99_us"`
+	StormP50Us    float64 `json:"storm_p50_us"` // data path under churn
+	StormP99Us    float64 `json:"storm_p99_us"`
+}
+
+// CtrlResult is the full control-plane benchmark.
+type CtrlResult struct {
+	TableEntries int          `json:"table_entries"`
+	BatchSize    int          `json:"batch_size"`
+	Points       []*CtrlPoint `json:"points"`
+	Storm        *CtrlStorm   `json:"storm"`
+}
+
+// ctrlProg is a one-table program: an exact match on a 32-bit key,
+// preloaded with n entries, applied to every packet.
+func ctrlProg(n int) *p4.Program {
+	ents := make([]*p4.Entry, n)
+	for i := range ents {
+		ents[i] = ctrlEntry(uint64(i))
+	}
+	pp := &p4.Program{Name: "ctrl", Target: p4.TargetTNA}
+	pp.Headers = []*p4.HeaderDecl{{Name: "h", Fields: []*p4.Field{
+		{Name: "k", Bits: 32},
+		{Name: "out", Bits: 32},
+	}}}
+	pp.Metadata = []*p4.Field{
+		{Name: "egress_port", Bits: 16}, {Name: "mcast_grp", Bits: 16}, {Name: "drop_flag", Bits: 1},
+	}
+	pp.Parser = &p4.Parser{Name: "P", States: []*p4.ParserState{
+		{Name: "start", Extracts: []string{"h"}, Next: "accept"},
+	}}
+	ctl := &p4.Control{Name: "In"}
+	ctl.Actions = []*p4.ActionDecl{
+		{Name: "set_out", Params: []*p4.Field{{Name: "v", Bits: 32}},
+			Body: []p4.Stmt{&p4.Assign{LHS: p4.FR("hdr", "h", "out"), RHS: p4.FR("v")}}},
+		{Name: "miss",
+			Body: []p4.Stmt{&p4.Assign{LHS: p4.FR("hdr", "h", "out"), RHS: &p4.IntLit{Val: 0xFFFF_FFFF, Bits: 32}}}},
+	}
+	ctl.Tables = []*p4.Table{
+		{Name: "fwd", Keys: []*p4.TableKey{{Expr: p4.FR("hdr", "h", "k"), Match: p4.MatchExact}},
+			Actions: []string{"set_out", "miss"}, Default: &p4.ActionCall{Name: "miss"}, Entries: ents},
+	}
+	ctl.Apply = []p4.Stmt{
+		&p4.ApplyTable{Table: "fwd"},
+		&p4.Assign{LHS: p4.FR("meta", "egress_port"), RHS: &p4.IntLit{Val: 1, Bits: 16}},
+	}
+	pp.Ingress = ctl
+	return pp
+}
+
+func ctrlEntry(key uint64) *p4.Entry {
+	return &p4.Entry{
+		Keys:   []p4.KeyValue{{Value: key, PrefixLen: -1}},
+		Action: &p4.ActionCall{Name: "set_out", Args: []uint64{key}},
+	}
+}
+
+// ctrlCRUDSingle runs ops alternating insert/delete one call at a
+// time; each call is its own transaction (and, over TCP, its own round
+// trip).
+func ctrlCRUDSingle(cl p4rt.Client, base uint64, ops int) error {
+	for i := 0; i < ops; i++ {
+		key := base + uint64(i/2)
+		if i%2 == 0 {
+			if err := cl.InsertEntry("fwd", ctrlEntry(key)); err != nil {
+				return err
+			}
+		} else if _, err := cl.DeleteEntry("fwd", key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ctrlCRUDBatched runs the same op stream chunked into transactions of
+// batchSize ops.
+func ctrlCRUDBatched(cl p4rt.Client, base uint64, ops, batchSize int) error {
+	b := p4rt.NewWriteBatch()
+	for i := 0; i < ops; i++ {
+		key := base + uint64(i/2)
+		if i%2 == 0 {
+			b.Insert("fwd", ctrlEntry(key))
+		} else {
+			b.Delete("fwd", key)
+		}
+		if b.Len() >= batchSize {
+			if _, err := cl.Write(b); err != nil {
+				return err
+			}
+			b = p4rt.NewWriteBatch()
+		}
+	}
+	if b.Len() > 0 {
+		if _, err := cl.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ctrlPoints measures the single and batched mode of one transport as
+// interleaved trial pairs: machine noise (a shared box, a background
+// GC) then biases both modes alike instead of whichever mode it
+// happened to overlap, so the speedup between the two medians is
+// stable run to run. The op stream is insert/delete pairs over a
+// private key range, so repeating it is idempotent; the median trial
+// damps scheduler and collector noise on small machines.
+func ctrlPoints(transport string, ops, trials int, single, batched func() error) (*CtrlPoint, *CtrlPoint, error) {
+	secs := map[string][]float64{}
+	runs := []struct {
+		mode string
+		run  func() error
+	}{{"single", single}, {"batched", batched}}
+	for t := 0; t < trials; t++ {
+		for _, r := range runs {
+			// Start each trial from a collected heap: path-copied snapshot
+			// garbage from the previous one otherwise bleeds GC time into
+			// this measurement.
+			gort.GC()
+			start := time.Now()
+			if err := r.run(); err != nil {
+				return nil, nil, fmt.Errorf("ctrl %s/%s: %w", transport, r.mode, err)
+			}
+			secs[r.mode] = append(secs[r.mode], time.Since(start).Seconds())
+		}
+	}
+	point := func(mode string) *CtrlPoint {
+		s := secs[mode]
+		sort.Float64s(s)
+		med := s[len(s)/2]
+		return &CtrlPoint{
+			Transport: transport, Mode: mode, Ops: ops,
+			Seconds: med, OpsPerSec: float64(ops) / med,
+		}
+	}
+	return point("single"), point("batched"), nil
+}
+
+// RunCtrl executes the control-plane benchmark.
+func RunCtrl(cfg CtrlConfig) (*CtrlResult, error) {
+	if cfg.TableEntries <= 0 {
+		cfg.TableEntries = 100_000
+	}
+	if cfg.Updates <= 0 {
+		cfg.Updates = 4000
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 5
+	}
+	if cfg.StormBatches <= 0 {
+		cfg.StormBatches = 200
+	}
+	if cfg.StormPackets <= 0 {
+		cfg.StormPackets = 20_000
+	}
+	// The 100k-entry table keeps tens of MB live; at the default GOGC
+	// the collector re-marks that heap every few hundred batches and
+	// eats up to a third of the core this benchmark runs on. Relax the
+	// GC for the measurement (recorded in the report) so the numbers
+	// reflect control-plane cost, not collector cadence.
+	prevGC := debug.SetGCPercent(600)
+	defer debug.SetGCPercent(prevGC)
+
+	sw := bmv2.New(ctrlProg(cfg.TableEntries))
+	if !sw.Compiled() {
+		return nil, fmt.Errorf("ctrl: program did not compile: %v", sw.CompileErr())
+	}
+	direct := &p4rt.Direct{SW: sw}
+	srv, err := p4rt.Serve("127.0.0.1:0", direct)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	tcp, err := p4rt.Dial(srv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer tcp.Close()
+
+	res := &CtrlResult{TableEntries: cfg.TableEntries, BatchSize: cfg.BatchSize}
+	// Fresh key ranges per point so inserts never collide across modes.
+	base := uint64(cfg.TableEntries)
+	clients := []struct {
+		name string
+		cl   p4rt.Client
+	}{{"direct", direct}, {"tcp", tcp}}
+	for _, c := range clients {
+		cl := c.cl
+		bs, bb := base, base+uint64(cfg.Updates)
+		ps, pb, err := ctrlPoints(c.name, cfg.Updates, cfg.Trials,
+			func() error { return ctrlCRUDSingle(cl, bs, cfg.Updates) },
+			func() error { return ctrlCRUDBatched(cl, bb, cfg.Updates, cfg.BatchSize) })
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, ps, pb)
+		base += 2 * uint64(cfg.Updates)
+	}
+
+	storm, err := runCtrlStorm(sw, tcp, cfg, base)
+	if err != nil {
+		return nil, err
+	}
+	res.Storm = storm
+	return res, nil
+}
+
+// runCtrlStorm measures the data path quiet, then again while a TCP
+// control client commits batched updates continuously.
+func runCtrlStorm(sw *bmv2.Switch, cl p4rt.Client, cfg CtrlConfig, base uint64) (*CtrlStorm, error) {
+	pkt := []byte{0, 0, 0, 1, 0, 0, 0, 0} // key 1: always resident
+	process := func(h *Hist) error {
+		t0 := time.Now()
+		if _, err := sw.Process(pkt, 0); err != nil {
+			return err
+		}
+		h.Record(uint64(time.Since(t0).Nanoseconds()))
+		return nil
+	}
+
+	var quiet Hist
+	for i := 0; i < cfg.StormPackets; i++ {
+		if err := process(&quiet); err != nil {
+			return nil, err
+		}
+	}
+
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		ops := cfg.StormBatches * cfg.BatchSize
+		done <- ctrlCRUDBatched(cl, base, ops, cfg.BatchSize)
+	}()
+	var storm Hist
+	var writerErr error
+	stormed := 0
+loop:
+	for {
+		select {
+		case writerErr = <-done:
+			break loop
+		default:
+		}
+		if err := process(&storm); err != nil {
+			return nil, err
+		}
+		stormed++
+	}
+	stormSecs := time.Since(start).Seconds()
+	if writerErr != nil {
+		return nil, fmt.Errorf("ctrl storm writer: %w", writerErr)
+	}
+	totalOps := cfg.StormBatches * cfg.BatchSize
+	return &CtrlStorm{
+		Batches: cfg.StormBatches, OpsPerBatch: cfg.BatchSize,
+		UpdatesPerSec: float64(totalOps) / stormSecs,
+		Packets:       stormed,
+		QuietP50Us:    float64(quiet.Quantile(0.50)) / 1e3,
+		QuietP99Us:    float64(quiet.Quantile(0.99)) / 1e3,
+		StormP50Us:    float64(storm.Quantile(0.50)) / 1e3,
+		StormP99Us:    float64(storm.Quantile(0.99)) / 1e3,
+	}, nil
+}

@@ -426,29 +426,27 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 		valReg = func(w int) string { return fmt.Sprintf("vals_%02d", w) }
 		validReg = "valid_bit"
 	}
+	// The whole cache installs as one transaction: packets start seeing
+	// cached keys only when every index entry and value word is in place.
+	populate := p4rt.NewWriteBatch()
 	for k := 0; k < cfg.CachedKeys && k < cfg.TotalKeys; k++ {
 		key := uint64(k + 1)
 		idx := uint64(k)
-		if err := cp.InsertEntry("lu_Index", &p4.Entry{
+		populate.Insert("lu_Index", &p4.Entry{
 			Keys:   []p4.KeyValue{{Value: key, PrefixLen: -1}},
 			Action: &p4.ActionCall{Name: idxAction, Args: []uint64{idx}},
-		}); err != nil {
-			return nil, err
-		}
-		if err := cp.InsertEntry("lu_Share", &p4.Entry{
+		})
+		populate.Insert("lu_Share", &p4.Entry{
 			Keys:   []p4.KeyValue{{Value: key, PrefixLen: -1}},
 			Action: &p4.ActionCall{Name: shareAction, Args: []uint64{(1 << uint(words)) - 1}},
-		}); err != nil {
-			return nil, err
-		}
+		})
 		for w := 0; w < words; w++ {
-			if err := cp.RegisterWrite(valReg(w), int(idx), valueOf(key, w)); err != nil {
-				return nil, err
-			}
+			populate.RegisterWrite(valReg(w), int(idx), valueOf(key, w))
 		}
-		if err := cp.RegisterWrite(validReg, int(idx), 1); err != nil {
-			return nil, err
-		}
+		populate.RegisterWrite(validReg, int(idx), 1)
+	}
+	if _, err := cp.Write(populate); err != nil {
+		return nil, err
 	}
 
 	// KVS server: answer misses.

@@ -99,38 +99,32 @@ func NewInterpWorkload(appName string, device uint16, packets int) (*InterpWorkl
 func (w *InterpWorkload) Switch(engine bmv2.Engine) (*bmv2.Switch, error) {
 	sw := bmv2.New(w.Prog)
 	sw.SetEngine(engine)
+	b := bmv2.NewWriteBatch()
 	for id := 1; id <= 4; id++ {
-		if err := sw.InsertEntry("netcl_fwd", &p4.Entry{
+		b.Insert("netcl_fwd", &p4.Entry{
 			Keys:   []p4.KeyValue{{Value: uint64(id), PrefixLen: -1}},
 			Action: &p4.ActionCall{Name: "set_port", Args: []uint64{uint64(id)}},
-		}); err != nil {
-			return nil, err
-		}
+		})
 	}
 	if w.App == "CACHE" {
 		for k := 0; k < 4; k++ {
 			key, idx := uint64(k+1), uint64(k)
-			if err := sw.InsertEntry("lu_Index", &p4.Entry{
+			b.Insert("lu_Index", &p4.Entry{
 				Keys:   []p4.KeyValue{{Value: key, PrefixLen: -1}},
 				Action: &p4.ActionCall{Name: "lu_Index_hit", Args: []uint64{idx}},
-			}); err != nil {
-				return nil, err
-			}
-			if err := sw.InsertEntry("lu_Share", &p4.Entry{
+			})
+			b.Insert("lu_Share", &p4.Entry{
 				Keys:   []p4.KeyValue{{Value: key, PrefixLen: -1}},
 				Action: &p4.ActionCall{Name: "lu_Share_hit", Args: []uint64{(1 << CacheWords) - 1}},
-			}); err != nil {
-				return nil, err
-			}
+			})
 			for word := 0; word < CacheWords; word++ {
-				if err := sw.RegisterWrite(fmt.Sprintf("reg_Vals__%d", word), int(idx), key*100+uint64(word)); err != nil {
-					return nil, err
-				}
+				b.RegisterWrite(fmt.Sprintf("reg_Vals__%d", word), int(idx), key*100+uint64(word))
 			}
-			if err := sw.RegisterWrite("reg_Valid", int(idx), 1); err != nil {
-				return nil, err
-			}
+			b.RegisterWrite("reg_Valid", int(idx), 1)
 		}
+	}
+	if _, err := sw.Write(b); err != nil {
+		return nil, err
 	}
 	return sw, nil
 }

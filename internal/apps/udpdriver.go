@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"netcl/internal/p4rt"
 	"netcl/internal/passes"
 	"netcl/internal/runtime"
 )
@@ -86,7 +87,9 @@ func RunAggUDP(cfg AggUDPConfig) (*AggResult, error) {
 		return nil, err
 	}
 	if cfg.Baseline {
-		if err := dev.SetDefaultAction("cfg_workers", "set_target", []uint64{uint64(cfg.Workers - 1)}); err != nil {
+		cfgBatch := p4rt.NewWriteBatch().
+			SetDefault("cfg_workers", "set_target", []uint64{uint64(cfg.Workers - 1)})
+		if _, err := dev.Write(cfgBatch); err != nil {
 			dev.Close()
 			return nil, err
 		}

@@ -17,6 +17,7 @@ package bmv2
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"netcl/internal/p4"
 )
@@ -124,10 +125,15 @@ type cprog struct {
 	// tablesByName maps a table name to every compiled table sharing
 	// that entry list (s.entries is keyed by name across controls).
 	tablesByName map[string][]*ctable
-	portSlot     int
-	mcastSlot    int
-	dropSlot     int
-	pool         sync.Pool
+	// tabs indexes every compiled table by its gslot; gen holds the
+	// published rule-set generation — one snapshot per table — swapped
+	// as a whole so multi-table batches commit atomically (table.go).
+	tabs      []*ctable
+	gen       atomic.Pointer[generation]
+	portSlot  int
+	mcastSlot int
+	dropSlot  int
+	pool      sync.Pool
 }
 
 // compiler carries compile-time state.
@@ -251,13 +257,13 @@ func compileProgram(s *Switch) (*cprog, error) {
 		return nil, err
 	}
 
-	// Eager initial matcher build (static entries are already in
+	// Eager initial generation (static entries are already in
 	// s.entries; action instances resolved above).
-	for _, tbs := range p.tablesByName {
-		for _, tb := range tbs {
-			tb.rebuild()
-		}
+	snaps := make([]*tsnap, len(p.tabs))
+	for i, tb := range p.tabs {
+		snaps[i] = tb.build()
 	}
+	p.gen.Store(&generation{snaps: snaps})
 
 	p.pool.New = func() any {
 		return &machine{

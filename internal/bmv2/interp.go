@@ -53,15 +53,17 @@ const (
 // state (registers, table entries, multicast groups).
 //
 // Concurrency: on the compiled engine, control-plane table mutations
-// (InsertEntry/DeleteEntry/ClearEntries/SetDefaultAction/
-// SortEntriesByPriority) are safe to call concurrently with packet
-// processing — they serialize on the writer mutex and publish
-// immutable matcher snapshots the data path reads lock-free (RCU, see
-// table.go). Register cells are plain memory: concurrent packet
-// processing is safe only when packets touching the same cell run on
-// the same goroutine (the shard-by-flow invariant; see Sharded), and
-// control-plane RegisterRead/RegisterWrite against in-flight packets
-// must quiesce the data path (Sharded does). The reference engine is
+// (Write batches and the single-op wrappers InsertEntry/DeleteEntry/
+// ClearEntries/SetDefaultAction/SortEntriesByPriority) are safe to
+// call concurrently with packet processing — they serialize on the
+// writer mutex and publish immutable rule-set generations the data
+// path reads lock-free (RCU, see table.go and batch.go); a packet
+// pins one generation, so a batch is observed all-or-nothing.
+// Register cells are plain memory: concurrent packet processing is
+// safe only when packets touching the same cell run on the same
+// goroutine (the shard-by-flow invariant; see Sharded), and
+// control-plane register access against in-flight packets must
+// quiesce the data path (Sharded does). The reference engine is
 // single-goroutine only.
 type Switch struct {
 	Prog *p4.Program
@@ -72,7 +74,7 @@ type Switch struct {
 	mu sync.Mutex
 
 	regs    map[string][]uint64
-	entries map[string][]*p4.Entry
+	entries map[string]*entrySet
 	fields  map[string]int // field path -> bits (headers, metadata, locals, params)
 	rng     uint64         // updated via CAS: the random extern must stay race-free under sharding
 
@@ -98,7 +100,7 @@ func New(prog *p4.Program) *Switch {
 	s := &Switch{
 		Prog:    prog,
 		regs:    map[string][]uint64{},
-		entries: map[string][]*p4.Entry{},
+		entries: map[string]*entrySet{},
 		fields:  map[string]int{},
 		rng:     0x9E3779B97F4A7C15,
 	}
@@ -118,7 +120,14 @@ func New(prog *p4.Program) *Switch {
 			s.regs[r.Name] = cells
 		}
 		for _, t := range c.Tables {
-			s.entries[t.Name] = append([]*p4.Entry(nil), t.Entries...)
+			es := s.entries[t.Name]
+			if es == nil {
+				es = &entrySet{}
+				s.entries[t.Name] = es
+			}
+			for _, e := range t.Entries {
+				es.insert(e)
+			}
 		}
 		for _, l := range c.Locals {
 			s.fields[l.Name] = l.Bits
@@ -192,44 +201,32 @@ func (s *Switch) RegisterSize(name string) int {
 	return -1
 }
 
-// InsertEntry adds a runtime table entry. On the compiled engine the
-// new matcher snapshot is published atomically, so the call is safe
-// against in-flight packet processing.
+// InsertEntry adds a runtime table entry: a single-op batch, kept for
+// callers that don't need transactions.
 func (s *Switch) InsertEntry(table string, e *p4.Entry) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.entries[table]; !ok {
-		if s.findTable(table) == nil {
-			return fmt.Errorf("no table %q", table)
-		}
-	}
-	s.entries[table] = append(s.entries[table], e)
-	s.republishTables(table)
-	return nil
+	_, err := s.Write(NewWriteBatch().Insert(table, e))
+	return unwrapBatch(err)
 }
 
 // DeleteEntry removes entries whose key values equal the given tuple:
 // an entry is deleted only when every key value matches, so multi-key
-// tables are no longer mass-deleted by a first-key collision. Callers
-// passing a single value on single-key tables keep their behavior.
+// tables are no longer mass-deleted by a first-key collision. A
+// single-op batch, kept for callers that don't need transactions.
 func (s *Switch) DeleteEntry(table string, keyVals ...uint64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	es := s.entries[table]
-	var keep []*p4.Entry
-	removed := 0
-	for _, e := range es {
-		if entryKeysEqual(e, keyVals) {
-			removed++
-			continue
-		}
-		keep = append(keep, e)
+	res, err := s.Write(NewWriteBatch().Delete(table, keyVals...))
+	if err != nil {
+		return 0 // delete ops never fail a batch; defensive only
 	}
-	s.entries[table] = keep
-	if removed > 0 {
-		s.republishTables(table)
+	return res.Removed[0]
+}
+
+// unwrapBatch strips the op index off a single-op batch failure, so
+// deprecated wrappers keep returning their historical error text.
+func unwrapBatch(err error) error {
+	if be, ok := err.(*BatchError); ok {
+		return be.Err
 	}
-	return removed
+	return err
 }
 
 // entryKeysEqual reports whether the entry's key values equal the
@@ -250,41 +247,57 @@ func entryKeysEqual(e *p4.Entry, keyVals []uint64) bool {
 func (s *Switch) ClearEntries(table string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.entries[table] = nil
+	if es := s.entries[table]; es != nil {
+		*es = entrySet{}
+	}
 	s.republishTables(table)
 }
 
 // SetDefaultAction overrides a table's default action (the control
-// plane configures e.g. the AGG baseline's worker count this way).
+// plane configures e.g. the AGG baseline's worker count this way). A
+// single-op batch, kept for callers that don't need transactions.
 func (s *Switch) SetDefaultAction(table, action string, args []uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t := s.findTable(table)
-	if t == nil {
-		return fmt.Errorf("no table %q", table)
-	}
-	t.Default = &p4.ActionCall{Name: action, Args: args}
-	s.republishTables(table)
-	return nil
+	_, err := s.Write(NewWriteBatch().SetDefault(table, action, args))
+	return unwrapBatch(err)
 }
 
-// republishTables rebuilds and atomically publishes the matcher
-// snapshot of every compiled table sharing the name. Callers hold
+// republishTables fully rebuilds the snapshot of every compiled table
+// sharing the name and publishes one new generation. The O(table)
+// path, reserved for whole-table mutations (clear, sort); incremental
+// changes go through Write's O(delta) staging instead. Callers hold
 // s.mu (or run single-threaded at construction time).
 func (s *Switch) republishTables(table string) {
 	if s.prog == nil {
 		return
 	}
-	for _, tb := range s.prog.tablesByName[table] {
-		tb.rebuild()
+	tbs := s.prog.tablesByName[table]
+	if len(tbs) == 0 {
+		return
 	}
+	cur := s.prog.gen.Load()
+	snaps := append([]*tsnap(nil), cur.snaps...)
+	for _, tb := range tbs {
+		snaps[tb.gslot] = tb.build()
+	}
+	s.prog.gen.Store(&generation{snaps: snaps})
 }
 
-// Entries returns a copy of a table's current entries.
+// Entries returns a copy of a table's current entries (live entries
+// in insertion order).
 func (s *Switch) Entries(table string) []*p4.Entry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]*p4.Entry(nil), s.entries[table]...)
+	es := s.entries[table]
+	if es == nil {
+		return nil
+	}
+	out := make([]*p4.Entry, 0, es.live)
+	for _, e := range es.ents {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // nextRand steps the random-extern LCG with a CAS loop: single-
@@ -640,7 +653,10 @@ func (ex *exec) applyTable(c *p4.Control, name string) (bool, error) {
 	for _, k := range t.Keys {
 		keys = append(keys, ex.eval(k.Expr))
 	}
-	entries := ex.s.entries[name]
+	var entries []*p4.Entry
+	if es := ex.s.entries[name]; es != nil {
+		entries = es.ents
+	}
 	var best *p4.Entry
 	// "no match" is tracked explicitly rather than with a sentinel
 	// score: ternary/range priorities are subtracted from the score and
@@ -649,7 +665,7 @@ func (ex *exec) applyTable(c *p4.Control, name string) (bool, error) {
 	bestScore := 0
 	matched := false
 	for _, e := range entries {
-		if len(e.Keys) != len(keys) {
+		if e == nil || len(e.Keys) != len(keys) {
 			continue
 		}
 		ok := true
@@ -890,6 +906,10 @@ func (s *Switch) SortEntriesByPriority(table string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	es := s.entries[table]
-	sort.SliceStable(es, func(i, j int) bool { return es[i].Priority < es[j].Priority })
+	if es != nil {
+		es.compact() // drop tombstones so the sort sees only live entries
+		sort.SliceStable(es.ents, func(i, j int) bool { return es.ents[i].Priority < es.ents[j].Priority })
+		es.compact() // reindex byKey for the new order
+	}
 	s.republishTables(table)
 }

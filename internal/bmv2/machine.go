@@ -17,6 +17,7 @@ import (
 // machine is pooled per-packet execution state.
 type machine struct {
 	sw      *Switch
+	gen     *generation // rule-set generation pinned for this packet
 	frame   []val
 	valid   []bool
 	emitted []bool
@@ -46,6 +47,11 @@ func (m *machine) run(fns []stmtFn) error {
 func (p *cprog) getMachine() *machine {
 	m := p.pool.Get().(*machine)
 	m.sw = p.sw
+	// One atomic load pins the whole rule set for this packet: every
+	// table the packet applies reads the same generation, so a
+	// concurrently committed batch is either fully visible or not at
+	// all (the transactional consistency guarantee).
+	m.gen = p.gen.Load()
 	copy(m.frame, p.initFrame)
 	for i := range m.valid {
 		m.valid[i] = false
@@ -59,6 +65,7 @@ func (p *cprog) getMachine() *machine {
 
 func (p *cprog) putMachine(m *machine) {
 	m.payload = nil // do not retain the caller's packet buffer
+	m.gen = nil     // do not pin a retired generation in the pool
 	p.pool.Put(m)
 }
 

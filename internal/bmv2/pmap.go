@@ -1,0 +1,249 @@
+package bmv2
+
+// pmap.go is a persistent (path-copying) hash-array-mapped trie from
+// exact-match key tuples to compiled entries. It is the data structure
+// behind O(delta) control-plane updates: inserting or deleting one
+// entry in a published matcher snapshot copies only the O(log64 n)
+// nodes on the key's path and shares everything else with the previous
+// snapshot, so a 1-entry update into a million-entry table costs
+// microseconds instead of a full-table rebuild. Published roots are
+// immutable; every mutation returns a new root.
+//
+// Mutations carry an ownership token (the transient pattern): a node
+// created under the active token is private to the mutation batch and
+// edited in place, while nodes from published snapshots — owned by an
+// older token or none — are copied first. A batch of k updates then
+// copies each touched node once, not once per update, and a bulk
+// build() constructs the whole trie with no intermediate garbage.
+// Tokens are dropped when the root is published, freezing the nodes.
+
+import "math/bits"
+
+const (
+	pbits = 6  // branching factor 2^6 = 64
+	pmask = 63 // chunk mask
+)
+
+// powner is a mutation batch's identity. Must not be zero-sized: two
+// distinct tokens have to compare unequal by pointer.
+type powner struct{ _ byte }
+
+// pleaf binds one tuple to its compiled entry (embedded by value: one
+// allocation per insert, one fewer pointer chase per lookup). Leaves
+// whose hashes are fully equal (a true 64-bit collision) chain through
+// next. Leaves are immutable once linked into a root; chains are
+// rebuilt, never edited.
+type pleaf struct {
+	hash  uint64
+	tuple [maxExactKeys]uint64
+	ce    centry
+	next  *pleaf
+}
+
+// pchild is one slot of a node: an interior node or a leaf chain.
+type pchild struct {
+	n *pnode
+	l *pleaf
+}
+
+// pnode is an interior trie node: a 64-bit occupancy bitmap plus a
+// dense child array (popcount indexing).
+type pnode struct {
+	bitmap uint64
+	kids   []pchild
+	owner  *powner // mutation batch that may still edit this node
+}
+
+// phash mixes a key tuple into the 64-bit trie hash. Zero-padded
+// positions beyond the table's arity hash deterministically, so tuples
+// of any arity up to maxExactKeys share one code path.
+func phash(t [maxExactKeys]uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range t {
+		h = mix64(h ^ v)
+	}
+	return h
+}
+
+// pget returns the compiled entry bound to tuple, or nil.
+func pget(n *pnode, hash uint64, tuple [maxExactKeys]uint64) *centry {
+	shift := uint(0)
+	for n != nil {
+		bit := uint64(1) << ((hash >> shift) & pmask)
+		if n.bitmap&bit == 0 {
+			return nil
+		}
+		c := &n.kids[bits.OnesCount64(n.bitmap&(bit-1))]
+		if c.n != nil {
+			n = c.n
+			shift += pbits
+			continue
+		}
+		for l := c.l; l != nil; l = l.next {
+			if l.hash == hash && l.tuple == tuple {
+				return &l.ce
+			}
+		}
+		return nil
+	}
+	return nil
+}
+
+// psplit pushes two leaf chains with distinct hashes down until their
+// hash chunks diverge, building the intermediate single-child nodes.
+func psplit(a, b *pleaf, shift uint, o *powner) *pnode {
+	ai := (a.hash >> shift) & pmask
+	bi := (b.hash >> shift) & pmask
+	if ai == bi {
+		child := psplit(a, b, shift+pbits, o)
+		return &pnode{bitmap: 1 << ai, kids: []pchild{{n: child}}, owner: o}
+	}
+	n := &pnode{bitmap: 1<<ai | 1<<bi, owner: o}
+	if ai < bi {
+		n.kids = []pchild{{l: a}, {l: b}}
+	} else {
+		n.kids = []pchild{{l: b}, {l: a}}
+	}
+	return n
+}
+
+// kidsWith copies the child array with slot i replaced.
+func kidsWith(kids []pchild, i int, c pchild) []pchild {
+	out := make([]pchild, len(kids))
+	copy(out, kids)
+	out[i] = c
+	return out
+}
+
+// setKid replaces slot i, in place when n is owned by o.
+func setKid(n *pnode, i int, c pchild, o *powner) *pnode {
+	if o != nil && n.owner == o {
+		n.kids[i] = c
+		return n
+	}
+	return &pnode{bitmap: n.bitmap, kids: kidsWith(n.kids, i, c), owner: o}
+}
+
+// addKid inserts a new slot for bit at position i, in place when n is
+// owned by o.
+func addKid(n *pnode, bit uint64, i int, c pchild, o *powner) *pnode {
+	if o != nil && n.owner == o {
+		n.kids = append(n.kids, pchild{})
+		copy(n.kids[i+1:], n.kids[i:])
+		n.kids[i] = c
+		n.bitmap |= bit
+		return n
+	}
+	kids := make([]pchild, len(n.kids)+1)
+	copy(kids, n.kids[:i])
+	kids[i] = c
+	copy(kids[i+1:], n.kids[i:])
+	return &pnode{bitmap: n.bitmap | bit, kids: kids, owner: o}
+}
+
+// pinsert binds nl.tuple to nl.ce under token o, path-copying nodes
+// not owned by o. With replace=false an existing binding wins (the
+// exact matcher's first-inserted-wins rule) and the original root is
+// returned with changed=false; with replace=true the binding is
+// overwritten.
+func pinsert(n *pnode, shift uint, nl *pleaf, replace bool, o *powner) (root *pnode, changed bool) {
+	if n == nil {
+		return &pnode{bitmap: 1 << ((nl.hash >> shift) & pmask), kids: []pchild{{l: nl}}, owner: o}, true
+	}
+	bit := uint64(1) << ((nl.hash >> shift) & pmask)
+	i := bits.OnesCount64(n.bitmap & (bit - 1))
+	if n.bitmap&bit == 0 {
+		return addKid(n, bit, i, pchild{l: nl}, o), true
+	}
+	c := n.kids[i]
+	if c.n != nil {
+		sub, changed := pinsert(c.n, shift+pbits, nl, replace, o)
+		if !changed {
+			return n, false
+		}
+		return setKid(n, i, pchild{n: sub}, o), true
+	}
+	if c.l.hash == nl.hash {
+		// Same full hash: replace within the chain or prepend. Chains are
+		// rebuilt rather than edited — leaves stay shared across roots.
+		var prefix []*pleaf
+		for l := c.l; l != nil; l = l.next {
+			if l.tuple == nl.tuple {
+				if !replace {
+					return n, false
+				}
+				head := &pleaf{hash: nl.hash, tuple: nl.tuple, ce: nl.ce, next: l.next}
+				for j := len(prefix) - 1; j >= 0; j-- {
+					p := prefix[j]
+					head = &pleaf{hash: p.hash, tuple: p.tuple, ce: p.ce, next: head}
+				}
+				return setKid(n, i, pchild{l: head}, o), true
+			}
+			prefix = append(prefix, l)
+		}
+		nl2 := &pleaf{hash: nl.hash, tuple: nl.tuple, ce: nl.ce, next: c.l}
+		return setKid(n, i, pchild{l: nl2}, o), true
+	}
+	sub := psplit(c.l, nl, shift+pbits, o)
+	return setKid(n, i, pchild{n: sub}, o), true
+}
+
+// pdelete removes the binding for tuple under token o, path-copying
+// nodes not owned by o. The original root is returned with
+// removed=false when the tuple is absent. An emptied subtree collapses
+// to its parent's missing bit.
+func pdelete(n *pnode, shift uint, hash uint64, tuple [maxExactKeys]uint64, o *powner) (root *pnode, removed bool) {
+	if n == nil {
+		return nil, false
+	}
+	bit := uint64(1) << ((hash >> shift) & pmask)
+	if n.bitmap&bit == 0 {
+		return n, false
+	}
+	i := bits.OnesCount64(n.bitmap & (bit - 1))
+	c := n.kids[i]
+	if c.n != nil {
+		sub, removed := pdelete(c.n, shift+pbits, hash, tuple, o)
+		if !removed {
+			return n, false
+		}
+		if sub == nil {
+			return pdrop(n, bit, i, o), true
+		}
+		return setKid(n, i, pchild{n: sub}, o), true
+	}
+	var prefix []*pleaf
+	for l := c.l; l != nil; l = l.next {
+		if l.hash == hash && l.tuple == tuple {
+			head := l.next
+			for j := len(prefix) - 1; j >= 0; j-- {
+				p := prefix[j]
+				head = &pleaf{hash: p.hash, tuple: p.tuple, ce: p.ce, next: head}
+			}
+			if head == nil {
+				return pdrop(n, bit, i, o), true
+			}
+			return setKid(n, i, pchild{l: head}, o), true
+		}
+		prefix = append(prefix, l)
+	}
+	return n, false
+}
+
+// pdrop removes child slot i (in place when owned by o); an emptied
+// node becomes nil so parents collapse the path.
+func pdrop(n *pnode, bit uint64, i int, o *powner) *pnode {
+	if len(n.kids) == 1 {
+		return nil
+	}
+	if o != nil && n.owner == o {
+		copy(n.kids[i:], n.kids[i+1:])
+		n.kids = n.kids[:len(n.kids)-1]
+		n.bitmap &^= bit
+		return n
+	}
+	kids := make([]pchild, len(n.kids)-1)
+	copy(kids, n.kids[:i])
+	copy(kids[i:], n.kids[i+1:])
+	return &pnode{bitmap: n.bitmap &^ bit, kids: kids, owner: o}
+}

@@ -246,6 +246,18 @@ func (sh *Sharded) Stats() ShardedStats {
 // data path first, because register cells are plain memory owned by
 // whichever shard the flow hashes to.
 
+// Write applies a batch transactionally. Pure table batches publish
+// their generation lock-free; a batch containing register writes
+// quiesces the shards first, so the registers and the rule set change
+// in one atomic step with respect to the data path.
+func (sh *Sharded) Write(b *WriteBatch) (res *WriteResult, err error) {
+	if b != nil && b.hasRegisterWrites() {
+		sh.quiesce(func() { res, err = sh.sw.Write(b) })
+		return res, err
+	}
+	return sh.sw.Write(b)
+}
+
 // RegisterRead reads a register cell with the data path quiesced.
 func (sh *Sharded) RegisterRead(name string, idx int) (v uint64, err error) {
 	sh.quiesce(func() { v, err = sh.sw.RegisterRead(name, idx) })

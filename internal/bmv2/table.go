@@ -1,21 +1,27 @@
 package bmv2
 
 // table.go specializes each match-action table into a matcher at
-// compile time: a hash index for all-exact-key tables (the CACHE and
-// CALC dispatch pattern), a sorted-prefix walk for single-key LPM
-// tables, and the reference linear scan for everything else (ternary,
-// range, mixed). The materialized matcher lives in an immutable
-// snapshot (tsnap) behind an atomic pointer, RCU style: the data path
-// loads the snapshot with a single atomic read and never takes a lock,
-// while control-plane mutations (insert/delete/clear/sort/default
-// change) rebuild a fresh snapshot under the switch's writer mutex and
-// publish it atomically. Readers mid-packet keep the snapshot they
-// loaded; the next packet sees the new one.
+// compile time: a persistent hash trie for all-exact-key tables (the
+// CACHE and CALC dispatch pattern), a sorted-prefix walk for
+// single-key LPM tables, and the reference linear scan for everything
+// else (ternary, range, mixed). The materialized matcher lives in an
+// immutable snapshot (tsnap) inside a program-wide generation behind
+// one atomic pointer, RCU style: the data path pins the generation
+// with a single atomic read at packet start and never takes a lock,
+// while control-plane mutations build fresh snapshots under the
+// switch's writer mutex and publish one new generation atomically.
+// Because the whole rule set swaps in a single pointer store, a packet
+// observes either the pre-batch or the post-batch rules of every table
+// — never a mix (the transactional guarantee of Switch.Write).
+//
+// Exact tables are updated incrementally: their snapshot holds a
+// persistent map (pmap.go), so applying a one-entry delta costs
+// O(log n) path copies instead of an O(table) rebuild. LPM and linear
+// tables — small in practice — rebuild from the entry store.
 
 import (
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"netcl/internal/p4"
 )
@@ -45,15 +51,44 @@ type centry struct {
 
 // tsnap is one immutable published matcher state. Everything the data
 // path needs to match and act is in here; nothing in a published tsnap
-// is ever mutated again.
+// is ever mutated again. Exact tables use the persistent map pm;
+// LPM/linear tables use the materialized entry slice.
+//
+// Before publication a snapshot staged by a batch carries that batch's
+// ownership token, letting later ops of the same batch update it in
+// place instead of re-copying the struct per op. Publication drops the
+// token reference on the caller side, so the next batch sees a foreign
+// owner and copies.
 type tsnap struct {
-	ents   []centry
-	exact  map[[maxExactKeys]uint64]int // key tuple -> first entry index
-	lpmIdx []int                        // entry indices, prefix length descending (stable)
+	pm     *pnode   // exact: tuple -> compiled entry (persistent)
+	ents   []centry // LPM/linear: compiled entries in store order
+	lpmIdx []int    // entry indices, prefix length descending (stable)
 
 	defAct     *caction
 	defArgs    []val
 	defUnknown string
+
+	owner *powner // batch that may still edit this snapshot
+}
+
+// withPM rebinds the matcher root, copying the snapshot unless it is
+// already privately owned by token o.
+func (sn *tsnap) withPM(pm *pnode, o *powner) *tsnap {
+	if o != nil && sn.owner == o {
+		sn.pm = pm
+		return sn
+	}
+	cp := *sn
+	cp.pm = pm
+	cp.owner = o
+	return &cp
+}
+
+// generation is the program-wide rule-set version: one snapshot per
+// compiled table, indexed by the table's gslot. Published as a whole
+// behind cprog.gen, so multi-table batches swap atomically.
+type generation struct {
+	snaps []*tsnap
 }
 
 // ctable is a compiled match-action table.
@@ -65,13 +100,12 @@ type ctable struct {
 	keyFns []evalFn
 	kinds  []p4.MatchKind
 	kind   tkind
-
-	snap atomic.Pointer[tsnap]
+	gslot  int // index of this table's snapshot in a generation
 }
 
 // table compiles the static shape of one table (key closures at
 // apply-level scope, matcher choice). Entries are materialized later
-// by rebuild, once action instances exist.
+// by build, once action instances exist.
 func (cc *compiler) table(ctl *cctl, t *p4.Table) (*ctable, error) {
 	tb := &ctable{name: t.Name, sw: cc.s, ctl: ctl, t: t}
 	for _, k := range t.Keys {
@@ -90,6 +124,8 @@ func (cc *compiler) table(ctl *cctl, t *p4.Table) (*ctable, error) {
 	default:
 		tb.kind = tLinear
 	}
+	tb.gslot = len(cc.p.tabs)
+	cc.p.tabs = append(cc.p.tabs, tb)
 	return tb, nil
 }
 
@@ -98,6 +134,15 @@ func tupleOf(e *p4.Entry) [maxExactKeys]uint64 {
 	var k [maxExactKeys]uint64
 	for i := 0; i < len(e.Keys) && i < maxExactKeys; i++ {
 		k[i] = e.Keys[i].Value
+	}
+	return k
+}
+
+// tupleOfVals zero-pads a key-value tuple into the exact-index key.
+func tupleOfVals(vals []uint64) [maxExactKeys]uint64 {
+	var k [maxExactKeys]uint64
+	for i := 0; i < len(vals) && i < maxExactKeys; i++ {
+		k[i] = vals[i]
 	}
 	return k
 }
@@ -127,42 +172,9 @@ func (tb *ctable) compileEntry(e *p4.Entry) centry {
 	return ce
 }
 
-// rebuild materializes a fresh snapshot from the switch's current entry
-// list and the table's current default action, and publishes it. Called
-// at compile time and, under the switch's writer mutex, on every
-// control-plane mutation — never from the data path.
-func (tb *ctable) rebuild() {
-	sn := &tsnap{}
-	entries := tb.sw.entries[tb.name]
-	for _, e := range entries {
-		sn.ents = append(sn.ents, tb.compileEntry(e))
-	}
-	switch tb.kind {
-	case tExact:
-		sn.exact = make(map[[maxExactKeys]uint64]int, len(sn.ents))
-		for i := range sn.ents {
-			if !sn.ents[i].eligible {
-				continue
-			}
-			k := tupleOf(sn.ents[i].e)
-			// First-inserted entry wins on duplicate tuples, like the
-			// strict score comparison of the linear scan.
-			if _, dup := sn.exact[k]; !dup {
-				sn.exact[k] = i
-			}
-		}
-	case tLPM:
-		for i := range sn.ents {
-			if sn.ents[i].eligible {
-				sn.lpmIdx = append(sn.lpmIdx, i)
-			}
-		}
-		// Stable: equal prefix lengths keep insertion order, so the
-		// walk finds the same winner the scan's strict > would.
-		sort.SliceStable(sn.lpmIdx, func(a, b int) bool {
-			return sn.ents[sn.lpmIdx[a]].plen > sn.ents[sn.lpmIdx[b]].plen
-		})
-	}
+// compileDefault resolves the table's current default action into sn.
+func (tb *ctable) compileDefault(sn *tsnap) {
+	sn.defAct, sn.defArgs, sn.defUnknown = nil, nil, ""
 	if d := tb.t.Default; d != nil && d.Name != "NoAction" {
 		a := tb.ctl.actions[d.Name]
 		if a == nil {
@@ -174,12 +186,137 @@ func (tb *ctable) rebuild() {
 			}
 		}
 	}
-	tb.snap.Store(sn)
 }
 
-// apply matches and executes the table on the current machine state.
+// build materializes a fresh snapshot from the switch's current entry
+// store and the table's current default action. Called at compile
+// time and, under the switch's writer mutex, for O(table)-shaped
+// mutations (clear, sort, LPM/linear deltas) — never from the data
+// path. The caller publishes the result.
+func (tb *ctable) build() *tsnap {
+	sn := &tsnap{}
+	es := tb.sw.entries[tb.name]
+	switch tb.kind {
+	case tExact:
+		if es != nil {
+			// One token for the whole build: every trie node is owned by
+			// this loop, so inserts edit in place instead of path-copying
+			// n times. The token goes out of scope with the build, freezing
+			// the result.
+			o := &powner{}
+			for _, e := range es.ents {
+				if e == nil {
+					continue
+				}
+				ce := tb.compileEntry(e)
+				if !ce.eligible {
+					continue
+				}
+				// First-inserted entry wins on duplicate tuples, like the
+				// strict score comparison of the linear scan.
+				t := tupleOf(e)
+				sn.pm, _ = pinsert(sn.pm, 0, &pleaf{hash: phash(t), tuple: t, ce: ce}, false, o)
+			}
+		}
+	case tLPM:
+		if es != nil {
+			for _, e := range es.ents {
+				if e == nil {
+					continue
+				}
+				sn.ents = append(sn.ents, tb.compileEntry(e))
+			}
+		}
+		for i := range sn.ents {
+			if sn.ents[i].eligible {
+				sn.lpmIdx = append(sn.lpmIdx, i)
+			}
+		}
+		// Stable: equal prefix lengths keep insertion order, so the
+		// walk finds the same winner the scan's strict > would.
+		sort.SliceStable(sn.lpmIdx, func(a, b int) bool {
+			return sn.ents[sn.lpmIdx[a]].plen > sn.ents[sn.lpmIdx[b]].plen
+		})
+	default:
+		if es != nil {
+			for _, e := range es.ents {
+				if e == nil {
+					continue
+				}
+				sn.ents = append(sn.ents, tb.compileEntry(e))
+			}
+		}
+	}
+	tb.compileDefault(sn)
+	return sn
+}
+
+// deltaInsert returns the snapshot after adding one entry. Exact
+// tables path-copy the persistent map in O(log n); other kinds report
+// needing a full build by returning nil.
+func (tb *ctable) deltaInsert(old *tsnap, e *p4.Entry, o *powner) *tsnap {
+	if tb.kind != tExact {
+		return nil
+	}
+	ce := tb.compileEntry(e)
+	if !ce.eligible {
+		return old // can never match an exact table; snapshot unchanged
+	}
+	t := tupleOf(e)
+	pm, changed := pinsert(old.pm, 0, &pleaf{hash: phash(t), tuple: t, ce: ce}, false, o)
+	if !changed {
+		return old // duplicate tuple: first-inserted keeps winning
+	}
+	return old.withPM(pm, o)
+}
+
+// deltaDelete returns the snapshot after removing every entry matching
+// the full key tuple. Exact tables path-copy in O(log n); other kinds
+// return nil to request a full build.
+func (tb *ctable) deltaDelete(old *tsnap, keyVals []uint64, o *powner) *tsnap {
+	if tb.kind != tExact {
+		return nil
+	}
+	if len(keyVals) != len(tb.keyFns) {
+		return old // arity mismatch only ever hits ineligible entries
+	}
+	t := tupleOfVals(keyVals)
+	pm, removed := pdelete(old.pm, 0, phash(t), t, o)
+	if !removed {
+		return old
+	}
+	return old.withPM(pm, o)
+}
+
+// deltaReplace rebinds a tuple to a fresh entry (the modify op). Exact
+// only; other kinds return nil to request a full build.
+func (tb *ctable) deltaReplace(old *tsnap, e *p4.Entry, o *powner) *tsnap {
+	if tb.kind != tExact {
+		return nil
+	}
+	ce := tb.compileEntry(e)
+	if !ce.eligible {
+		// The replacement cannot match; drop the old binding.
+		return tb.deltaDelete(old, entryKeyVals(e), o)
+	}
+	t := tupleOf(e)
+	pm, _ := pinsert(old.pm, 0, &pleaf{hash: phash(t), tuple: t, ce: ce}, true, o)
+	return old.withPM(pm, o)
+}
+
+// deltaDefault returns the snapshot with the default action recompiled
+// from the table's (already updated) declaration — O(1) for every
+// kind, sharing the matcher state.
+func (tb *ctable) deltaDefault(old *tsnap) *tsnap {
+	sn := *old
+	tb.compileDefault(&sn)
+	return &sn
+}
+
+// apply matches and executes the table on the current machine state,
+// reading the matcher snapshot pinned in the machine's generation.
 func (tb *ctable) apply(m *machine) (bool, error) {
-	sn := tb.snap.Load()
+	sn := m.gen.snaps[tb.gslot]
 	keys := m.keys[:0]
 	for _, kf := range tb.keyFns {
 		keys = append(keys, kf(m))
@@ -193,9 +330,7 @@ func (tb *ctable) apply(m *machine) (bool, error) {
 		for i := range keys {
 			tk[i] = keys[i].wrapped()
 		}
-		if idx, ok := sn.exact[tk]; ok {
-			ce = &sn.ents[idx]
-		}
+		ce = pget(sn.pm, phash(tk), tk)
 	case tLPM:
 		kval := keys[0].wrapped()
 		bits := keys[0].bits

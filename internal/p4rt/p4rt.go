@@ -1,8 +1,15 @@
 // Package p4rt is the control-plane interface of NetCL devices, in the
 // spirit of the P4Runtime API the paper's host runtime uses for
-// _managed_ memory (§V-B, requirement R6): register access and table
-// entry management, over a direct in-process binding or a TCP
-// transport for real deployments.
+// _managed_ memory (§V-B, requirement R6): register access and
+// transactional table/register write batches, over a direct in-process
+// binding or a TCP transport for real deployments.
+//
+// The write surface is batch-first: a WriteBatch carries entry
+// inserts/modifies/deletes, register writes, and default-action
+// changes as one all-or-nothing unit, applied atomically by the device
+// (a packet observes all of the batch or none of it) and carried over
+// the wire in a single versioned request frame. The legacy single-op
+// calls remain as thin wrappers around one-op batches.
 package p4rt
 
 import (
@@ -15,12 +22,46 @@ import (
 	"netcl/internal/p4"
 )
 
-// Client is the control-plane surface used by the host runtime.
+// Batch vocabulary, shared with the switch implementation (bmv2 owns
+// the types so the in-process binding and the wire encoding agree).
+type (
+	// WriteBatch accumulates ops for one transactional Write.
+	WriteBatch = bmv2.WriteBatch
+	// WriteResult reports per-op outcomes of a committed batch.
+	WriteResult = bmv2.WriteResult
+	// BatchError names the op that failed a Write.
+	BatchError = bmv2.BatchError
+	// Op is one batch operation.
+	Op = bmv2.Op
+	// OpKind discriminates batch operations.
+	OpKind = bmv2.OpKind
+)
+
+// Re-exported op kinds.
+const (
+	OpInsert        = bmv2.OpInsert
+	OpModify        = bmv2.OpModify
+	OpDelete        = bmv2.OpDelete
+	OpRegisterWrite = bmv2.OpRegisterWrite
+	OpSetDefault    = bmv2.OpSetDefault
+)
+
+// NewWriteBatch returns an empty batch.
+func NewWriteBatch() *WriteBatch { return bmv2.NewWriteBatch() }
+
+// Client is the control-plane surface used by the host runtime:
+// register reads plus transactional write batches. The single-op
+// methods are deprecated wrappers — each is a one-op batch — kept so
+// existing drivers compile; new code should accumulate a WriteBatch
+// and call Write once.
 type Client interface {
 	RegisterRead(name string, idx int) (uint64, error)
+	Write(b *WriteBatch) (*WriteResult, error)
+
+	// Deprecated: single-op wrappers around Write.
 	RegisterWrite(name string, idx int, v uint64) error
 	InsertEntry(table string, e *p4.Entry) error
-	DeleteEntry(table string, keyVal uint64) (int, error)
+	DeleteEntry(table string, keys ...uint64) (int, error)
 }
 
 // Direct is an in-process client bound to a behavioral-model switch.
@@ -36,42 +77,63 @@ func (d *Direct) RegisterRead(name string, idx int) (uint64, error) {
 	return d.SW.RegisterRead(name, idx)
 }
 
-// RegisterWrite implements Client.
+// Write implements Client: the batch applies transactionally on the
+// switch and publishes one rule-set generation.
+func (d *Direct) Write(b *WriteBatch) (*WriteResult, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.SW.Write(b)
+}
+
+// RegisterWrite implements Client as a one-op batch.
 func (d *Direct) RegisterWrite(name string, idx int, v uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.SW.RegisterWrite(name, idx, v)
 }
 
-// InsertEntry implements Client.
+// InsertEntry implements Client as a one-op batch.
 func (d *Direct) InsertEntry(table string, e *p4.Entry) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.SW.InsertEntry(table, e)
 }
 
-// DeleteEntry implements Client.
-func (d *Direct) DeleteEntry(table string, keyVal uint64) (int, error) {
+// DeleteEntry implements Client as a one-op batch: entries are removed
+// only when every key value matches the full tuple.
+func (d *Direct) DeleteEntry(table string, keys ...uint64) (int, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.SW.DeleteEntry(table, keyVal), nil
+	return d.SW.DeleteEntry(table, keys...), nil
 }
 
-// Wire protocol (gob-encoded request/response over TCP).
+// Wire protocol (gob-encoded request/response frames over TCP).
+//
+// Version 2 made a request either a register read or one whole write
+// batch — the entire transaction rides in a single frame, so a
+// NetCache-scale churn burst costs one round trip instead of one per
+// op. Version 3 packs the op list itself (see wire.go): the frame is
+// still gob, but the batch crosses as one varint-packed byte string
+// instead of reflection-encoded structs. Versioning is explicit; a
+// server rejects frames whose version it does not speak instead of
+// misreading them.
+
+// wireVersion is the protocol revision this package speaks.
+const wireVersion = 3
 
 type request struct {
-	Op     string // "rread", "rwrite", "insert", "delete"
-	Name   string
-	Idx    int
-	Val    uint64
-	KeyVal uint64
-	Entry  *p4.Entry
+	Ver  int
+	Op   string // "rread", "write"
+	Name string // rread: register name
+	Idx  int    // rread: cell index
+	Ops  opList // write: the batch
 }
 
 type response struct {
-	Val     uint64
-	Removed int
-	Err     string
+	Val      uint64 // rread result
+	Removed  []int  // write: per-op removed counts
+	FailedOp int    // write: index of the failed op, -1 otherwise
+	Err      string
 }
 
 // Server exposes a switch's control plane on a TCP listener.
@@ -127,20 +189,25 @@ func (s *Server) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		var resp response
-		switch req.Op {
-		case "rread":
+		resp := response{FailedOp: -1}
+		switch {
+		case req.Ver != wireVersion:
+			resp.Err = fmt.Sprintf("unsupported wire version %d (speak %d)", req.Ver, wireVersion)
+		case req.Op == "rread":
 			v, err := s.cl.RegisterRead(req.Name, req.Idx)
 			resp.Val = v
 			resp.Err = errString(err)
-		case "rwrite":
-			resp.Err = errString(s.cl.RegisterWrite(req.Name, req.Idx, req.Val))
-		case "insert":
-			resp.Err = errString(s.cl.InsertEntry(req.Name, req.Entry))
-		case "delete":
-			n, err := s.cl.DeleteEntry(req.Name, req.KeyVal)
-			resp.Removed = n
-			resp.Err = errString(err)
+		case req.Op == "write":
+			res, err := s.cl.Write(&WriteBatch{Ops: []Op(req.Ops)})
+			if err != nil {
+				resp.Err = errString(err)
+				if be, ok := err.(*BatchError); ok {
+					resp.FailedOp = be.Index
+					resp.Err = errString(be.Err)
+				}
+			} else {
+				resp.Removed = res.Removed
+			}
 		default:
 			resp.Err = fmt.Sprintf("unknown op %q", req.Op)
 		}
@@ -178,6 +245,7 @@ func Dial(addr string) (*TCPClient, error) {
 func (c *TCPClient) Close() error { return c.conn.Close() }
 
 func (c *TCPClient) roundTrip(req *request) (*response, error) {
+	req.Ver = wireVersion
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.enc.Encode(req); err != nil {
@@ -188,7 +256,11 @@ func (c *TCPClient) roundTrip(req *request) (*response, error) {
 		return nil, err
 	}
 	if resp.Err != "" {
-		return &resp, fmt.Errorf("%s", resp.Err)
+		err := fmt.Errorf("%s", resp.Err)
+		if resp.FailedOp >= 0 {
+			err = &BatchError{Index: resp.FailedOp, Err: err}
+		}
+		return &resp, err
 	}
 	return &resp, nil
 }
@@ -202,23 +274,48 @@ func (c *TCPClient) RegisterRead(name string, idx int) (uint64, error) {
 	return resp.Val, nil
 }
 
-// RegisterWrite implements Client.
-func (c *TCPClient) RegisterWrite(name string, idx int, v uint64) error {
-	_, err := c.roundTrip(&request{Op: "rwrite", Name: name, Idx: idx, Val: v})
-	return err
-}
-
-// InsertEntry implements Client.
-func (c *TCPClient) InsertEntry(table string, e *p4.Entry) error {
-	_, err := c.roundTrip(&request{Op: "insert", Name: table, Entry: e})
-	return err
-}
-
-// DeleteEntry implements Client.
-func (c *TCPClient) DeleteEntry(table string, keyVal uint64) (int, error) {
-	resp, err := c.roundTrip(&request{Op: "delete", Name: table, KeyVal: keyVal})
-	if err != nil {
-		return 0, err
+// Write implements Client: the whole batch crosses the wire in one
+// frame and applies transactionally on the device. A failed batch
+// comes back as a *BatchError carrying the remote op index.
+func (c *TCPClient) Write(b *WriteBatch) (*WriteResult, error) {
+	if b == nil || len(b.Ops) == 0 {
+		return &WriteResult{}, nil
 	}
-	return resp.Removed, nil
+	resp, err := c.roundTrip(&request{Op: "write", Ops: opList(b.Ops)})
+	if err != nil {
+		return nil, err
+	}
+	return &WriteResult{Removed: resp.Removed}, nil
+}
+
+// RegisterWrite implements Client as a one-op batch.
+func (c *TCPClient) RegisterWrite(name string, idx int, v uint64) error {
+	_, err := c.Write(NewWriteBatch().RegisterWrite(name, idx, v))
+	return unwrapBatch(err)
+}
+
+// InsertEntry implements Client as a one-op batch.
+func (c *TCPClient) InsertEntry(table string, e *p4.Entry) error {
+	_, err := c.Write(NewWriteBatch().Insert(table, e))
+	return unwrapBatch(err)
+}
+
+// DeleteEntry implements Client as a one-op batch: entries are removed
+// only when every key value matches the full tuple, so multi-key
+// deletes over TCP no longer match on the first key alone.
+func (c *TCPClient) DeleteEntry(table string, keys ...uint64) (int, error) {
+	res, err := c.Write(NewWriteBatch().Delete(table, keys...))
+	if err != nil {
+		return 0, unwrapBatch(err)
+	}
+	return res.Removed[0], nil
+}
+
+// unwrapBatch strips the op index off a single-op batch failure, so
+// the deprecated wrappers keep returning plain errors.
+func unwrapBatch(err error) error {
+	if be, ok := err.(*BatchError); ok {
+		return be.Err
+	}
+	return err
 }

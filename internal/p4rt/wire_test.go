@@ -1,0 +1,59 @@
+package p4rt
+
+import (
+	"reflect"
+	"testing"
+
+	"netcl/internal/p4"
+)
+
+// TestOpListRoundTrip pushes every op kind — including the awkward
+// corners: nil entries, nil actions, lpm prefix -1, ternary masks,
+// priorities, empty key tuples — through the packed wire codec.
+func TestOpListRoundTrip(t *testing.T) {
+	in := opList{
+		{Kind: OpInsert, Table: "fwd", Entry: &p4.Entry{
+			Keys:   []p4.KeyValue{{Value: 7, PrefixLen: -1}, {Value: 9, Mask: 0xFF, Hi: 12, PrefixLen: 24}},
+			Action: &p4.ActionCall{Name: "set_out", Args: []uint64{1, 1 << 60}},
+		}},
+		{Kind: OpModify, Table: "fwd", Entry: &p4.Entry{
+			Keys:     []p4.KeyValue{{Value: 3, PrefixLen: -1}},
+			Priority: -5,
+		}},
+		{Kind: OpInsert, Table: "fwd"}, // nil entry (server rejects, wire must carry)
+		{Kind: OpDelete, Table: "fwd", Keys: []uint64{7, 9}},
+		{Kind: OpDelete, Table: "other"}, // empty tuple
+		{Kind: OpRegisterWrite, Reg: "r0", Idx: 3, Val: ^uint64(0)},
+		{Kind: OpSetDefault, Table: "fwd", Action: "miss", Args: []uint64{42}},
+		{Kind: OpSetDefault, Table: "fwd", Action: "drop"},
+	}
+	b, err := in.GobEncode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var out opList
+	if err := out.GobDecode(b); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+
+	// Truncation at any prefix must error, not panic or misread.
+	for i := 0; i < len(b); i++ {
+		var tr opList
+		if err := tr.GobDecode(b[:i]); err == nil {
+			t.Fatalf("decode of %d/%d bytes succeeded", i, len(b))
+		}
+	}
+}
+
+func TestOpListEncodeUnknownKind(t *testing.T) {
+	if _, err := (opList{{Kind: OpKind(99)}}).GobEncode(); err == nil {
+		t.Fatal("want error for unknown op kind")
+	}
+	var out opList
+	if err := out.GobDecode([]byte{1, 99}); err == nil {
+		t.Fatal("want error decoding unknown op kind")
+	}
+}

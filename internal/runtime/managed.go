@@ -90,27 +90,44 @@ func (c *DeviceConnection) ManagedRead(name string, idxs []int) (uint64, error) 
 	return c.CP.RegisterRead(reg, flat)
 }
 
-// LookupInsert adds (or replaces) an entry in managed lookup memory.
-// For kv maps val is the mapped value; for sets it is ignored.
-func (c *DeviceConnection) LookupInsert(name string, key, val uint64) error {
-	mem := c.memByName(name)
-	if mem == nil || !mem.IsLookup() {
-		return fmt.Errorf("managed: %q is not lookup memory", name)
-	}
-	if !mem.Managed {
-		return fmt.Errorf("managed: lookup memory %q is const (not _managed_)", name)
-	}
-	table := "lu_" + name
-	if _, err := c.CP.DeleteEntry(table, key); err != nil {
-		return err
-	}
+// lookupEntry builds the replace pair (delete tuple + fresh entry) of
+// one lookup-memory binding.
+func lookupEntry(mem *ir.MemRef, key, val uint64) *p4.Entry {
+	table := "lu_" + mem.Name
 	e := &p4.Entry{Keys: []p4.KeyValue{{Value: key, PrefixLen: -1}}}
 	if mem.LKind == ir.LookupSet {
 		e.Action = &p4.ActionCall{Name: table + "_hit"}
 	} else {
 		e.Action = &p4.ActionCall{Name: table + "_hit", Args: []uint64{val}}
 	}
-	return c.CP.InsertEntry(table, e)
+	return e
+}
+
+// lookupMem validates that name is writable managed lookup memory.
+func (c *DeviceConnection) lookupMem(name string) (*ir.MemRef, error) {
+	mem := c.memByName(name)
+	if mem == nil || !mem.IsLookup() {
+		return nil, fmt.Errorf("managed: %q is not lookup memory", name)
+	}
+	if !mem.Managed {
+		return nil, fmt.Errorf("managed: lookup memory %q is const (not _managed_)", name)
+	}
+	return mem, nil
+}
+
+// LookupInsert adds (or replaces) an entry in managed lookup memory.
+// For kv maps val is the mapped value; for sets it is ignored. The
+// delete-then-insert pair rides in one batch, so a concurrent packet
+// never observes the key unbound mid-replace.
+func (c *DeviceConnection) LookupInsert(name string, key, val uint64) error {
+	mem, err := c.lookupMem(name)
+	if err != nil {
+		return err
+	}
+	table := "lu_" + name
+	b := p4rt.NewWriteBatch().Delete(table, key).Insert(table, lookupEntry(mem, key, val))
+	_, err = c.CP.Write(b)
+	return err
 }
 
 // LookupDelete removes entries matching key from managed lookup
@@ -121,4 +138,80 @@ func (c *DeviceConnection) LookupDelete(name string, key uint64) (int, error) {
 		return 0, fmt.Errorf("managed: %q is not managed lookup memory", name)
 	}
 	return c.CP.DeleteEntry("lu_"+name, key)
+}
+
+// ManagedTxn accumulates managed-memory mutations — register writes,
+// lookup inserts and deletes — into one transactional batch, applied
+// all-or-nothing by Commit. Repeated writes to the same register cell
+// write-combine (the last value wins), collapsing `_managed_` mirror
+// traffic to one op per touched cell. Resolution errors are sticky:
+// they surface at Commit and nothing is sent.
+type ManagedTxn struct {
+	c   *DeviceConnection
+	b   *p4rt.WriteBatch
+	err error
+}
+
+// Txn starts an empty managed-memory transaction.
+func (c *DeviceConnection) Txn() *ManagedTxn {
+	return &ManagedTxn{c: c, b: p4rt.NewWriteBatch()}
+}
+
+// Write stages one managed-memory element write (ManagedWrite).
+func (t *ManagedTxn) Write(name string, idxs []int, v uint64) *ManagedTxn {
+	if t.err != nil {
+		return t
+	}
+	reg, mem, flat, err := t.c.resolve(name, idxs)
+	if err != nil {
+		t.err = err
+		return t
+	}
+	if !mem.Managed {
+		t.err = fmt.Errorf("managed: memory %q is _net_ only; hosts cannot write it", name)
+		return t
+	}
+	t.b.RegisterWrite(reg, flat, v)
+	return t
+}
+
+// LookupInsert stages a lookup-memory replace (LookupInsert).
+func (t *ManagedTxn) LookupInsert(name string, key, val uint64) *ManagedTxn {
+	if t.err != nil {
+		return t
+	}
+	mem, err := t.c.lookupMem(name)
+	if err != nil {
+		t.err = err
+		return t
+	}
+	table := "lu_" + name
+	t.b.Delete(table, key).Insert(table, lookupEntry(mem, key, val))
+	return t
+}
+
+// LookupDelete stages a lookup-memory delete.
+func (t *ManagedTxn) LookupDelete(name string, key uint64) *ManagedTxn {
+	if t.err != nil {
+		return t
+	}
+	if _, err := t.c.lookupMem(name); err != nil {
+		t.err = err
+		return t
+	}
+	t.b.Delete("lu_"+name, key)
+	return t
+}
+
+// Len reports the number of staged ops after write-combining.
+func (t *ManagedTxn) Len() int { return t.b.Len() }
+
+// Commit applies the transaction in one batch. On error nothing took
+// effect on the device.
+func (t *ManagedTxn) Commit() error {
+	if t.err != nil {
+		return t.err
+	}
+	_, err := t.c.CP.Write(t.b)
+	return err
 }

@@ -7,6 +7,7 @@ import (
 
 	"netcl/internal/ir"
 	"netcl/internal/p4"
+	"netcl/internal/p4rt"
 	"netcl/internal/wire"
 )
 
@@ -166,44 +167,80 @@ func TestManagedResolution(t *testing.T) {
 	}
 }
 
-// fakeCP is an in-memory control plane.
+// fakeCP is an in-memory control plane speaking the batch API.
 type fakeCP struct {
 	regs    map[string][]uint64
 	entries map[string][]*p4.Entry
+	batches int // Write calls observed
+	ops     int // ops observed across all batches
 }
 
 func (f *fakeCP) RegisterRead(name string, idx int) (uint64, error) {
 	return f.regs[name][idx], nil
 }
 
+func (f *fakeCP) Write(b *p4rt.WriteBatch) (*p4rt.WriteResult, error) {
+	f.batches++
+	f.ops += len(b.Ops)
+	res := &p4rt.WriteResult{Removed: make([]int, len(b.Ops))}
+	for i := range b.Ops {
+		op := &b.Ops[i]
+		switch op.Kind {
+		case p4rt.OpRegisterWrite:
+			f.regs[op.Reg][op.Idx] = op.Val
+		case p4rt.OpInsert:
+			if f.entries == nil {
+				f.entries = map[string][]*p4.Entry{}
+			}
+			f.entries[op.Table] = append(f.entries[op.Table], op.Entry)
+		case p4rt.OpDelete:
+			var keep []*p4.Entry
+			for _, e := range f.entries[op.Table] {
+				if entryMatches(e, op.Keys) {
+					res.Removed[i]++
+					continue
+				}
+				keep = append(keep, e)
+			}
+			if f.entries == nil {
+				f.entries = map[string][]*p4.Entry{}
+			}
+			f.entries[op.Table] = keep
+		}
+	}
+	return res, nil
+}
+
+// entryMatches is the full-tuple delete rule: same arity, all values
+// equal.
+func entryMatches(e *p4.Entry, keys []uint64) bool {
+	if len(keys) == 0 || len(e.Keys) != len(keys) {
+		return false
+	}
+	for i, k := range keys {
+		if e.Keys[i].Value != k {
+			return false
+		}
+	}
+	return true
+}
+
 func (f *fakeCP) RegisterWrite(name string, idx int, v uint64) error {
-	f.regs[name][idx] = v
-	return nil
+	_, err := f.Write(p4rt.NewWriteBatch().RegisterWrite(name, idx, v))
+	return err
 }
 
 func (f *fakeCP) InsertEntry(table string, e *p4.Entry) error {
-	if f.entries == nil {
-		f.entries = map[string][]*p4.Entry{}
-	}
-	f.entries[table] = append(f.entries[table], e)
-	return nil
+	_, err := f.Write(p4rt.NewWriteBatch().Insert(table, e))
+	return err
 }
 
-func (f *fakeCP) DeleteEntry(table string, keyVal uint64) (int, error) {
-	var keep []*p4.Entry
-	removed := 0
-	for _, e := range f.entries[table] {
-		if len(e.Keys) > 0 && e.Keys[0].Value == keyVal {
-			removed++
-			continue
-		}
-		keep = append(keep, e)
+func (f *fakeCP) DeleteEntry(table string, keys ...uint64) (int, error) {
+	res, err := f.Write(p4rt.NewWriteBatch().Delete(table, keys...))
+	if err != nil {
+		return 0, err
 	}
-	if f.entries == nil {
-		f.entries = map[string][]*p4.Entry{}
-	}
-	f.entries[table] = keep
-	return removed, nil
+	return res.Removed[0], nil
 }
 
 func TestManagedLookupEntries(t *testing.T) {
@@ -224,12 +261,61 @@ func TestManagedLookupEntries(t *testing.T) {
 	if len(es) != 1 || es[0].Action.Args[0] != 51 {
 		t.Fatalf("entries: %+v", es)
 	}
+	// Each replace pair must ride in ONE batch: a concurrent packet may
+	// never observe the key unbound mid-replace.
+	if fake.batches != 2 || fake.ops != 4 {
+		t.Errorf("replaces should be 2-op batches: %d ops in %d batches", fake.ops, fake.batches)
+	}
 	n, err := c.LookupDelete("cache", 5)
 	if err != nil || n != 1 {
 		t.Fatalf("delete: %d %v", n, err)
 	}
 	if err := c.LookupInsert("nosuch", 1, 1); err == nil {
 		t.Error("unknown lookup must fail")
+	}
+}
+
+func TestManagedTxnWriteCombining(t *testing.T) {
+	mems := []*ir.MemRef{
+		{Name: "vals", Elem: ir.U32, Dims: []int{16}, Managed: true},
+		{Name: "cache", Elem: ir.U32, KeyType: ir.U32, Dims: []int{64},
+			LKind: ir.LookupExact, Managed: true},
+	}
+	fake := &fakeCP{regs: map[string][]uint64{"reg_vals": make([]uint64, 16)}}
+	c := &DeviceConnection{CP: fake, Mems: mems}
+
+	txn := c.Txn()
+	for v := uint64(1); v <= 100; v++ {
+		txn.Write("vals", []int{3}, v) // same cell: must write-combine
+	}
+	txn.Write("vals", []int{4}, 44)
+	txn.LookupInsert("cache", 9, 90)
+	if txn.Len() != 4 { // combined cell + cell 4 + delete + insert
+		t.Errorf("txn staged %d ops, want 4 after write-combining", txn.Len())
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if fake.batches != 1 {
+		t.Errorf("commit sent %d batches, want 1", fake.batches)
+	}
+	if fake.regs["reg_vals"][3] != 100 {
+		t.Errorf("combined cell holds %d, want the last value 100", fake.regs["reg_vals"][3])
+	}
+	if fake.regs["reg_vals"][4] != 44 {
+		t.Error("uncombined cell lost its write")
+	}
+	if es := fake.entries["lu_cache"]; len(es) != 1 || es[0].Action.Args[0] != 90 {
+		t.Errorf("lookup insert missing: %+v", es)
+	}
+
+	// Sticky resolution errors: nothing reaches the device.
+	bad := c.Txn().Write("nosuch", []int{0}, 1).Write("vals", []int{5}, 5)
+	if err := bad.Commit(); err == nil {
+		t.Error("bad txn must fail at Commit")
+	}
+	if fake.regs["reg_vals"][5] != 0 {
+		t.Error("failed txn must send nothing")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"netcl/internal/bmv2"
 	"netcl/internal/p4"
+	"netcl/internal/p4rt"
 	"netcl/internal/wire"
 )
 
@@ -319,7 +320,19 @@ func (d *UDPDevice) emit(res *bmv2.Result, err error) {
 // call holds d.mu, which also serializes it with inline processing. On
 // the sharded path register access quiesces the workers (registers are
 // plain memory owned by the data path) while table mutations publish
-// RCU snapshots and never stall a worker.
+// RCU snapshots and never stall a worker. Write batches apply
+// transactionally: in-flight packets observe the whole batch or none
+// of it.
+
+// Write implements p4rt.Client: one all-or-nothing batch.
+func (d *UDPDevice) Write(b *p4rt.WriteBatch) (*p4rt.WriteResult, error) {
+	if d.sharded != nil {
+		return d.sharded.Write(b)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sw.Write(b)
+}
 
 // RegisterRead implements p4rt.Client.
 func (d *UDPDevice) RegisterRead(name string, idx int) (uint64, error) {
@@ -362,14 +375,15 @@ func (d *UDPDevice) InsertEntry(table string, e *p4.Entry) error {
 	return d.sw.InsertEntry(table, e)
 }
 
-// DeleteEntry implements p4rt.Client.
-func (d *UDPDevice) DeleteEntry(table string, keyVal uint64) (int, error) {
+// DeleteEntry implements p4rt.Client: entries are removed only when
+// every key value matches the full tuple.
+func (d *UDPDevice) DeleteEntry(table string, keys ...uint64) (int, error) {
 	if d.sharded != nil {
-		return d.sharded.DeleteEntry(table, keyVal), nil
+		return d.sharded.DeleteEntry(table, keys...), nil
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.sw.DeleteEntry(table, keyVal), nil
+	return d.sw.DeleteEntry(table, keys...), nil
 }
 
 // HostConn is a host-side UDP endpoint for NetCL messages, mirroring
