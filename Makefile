@@ -25,6 +25,7 @@ race:
 	$(GO) vet ./... && $(GO) test -race ./...
 
 bench:
+	$(GO) test -run TestCompiledBurstAllocs -v ./internal/bmv2
 	$(GO) test -run xxx -bench BenchmarkInterpHotPath -benchmem .
 	$(GO) run ./cmd/nclbench -interp -out BENCH_interp.json
 

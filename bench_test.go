@@ -283,7 +283,7 @@ func BenchmarkInterpHotPath(b *testing.B) {
 	rows := []struct {
 		app    string
 		device uint16
-	}{{"AGG", 1}, {"CACHE", 1}, {"PACC", apps.PaxosAcceptor1}, {"CALC", 1}}
+	}{{"AGG", 1}, {"CACHE", 1}, {"PACC", apps.PaxosAcceptor1}, {"CALC", 1}, {"ACL", 1}}
 	for _, r := range rows {
 		w, err := apps.NewInterpWorkload(r.app, r.device, 256)
 		if err != nil {
@@ -311,6 +311,24 @@ func BenchmarkInterpHotPath(b *testing.B) {
 				}
 			})
 		}
+		b.Run(r.app+"/compiled-burst32", func(b *testing.B) {
+			sw, err := w.Switch(bmv2.EngineCompiled)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res := make([]bmv2.Result, bmv2.MaxBurst)
+			errs := make([]error, bmv2.MaxBurst)
+			if err := w.RunBurst(sw, bmv2.MaxBurst, res, errs); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += len(w.Packets) {
+				if err := w.RunBurst(sw, bmv2.MaxBurst, res, errs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -26,6 +26,10 @@ type InterpWorkload struct {
 	Prog    *p4.Program
 	Spec    *runtime.MessageSpec
 	Packets [][]byte
+	// Entries, when non-nil, replaces the NetCL-app control-plane
+	// setup: the named tables are populated verbatim (the synthetic
+	// ACL workload, whose program has no netcl_fwd table).
+	Entries map[string][]*p4.Entry
 }
 
 // interpRows lists the benchmarked Table III rows (one device each).
@@ -37,6 +41,10 @@ var interpRows = []struct {
 	{"CACHE", 1},
 	{"PACC", PaxosAcceptor1},
 	{"CALC", 1},
+	// ACL is a synthetic route+firewall pipeline: the one row whose
+	// tables are LPM/ternary/range, so the decision-diagram column is
+	// exercised (the NetCL apps dispatch on exact tables only).
+	{"ACL", 1},
 }
 
 // NewInterpWorkload compiles the app's generated program and builds a
@@ -44,6 +52,9 @@ var interpRows = []struct {
 // arguments (the opcode-like first scalar kept small so the dispatch
 // branches are all exercised).
 func NewInterpWorkload(appName string, device uint16, packets int) (*InterpWorkload, error) {
+	if appName == "ACL" {
+		return newACLWorkload(packets)
+	}
 	reg := appName
 	if appName == "PACC" || appName == "PLRN" || appName == "PLDR" {
 		reg = "PAXOS"
@@ -94,12 +105,126 @@ func NewInterpWorkload(appName string, device uint16, packets int) (*InterpWorkl
 	return w, nil
 }
 
+// aclProg is a synthetic route-and-firewall pipeline: an LPM route
+// table picks the next hop by destination, then a ternary/range ACL
+// permits or drops by source, destination port, and protocol. It is
+// the workload whose match work dominates per-packet cost, so it
+// isolates the decision-diagram matcher delta that the NetCL apps
+// (exact-table dispatch) cannot show.
+func aclProg() *p4.Program {
+	pp := &p4.Program{Name: "acl", Target: p4.TargetTNA}
+	pp.Headers = []*p4.HeaderDecl{{Name: "f", Fields: []*p4.Field{
+		{Name: "dip", Bits: 32},
+		{Name: "sip", Bits: 32},
+		{Name: "sport", Bits: 16},
+		{Name: "dport", Bits: 16},
+		{Name: "proto", Bits: 8},
+		{Name: "hop", Bits: 8},
+	}}}
+	pp.Metadata = []*p4.Field{
+		{Name: "egress_port", Bits: 16}, {Name: "mcast_grp", Bits: 16}, {Name: "drop_flag", Bits: 1},
+	}
+	pp.Parser = &p4.Parser{Name: "P", States: []*p4.ParserState{
+		{Name: "start", Extracts: []string{"f"}, Next: "accept"},
+	}}
+	ctl := &p4.Control{Name: "In"}
+	ctl.Actions = []*p4.ActionDecl{
+		{Name: "set_hop", Params: []*p4.Field{{Name: "h", Bits: 8}},
+			Body: []p4.Stmt{
+				&p4.Assign{LHS: p4.FR("hdr", "f", "hop"), RHS: p4.FR("h")},
+				&p4.Assign{LHS: p4.FR("meta", "egress_port"), RHS: &p4.IntLit{Val: 9, Bits: 16}},
+			}},
+		{Name: "deny",
+			Body: []p4.Stmt{&p4.Assign{LHS: p4.FR("meta", "drop_flag"), RHS: &p4.IntLit{Val: 1, Bits: 1}}}},
+		{Name: "permit", Body: nil},
+	}
+	ctl.Tables = []*p4.Table{
+		{Name: "route", Keys: []*p4.TableKey{{Expr: p4.FR("hdr", "f", "dip"), Match: p4.MatchLPM}},
+			Actions: []string{"set_hop", "deny"}, Default: &p4.ActionCall{Name: "deny"}},
+		{Name: "fw", Keys: []*p4.TableKey{
+			{Expr: p4.FR("hdr", "f", "sip"), Match: p4.MatchTernary},
+			{Expr: p4.FR("hdr", "f", "dport"), Match: p4.MatchRange},
+			{Expr: p4.FR("hdr", "f", "proto"), Match: p4.MatchTernary},
+		}, Actions: []string{"permit", "deny"}, Default: &p4.ActionCall{Name: "permit"}},
+	}
+	ctl.Apply = []p4.Stmt{
+		&p4.ApplyTable{Table: "route"},
+		&p4.ApplyTable{Table: "fw"},
+	}
+	pp.Ingress = ctl
+	return pp
+}
+
+// newACLWorkload builds the synthetic ACL row: 128 route prefixes, 64
+// firewall rules with mixed priorities, and a packet stream biased so
+// most packets traverse deep into both tables.
+func newACLWorkload(packets int) (*InterpWorkload, error) {
+	rng := rand.New(rand.NewSource(0xac1))
+	w := &InterpWorkload{App: "ACL", Device: 1, Prog: aclProg(),
+		Entries: map[string][]*p4.Entry{}}
+	var prefixes []uint64
+	for i := 0; i < 128; i++ {
+		plen := 8 + rng.Intn(25)
+		dip := uint64(rng.Uint32()) &^ (1<<(32-uint(plen)) - 1)
+		prefixes = append(prefixes, dip)
+		w.Entries["route"] = append(w.Entries["route"], &p4.Entry{
+			Keys:   []p4.KeyValue{{Value: dip, PrefixLen: plen}},
+			Action: &p4.ActionCall{Name: "set_hop", Args: []uint64{uint64(1 + i%250)}},
+		})
+	}
+	for i := 0; i < 64; i++ {
+		splen := rng.Intn(25)
+		smask := uint64(0)
+		if splen > 0 {
+			smask = (1<<uint(splen) - 1) << (32 - uint(splen))
+		}
+		lo := uint64(rng.Intn(1 << 15))
+		act := "permit"
+		if i%3 == 0 {
+			act = "deny"
+		}
+		w.Entries["fw"] = append(w.Entries["fw"], &p4.Entry{
+			Keys: []p4.KeyValue{
+				{Value: uint64(rng.Uint32()) & smask, Mask: smask},
+				{Value: lo, Hi: lo + uint64(rng.Intn(1<<10))},
+				{Value: uint64(rng.Intn(4)), Mask: 0x3},
+			},
+			Action:   &p4.ActionCall{Name: act},
+			Priority: rng.Intn(16),
+		})
+	}
+	for p := 0; p < packets; p++ {
+		dip := uint32(prefixes[rng.Intn(len(prefixes))]) | uint32(rng.Intn(1<<10))
+		pkt := []byte{
+			byte(dip >> 24), byte(dip >> 16), byte(dip >> 8), byte(dip),
+			byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)),
+			byte(rng.Intn(256)), byte(rng.Intn(256)), // sport
+			byte(rng.Intn(1 << 7)), byte(rng.Intn(256)), // dport
+			byte(rng.Intn(4)), // proto
+			0,                 // hop
+		}
+		w.Packets = append(w.Packets, pkt)
+	}
+	return w, nil
+}
+
 // Switch builds a fresh switch with the workload's control-plane state
 // (forwarding entries; cached keys for CACHE) on the given engine.
 func (w *InterpWorkload) Switch(engine bmv2.Engine) (*bmv2.Switch, error) {
 	sw := bmv2.New(w.Prog)
 	sw.SetEngine(engine)
 	b := bmv2.NewWriteBatch()
+	if w.Entries != nil {
+		for table, ents := range w.Entries {
+			for _, e := range ents {
+				b.Insert(table, e)
+			}
+		}
+		if _, err := sw.Write(b); err != nil {
+			return nil, err
+		}
+		return sw, nil
+	}
 	for id := 1; id <= 4; id++ {
 		b.Insert("netcl_fwd", &p4.Entry{
 			Keys:   []p4.KeyValue{{Value: uint64(id), PrefixLen: -1}},
@@ -139,7 +264,32 @@ func (w *InterpWorkload) Run(sw *bmv2.Switch) error {
 	return nil
 }
 
-// InterpPoint is one app's old-vs-new interpreter comparison.
+// RunBurst drives the packet stream through ProcessBurst in chunks of
+// the given size, reusing caller-free result arrays.
+func (w *InterpWorkload) RunBurst(sw *bmv2.Switch, burst int, res []bmv2.Result, errs []error) error {
+	ports := make([]int, burst)
+	for i := range ports {
+		ports[i] = 1
+	}
+	for off := 0; off < len(w.Packets); off += burst {
+		n := burst
+		if off+n > len(w.Packets) {
+			n = len(w.Packets) - off
+		}
+		sw.ProcessBurst(w.Packets[off:off+n], ports[:n], res[:n], errs[:n])
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				return errs[i]
+			}
+		}
+	}
+	return nil
+}
+
+// InterpPoint is one app's interpreter comparison: reference vs
+// compiled, plus the compiled engine's own deltas — decision-diagram
+// matchers on/off (at burst 1) and burst sizes {1, 8, 32} (diagrams
+// on) — so each optimization's contribution is measured independently.
 type InterpPoint struct {
 	App                string  `json:"app"`
 	Packets            int     `json:"packets"`
@@ -150,16 +300,44 @@ type InterpPoint struct {
 	CompiledBytesPkt   float64 `json:"compiled_bytes_per_pkt"`
 	ReferenceAllocsPkt float64 `json:"reference_allocs_per_pkt"`
 	CompiledAllocsPkt  float64 `json:"compiled_allocs_per_pkt"`
+	// CompiledScanPPS is the compiled engine with SetFDD(false): the
+	// sorted-prefix walk / linear scan matchers, burst 1.
+	CompiledScanPPS float64 `json:"compiled_scan_pkts_per_sec"`
+	// FDDSpeedup = CompiledPPS / CompiledScanPPS.
+	FDDSpeedup float64 `json:"fdd_speedup"`
+	// Burst sweeps (diagrams on).
+	Burst8PPS  float64 `json:"compiled_burst8_pkts_per_sec"`
+	Burst32PPS float64 `json:"compiled_burst32_pkts_per_sec"`
+	// Burst32Speedup = Burst32PPS / CompiledPPS.
+	Burst32Speedup  float64 `json:"burst32_speedup"`
+	Burst32BytesPkt float64 `json:"burst32_bytes_per_pkt"`
+	Burst32Allocs   float64 `json:"burst32_allocs_per_pkt"`
 }
 
-// measureEngine runs the workload repeatedly on one engine and returns
+// interpMode selects one measured configuration.
+type interpMode struct {
+	engine bmv2.Engine
+	fdd    bool
+	burst  int // <= 1: per-packet Process
+}
+
+// measure runs the workload repeatedly in one mode and returns
 // packets/sec, heap bytes/packet, and allocations/packet.
-func (w *InterpWorkload) measureEngine(engine bmv2.Engine, totalPkts int) (pps, bytesPkt, allocsPkt float64, err error) {
-	sw, err := w.Switch(engine)
+func (w *InterpWorkload) measure(mode interpMode, totalPkts int) (pps, bytesPkt, allocsPkt float64, err error) {
+	sw, err := w.Switch(mode.engine)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	if err := w.Run(sw); err != nil { // warmup: JIT caches, pool, maps
+	sw.SetFDD(mode.fdd)
+	res := make([]bmv2.Result, bmv2.MaxBurst)
+	errs := make([]error, bmv2.MaxBurst)
+	run := func() error {
+		if mode.burst > 1 {
+			return w.RunBurst(sw, mode.burst, res, errs)
+		}
+		return w.Run(sw)
+	}
+	if err := run(); err != nil { // warmup: JIT caches, pool, maps
 		return 0, 0, 0, err
 	}
 	rounds := totalPkts / len(w.Packets)
@@ -172,7 +350,7 @@ func (w *InterpWorkload) measureEngine(engine bmv2.Engine, totalPkts int) (pps, 
 	gort.ReadMemStats(&m0)
 	start := time.Now()
 	for r := 0; r < rounds; r++ {
-		if err := w.Run(sw); err != nil {
+		if err := run(); err != nil {
 			return 0, 0, 0, err
 		}
 	}
@@ -184,22 +362,44 @@ func (w *InterpWorkload) measureEngine(engine bmv2.Engine, totalPkts int) (pps, 
 	return pps, bytesPkt, allocsPkt, nil
 }
 
-// Measure benchmarks the workload on both engines.
+// Measure benchmarks the workload across every mode: both engines at
+// burst 1, the compiled engine with diagrams off, and the burst sweep.
 func (w *InterpWorkload) Measure(totalPkts int) (*InterpPoint, error) {
 	pt := &InterpPoint{App: w.App, Packets: totalPkts}
 	var err error
 	pt.ReferencePPS, pt.ReferenceBytesPkt, pt.ReferenceAllocsPkt, err =
-		w.measureEngine(bmv2.EngineReference, totalPkts)
+		w.measure(interpMode{engine: bmv2.EngineReference, fdd: true}, totalPkts)
 	if err != nil {
 		return nil, err
 	}
 	pt.CompiledPPS, pt.CompiledBytesPkt, pt.CompiledAllocsPkt, err =
-		w.measureEngine(bmv2.EngineCompiled, totalPkts)
+		w.measure(interpMode{engine: bmv2.EngineCompiled, fdd: true}, totalPkts)
+	if err != nil {
+		return nil, err
+	}
+	pt.CompiledScanPPS, _, _, err =
+		w.measure(interpMode{engine: bmv2.EngineCompiled, fdd: false}, totalPkts)
+	if err != nil {
+		return nil, err
+	}
+	pt.Burst8PPS, _, _, err =
+		w.measure(interpMode{engine: bmv2.EngineCompiled, fdd: true, burst: 8}, totalPkts)
+	if err != nil {
+		return nil, err
+	}
+	pt.Burst32PPS, pt.Burst32BytesPkt, pt.Burst32Allocs, err =
+		w.measure(interpMode{engine: bmv2.EngineCompiled, fdd: true, burst: 32}, totalPkts)
 	if err != nil {
 		return nil, err
 	}
 	if pt.ReferencePPS > 0 {
 		pt.Speedup = pt.CompiledPPS / pt.ReferencePPS
+	}
+	if pt.CompiledScanPPS > 0 {
+		pt.FDDSpeedup = pt.CompiledPPS / pt.CompiledScanPPS
+	}
+	if pt.CompiledPPS > 0 {
+		pt.Burst32Speedup = pt.Burst32PPS / pt.CompiledPPS
 	}
 	return pt, nil
 }

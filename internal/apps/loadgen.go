@@ -29,6 +29,9 @@ type LoadgenConfig struct {
 	Shards int
 	// QueueDepth bounds each shard's queue (default 256).
 	QueueDepth int
+	// Burst caps the jobs a worker drains per wakeup into one burst
+	// execution (0 = bmv2.MaxBurst, 1 disables bursting).
+	Burst int
 	// Hosts is the number of concurrent submitter goroutines (default 4).
 	Hosts int
 	// Pools is the number of AGG pool indices = flows (default 64).
@@ -54,6 +57,7 @@ type LoadgenConfig struct {
 // LoadgenResult reports one run.
 type LoadgenResult struct {
 	Shards     int     `json:"shards"`
+	Burst      int     `json:"burst"`
 	Hosts      int     `json:"hosts"`
 	Pools      int     `json:"pools"`
 	OfferedPPS float64 `json:"offered_pps"`
@@ -186,6 +190,7 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
 	}
 	sh, err := bmv2.NewSharded(sw, bmv2.ShardedConfig{
 		Shards: cfg.Shards, QueueDepth: cfg.QueueDepth, FlowKey: aggFlowKey,
+		Burst: cfg.Burst,
 	})
 	if err != nil {
 		return nil, err
@@ -202,8 +207,12 @@ func RunLoadgen(cfg LoadgenConfig) (*LoadgenResult, error) {
 		accepted[p] = make([]bool, cfg.Packets)
 	}
 
+	burst := cfg.Burst
+	if burst <= 0 || burst > bmv2.MaxBurst {
+		burst = bmv2.MaxBurst
+	}
 	res := &LoadgenResult{
-		Shards: cfg.Shards, Hosts: cfg.Hosts, Pools: cfg.Pools,
+		Shards: cfg.Shards, Burst: burst, Hosts: cfg.Hosts, Pools: cfg.Pools,
 		OfferedPPS: cfg.OfferedPPS,
 	}
 	var hostInterval time.Duration

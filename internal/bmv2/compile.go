@@ -128,12 +128,13 @@ type cprog struct {
 	// tabs indexes every compiled table by its gslot; gen holds the
 	// published rule-set generation — one snapshot per table — swapped
 	// as a whole so multi-table batches commit atomically (table.go).
-	tabs      []*ctable
-	gen       atomic.Pointer[generation]
-	portSlot  int
-	mcastSlot int
-	dropSlot  int
-	pool      sync.Pool
+	tabs       []*ctable
+	gen        atomic.Pointer[generation]
+	portSlot   int
+	mcastSlot  int
+	dropSlot   int
+	inPortSlot int // meta.ingress_port, written per packet before parse
+	pool       sync.Pool
 }
 
 // compiler carries compile-time state.
@@ -221,6 +222,7 @@ func compileProgram(s *Switch) (*cprog, error) {
 	p.portSlot = cc.globalSlot("meta.egress_port")
 	p.mcastSlot = cc.globalSlot("meta.mcast_grp")
 	p.dropSlot = cc.globalSlot("meta.drop_flag")
+	p.inPortSlot = cc.globalSlot("meta.ingress_port")
 
 	// Controls: skeletons first (tables exist before bodies reference
 	// them, refNames fully populated before any guard runs), then

@@ -1,0 +1,404 @@
+package bmv2
+
+// fdd.go compiles a table's rule set into a forwarding decision
+// diagram (the "A Fast Compiler for NetKAT" technique): one level per
+// key field, each node a sorted list of disjoint intervals covering
+// the field's whole domain, each leaf the precomputed winning entry.
+// A match is then one walk — a binary search per key — instead of the
+// per-entry linear scan or the prefix-by-prefix lpmIdx walk, so
+// ternary/range/LPM/priority tables match in O(levels · log edges)
+// regardless of entry count.
+//
+// The diagram can be built ahead of time because the winner of the
+// reference scoring loop depends only on WHICH rules match, never on
+// the packet's key values: an LPM key contributes its prefix length,
+// ternary/range keys subtract the entry's priority, and ties go to
+// the earliest-inserted entry (the scan's strict > comparison). Each
+// rule therefore carries one static score, and a leaf's winner is the
+// best-scoring rule alive there.
+//
+// Eligibility is conservative and checked twice: at build time every
+// key expression must have a statically-known width (staticBits
+// mirrors the ops.go width rules) and every rule must expand to a
+// bounded set of intervals per field (ternary masks with many
+// free high bits explode combinatorially); at match time the runtime
+// key widths must equal the assumed ones, else the walk bails and the
+// caller falls back to the scan/lpmIdx paths, which stay materialized
+// in every snapshot as the semantic safety net.
+
+import (
+	"math/bits"
+	"sort"
+
+	"netcl/internal/p4"
+)
+
+const (
+	// fddMaxWork bounds total interval edges examined during a build;
+	// overflow abandons the diagram (scan fallback), never the table.
+	fddMaxWork = 1 << 16
+	// fddMaxFreeBits bounds non-contiguous ternary masks: a rule may
+	// enumerate at most 2^fddMaxFreeBits intervals per field.
+	fddMaxFreeBits = 6
+)
+
+// Leaf codes share the child namespace with node indices: child >= 0
+// is a node, fddMiss is "no entry matched", and any other negative
+// value encodes a winning entry index as -(idx)-2.
+const fddMiss = int32(-1)
+
+// fnode is one decision level: starts[i] opens the half-open
+// elementary interval [starts[i], starts[i+1]) (the last runs to the
+// end of the field's domain), and next[i] is its child or leaf code.
+// starts[0] is always 0, so every key value lands in some interval.
+type fnode struct {
+	starts []uint64
+	next   []int32
+}
+
+// fdd is the compiled diagram of one table's rule set.
+type fdd struct {
+	kbits []int // assumed static width per key level
+	nodes []fnode
+	root  int32 // node index or leaf code (rule-free tables)
+}
+
+// match walks the diagram. The bool result distinguishes an
+// authoritative answer (true; *centry may still be nil = miss) from a
+// bail because a runtime key width diverged from the build-time
+// assumption (false; caller must fall back).
+func (f *fdd) match(keys []val, ents []centry) (*centry, bool) {
+	n := f.root
+	for lvl := 0; n >= 0; lvl++ {
+		if keys[lvl].bits != f.kbits[lvl] {
+			return nil, false
+		}
+		nd := &f.nodes[n]
+		v := keys[lvl].wrapped()
+		lo, hi := 0, len(nd.starts)-1
+		for lo < hi {
+			mid := int(uint(lo+hi+1) >> 1)
+			if nd.starts[mid] <= v {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		n = nd.next[lo]
+	}
+	if n == fddMiss {
+		return nil, true
+	}
+	return &ents[-n-2], true
+}
+
+// fddIval is one closed interval [lo, hi] of key values.
+type fddIval struct{ lo, hi uint64 }
+
+// fddRule is one diagram-eligible entry: its store index, the static
+// score the reference loop would assign it, and its per-level interval
+// expansion.
+type fddRule struct {
+	ent   int32
+	score int
+	iv    [][]fddIval
+}
+
+type fddBuilder struct {
+	kbits []int
+	dmask []uint64
+	rules []fddRule
+	nodes []fnode
+	work  int
+	memo  map[string]int32
+}
+
+// buildFDD compiles sn.ents into a diagram, or returns nil when the
+// table is ineligible (dynamic key widths, unrepresentable masks,
+// work-budget overflow). Called from ctable.build under the writer
+// mutex; the result is immutable once published.
+func buildFDD(tb *ctable, sn *tsnap) *fdd {
+	if !tb.kstatic {
+		return nil
+	}
+	b := &fddBuilder{
+		kbits: tb.kbits,
+		dmask: make([]uint64, len(tb.kbits)),
+		memo:  map[string]int32{},
+	}
+	for i, kb := range tb.kbits {
+		b.dmask[i] = maskOf(kb)
+	}
+	for i := range sn.ents {
+		ce := &sn.ents[i]
+		if !ce.eligible {
+			continue
+		}
+		r := fddRule{ent: int32(i), iv: make([][]fddIval, len(tb.kbits))}
+		dead := false
+		for ki := range ce.e.Keys {
+			ivs, ok := projIvals(tb.kinds[ki], &ce.e.Keys[ki], tb.kbits[ki], ce.e.Priority, &r.score)
+			if !ok {
+				return nil // unrepresentable: whole table falls back
+			}
+			if len(ivs) == 0 {
+				dead = true // this rule can never match
+				break
+			}
+			r.iv[ki] = ivs
+		}
+		if !dead {
+			b.rules = append(b.rules, r)
+		}
+	}
+	alive := make([]int32, len(b.rules))
+	for i := range alive {
+		alive[i] = int32(i)
+	}
+	root, ok := b.node(0, alive)
+	if !ok {
+		return nil
+	}
+	return &fdd{kbits: b.kbits, nodes: b.nodes, root: root}
+}
+
+// projIvals projects one rule key onto its field domain as disjoint
+// intervals, folding the key's score contribution into *score exactly
+// like the reference loop (ternary/range subtract the priority, LPM
+// overwrites with the prefix length, exact is neutral). ok=false means
+// the key cannot be represented (too many intervals); an empty result
+// with ok=true means the key can never match.
+func projIvals(kind p4.MatchKind, kv *p4.KeyValue, kbits, prio int, score *int) ([]fddIval, bool) {
+	dmask := maskOf(kbits)
+	switch kind {
+	case p4.MatchExact:
+		if kv.Value > dmask {
+			return nil, true
+		}
+		return []fddIval{{kv.Value, kv.Value}}, true
+	case p4.MatchLPM:
+		plen := kv.PrefixLen
+		if plen < 0 {
+			plen = 0
+		}
+		if plen > kbits {
+			return nil, true // reference: plen wider than the key never matches
+		}
+		*score = plen
+		if plen == 0 {
+			return []fddIval{{0, dmask}}, true
+		}
+		shift := uint(kbits - plen)
+		hb := kv.Value >> shift
+		if hb > dmask>>shift {
+			return nil, true // prefix lies outside the key domain
+		}
+		lo := hb << shift
+		return []fddIval{{lo, lo | (uint64(1)<<shift - 1)}}, true
+	case p4.MatchTernary:
+		*score -= prio
+		c := kv.Value & kv.Mask
+		if c&^dmask != 0 {
+			return nil, true // required bits outside the key domain
+		}
+		me := kv.Mask & dmask
+		if me == 0 {
+			return []fddIval{{0, dmask}}, true
+		}
+		low := bits.TrailingZeros64(me)
+		lowMask := uint64(1)<<uint(low) - 1
+		freeHigh := ^me & dmask &^ lowMask
+		if bits.OnesCount64(freeHigh) > fddMaxFreeBits {
+			return nil, false
+		}
+		var ivs []fddIval
+		s := uint64(0)
+		for {
+			base := c | s
+			ivs = append(ivs, fddIval{base, base | lowMask})
+			if s == freeHigh {
+				return ivs, true
+			}
+			s = (s - freeHigh) & freeHigh
+		}
+	case p4.MatchRange:
+		*score -= prio
+		if kv.Value > dmask || kv.Hi < kv.Value {
+			return nil, true
+		}
+		hi := kv.Hi
+		if hi > dmask {
+			hi = dmask
+		}
+		return []fddIval{{kv.Value, hi}}, true
+	}
+	return nil, false
+}
+
+// node builds (or reuses, via the memo) the decision node for the
+// alive rule set at one level. Memoization on (level, alive) merges
+// isomorphic subtrees into a DAG, which is what keeps diagrams of
+// overlapping rules compact.
+func (b *fddBuilder) node(level int, alive []int32) (int32, bool) {
+	if level == len(b.kbits) {
+		return b.leaf(alive), true
+	}
+	key := memoKey(level, alive)
+	if id, ok := b.memo[key]; ok {
+		return id, true
+	}
+	// Elementary interval boundaries: 0 plus every alive endpoint.
+	starts := []uint64{0}
+	for _, r := range alive {
+		for _, iv := range b.rules[r].iv[level] {
+			starts = append(starts, iv.lo)
+			if iv.hi < b.dmask[level] {
+				starts = append(starts, iv.hi+1)
+			}
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	starts = dedupU64(starts)
+	b.work += len(starts)
+	if b.work > fddMaxWork {
+		return 0, false
+	}
+	var cs []uint64
+	var cn []int32
+	var sub []int32
+	for _, s := range starts {
+		sub = sub[:0]
+		for _, r := range alive {
+			if ivalsContain(b.rules[r].iv[level], s) {
+				sub = append(sub, r)
+			}
+		}
+		child, ok := b.node(level+1, sub)
+		if !ok {
+			return 0, false
+		}
+		if len(cn) > 0 && cn[len(cn)-1] == child {
+			continue // merge adjacent intervals with identical children
+		}
+		cs = append(cs, s)
+		cn = append(cn, child)
+	}
+	id := int32(len(b.nodes))
+	b.nodes = append(b.nodes, fnode{starts: cs, next: cn})
+	b.memo[key] = id
+	return id, true
+}
+
+// leaf picks the winner among the alive rules: best static score,
+// earliest store index on ties — exactly the scan's matched-flag loop
+// with its strict > comparison.
+func (b *fddBuilder) leaf(alive []int32) int32 {
+	win := fddMiss
+	best := 0
+	matched := false
+	for _, r := range alive {
+		if sc := b.rules[r].score; !matched || sc > best {
+			matched = true
+			best = sc
+			win = -b.rules[r].ent - 2
+		}
+	}
+	return win
+}
+
+func ivalsContain(ivs []fddIval, v uint64) bool {
+	for _, iv := range ivs {
+		if v >= iv.lo && v <= iv.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupU64(s []uint64) []uint64 {
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// memoKey encodes (level, alive set) compactly.
+func memoKey(level int, alive []int32) string {
+	buf := make([]byte, 0, 1+4*len(alive))
+	buf = append(buf, byte(level))
+	for _, r := range alive {
+		buf = append(buf, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+	}
+	return string(buf)
+}
+
+// Static key widths -----------------------------------------------------
+
+// staticBits computes the statically-known width of a table-key
+// expression, mirroring the runtime width rules of ops.go and the
+// evaluators: comparisons/logicals yield bit<1>, shifts keep the left
+// operand's width, other binary operators widen to the larger operand
+// (0 promoting to 64), casts fix their width, field references take
+// their declared width. ok=false means the width can depend on runtime
+// state (undeclared names pick up the width of whatever was last
+// assigned), which makes the table FDD-ineligible; match-time width
+// checks make any residual misjudgment here harmless.
+func (cc *compiler) staticBits(e p4.Expr) (int, bool) {
+	switch x := e.(type) {
+	case *p4.IntLit:
+		if x.Bits == 0 {
+			return 64, true
+		}
+		return x.Bits, true
+	case *p4.FieldRef:
+		// Table keys compile at apply-level scope (no action frames),
+		// so the name is a global; declared widths are sticky on every
+		// assignment path, undeclared names are dynamically typed.
+		if b := cc.s.fields[x.String()]; b != 0 {
+			return b, true
+		}
+		return 0, false
+	case *p4.Bin:
+		switch x.Op {
+		case "==", "!=", "<", "<=", ">", ">=", "s<", "s<=", "s>", "s>=", "&&", "||":
+			return 1, true
+		case "<<", ">>", "s>>":
+			return cc.staticBits(x.X)
+		default:
+			xb, xok := cc.staticBits(x.X)
+			yb, yok := cc.staticBits(x.Y)
+			if !xok || !yok {
+				return 0, false
+			}
+			return combinedBits(val{bits: xb}, val{bits: yb}), true
+		}
+	case *p4.Un:
+		if x.Op == "!" {
+			return 1, true
+		}
+		return cc.staticBits(x.X)
+	case *p4.Cast:
+		return x.Bits, true
+	case *p4.TernaryExpr:
+		ab, aok := cc.staticBits(x.A)
+		bb, bok := cc.staticBits(x.B)
+		if aok && bok && ab == bb {
+			return ab, true
+		}
+		return 0, false
+	case *p4.CallExpr:
+		if x.Method == "isValid" {
+			return 1, true
+		}
+		// Hash gets always yield the declared width; every other call
+		// has an error path of a different width (val{0,32}).
+		if h := cc.hashDecl(x.Recv); h != nil && x.Method == "get" {
+			return h.Bits, true
+		}
+		return 0, false
+	}
+	return 0, false
+}

@@ -81,6 +81,7 @@ type Switch struct {
 	prog       *cprog // compiled form; nil when compilation was refused
 	compileErr error
 	engine     Engine
+	fddOff     bool // disables decision-diagram matchers (bench knob)
 
 	// Counters for observability and tests, updated atomically.
 	PacketsIn, PacketsOut, PacketsDropped uint64
@@ -154,6 +155,27 @@ func (s *Switch) SetEngine(e Engine) { s.engine = e }
 
 // Compiled reports whether packets run on the compiled engine.
 func (s *Switch) Compiled() bool { return s.prog != nil && s.engine == EngineCompiled }
+
+// SetFDD enables or disables the decision-diagram matchers (fdd.go)
+// and republishes every table snapshot accordingly. Diagrams are on by
+// default; the knob exists so benchmarks can isolate the FDD delta.
+// Safe to call concurrently with packet processing (RCU publication).
+func (s *Switch) SetFDD(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fddOff == !on {
+		return
+	}
+	s.fddOff = !on
+	if s.prog == nil {
+		return
+	}
+	snaps := make([]*tsnap, len(s.prog.tabs))
+	for i, tb := range s.prog.tabs {
+		snaps[i] = tb.build()
+	}
+	s.prog.gen.Store(&generation{snaps: snaps})
+}
 
 // CompileErr returns the reason compilation was refused, or nil.
 func (s *Switch) CompileErr() error { return s.compileErr }
@@ -338,12 +360,54 @@ type exec struct {
 }
 
 // Process runs one packet through parser, ingress, (egress,) deparser
-// on the selected engine.
+// on the selected engine. inPort is published to the program as
+// meta.ingress_port before parsing (both engines, identical widths).
 func (s *Switch) Process(data []byte, inPort int) (*Result, error) {
 	if s.prog != nil && s.engine == EngineCompiled {
-		return s.prog.process(data)
+		return s.prog.process(data, inPort)
 	}
 	return s.processReference(data, inPort)
+}
+
+// MaxBurst is the largest batch ProcessBurst handles per machine
+// checkout; Sharded workers drain up to this many queued jobs per
+// channel wakeup.
+const MaxBurst = 32
+
+// ProcessBurst runs len(pkts) packets through the pipeline, writing
+// outcome i into res[i]/errs[i] (res[i] is zeroed when errs[i] is
+// non-nil). ports may be nil (all packets enter on port 0). res and
+// errs must be at least len(pkts) long; bursts beyond MaxBurst are
+// processed in chunks. On the compiled engine a burst shares one
+// machine checkout and one rule-set generation pin and folds counter
+// updates into one atomic add per counter — per-packet semantics are
+// byte-identical to calling Process in a loop. Result slots belong to
+// the caller: reusing the slices across bursts is the zero-alloc
+// pattern (see Sharded's worker loop).
+func (s *Switch) ProcessBurst(pkts [][]byte, ports []int, res []Result, errs []error) {
+	if s.prog != nil && s.engine == EngineCompiled {
+		for len(pkts) > MaxBurst {
+			s.prog.processBurst(pkts[:MaxBurst], ports, res[:MaxBurst], errs[:MaxBurst])
+			pkts, res, errs = pkts[MaxBurst:], res[MaxBurst:], errs[MaxBurst:]
+			if ports != nil {
+				ports = ports[MaxBurst:]
+			}
+		}
+		s.prog.processBurst(pkts, ports, res, errs)
+		return
+	}
+	for i, pkt := range pkts {
+		port := 0
+		if ports != nil {
+			port = ports[i]
+		}
+		r, err := s.processReference(pkt, port)
+		if err != nil {
+			res[i], errs[i] = Result{}, err
+			continue
+		}
+		res[i], errs[i] = *r, nil
+	}
 }
 
 // processReference is the original tree-walking interpreter: the
@@ -354,6 +418,10 @@ func (s *Switch) processReference(data []byte, inPort int) (*Result, error) {
 	for _, f := range s.Prog.Metadata {
 		ex.env["meta."+f.Name] = val{0, f.Bits}
 	}
+	// The ingress port is program-visible metadata, set before parsing
+	// (a parser select may read it). Width rules match the compiled
+	// engine exactly: the declared width, or dynamic when undeclared.
+	ex.env["meta.ingress_port"] = val{uint64(inPort), s.fields["meta.ingress_port"]}
 	if err := ex.parse(data); err != nil {
 		return nil, err
 	}

@@ -47,11 +47,18 @@ func (m *machine) run(fns []stmtFn) error {
 func (p *cprog) getMachine() *machine {
 	m := p.pool.Get().(*machine)
 	m.sw = p.sw
-	// One atomic load pins the whole rule set for this packet: every
-	// table the packet applies reads the same generation, so a
-	// concurrently committed batch is either fully visible or not at
-	// all (the transactional consistency guarantee).
+	// One atomic load pins the whole rule set for this packet (or for
+	// the whole burst): every table applied reads the same generation,
+	// so a concurrently committed batch is either fully visible or not
+	// at all (the transactional consistency guarantee).
 	m.gen = p.gen.Load()
+	m.reset(p)
+	return m
+}
+
+// reset readies the machine for the next packet of a burst without
+// re-pinning the generation or touching the pool.
+func (m *machine) reset(p *cprog) {
 	copy(m.frame, p.initFrame)
 	for i := range m.valid {
 		m.valid[i] = false
@@ -60,7 +67,6 @@ func (p *cprog) getMachine() *machine {
 	m.ordered = m.ordered[:0]
 	m.payload = nil
 	m.exited = false
-	return m
 }
 
 func (p *cprog) putMachine(m *machine) {
@@ -69,44 +75,95 @@ func (p *cprog) putMachine(m *machine) {
 	p.pool.Put(m)
 }
 
-// process runs one packet through the compiled pipeline. Counters and
-// Result semantics match the reference Process exactly; counter
-// updates are atomic because shards call process concurrently.
-func (p *cprog) process(data []byte) (*Result, error) {
-	s := p.sw
-	atomic.AddUint64(&s.PacketsIn, 1)
-	m := p.getMachine()
+// run1 executes one packet on a checked-out machine, filling res and
+// reporting whether the packet was dropped. Counter updates are left
+// to the caller so bursts can batch them.
+func (p *cprog) run1(m *machine, data []byte, inPort int, res *Result) (bool, error) {
+	m.frame[p.inPortSlot] = val{uint64(inPort), m.frame[p.inPortSlot].bits}
 	if err := m.parse(p, data); err != nil {
-		p.putMachine(m)
-		return nil, err
+		return false, err
 	}
 	if err := m.run(p.ingress.body); err != nil {
-		p.putMachine(m)
-		return nil, err
+		return false, err
 	}
 	if p.egress != nil && !m.exited {
 		if err := m.run(p.egress.body); err != nil {
-			p.putMachine(m)
-			return nil, err
+			return false, err
 		}
 	}
-	res := &Result{
+	*res = Result{
 		Port:  int(m.frame[p.portSlot].wrapped()),
 		Mcast: int(m.frame[p.mcastSlot].wrapped()),
 	}
 	if m.frame[p.dropSlot].wrapped() != 0 {
 		res.Dropped = true
-		atomic.AddUint64(&s.PacketsDropped, 1)
-		p.putMachine(m)
-		return res, nil
+		return true, nil
 	}
 	res.Data = m.deparse(p)
 	if res.Port == 0 && res.Mcast == 0 {
 		res.NoMatch = true
 	}
-	atomic.AddUint64(&s.PacketsOut, 1)
+	return false, nil
+}
+
+// process runs one packet through the compiled pipeline. Counters and
+// Result semantics match the reference Process exactly; counter
+// updates are atomic because shards call process concurrently.
+func (p *cprog) process(data []byte, inPort int) (*Result, error) {
+	s := p.sw
+	atomic.AddUint64(&s.PacketsIn, 1)
+	m := p.getMachine()
+	res := &Result{}
+	dropped, err := p.run1(m, data, inPort, res)
 	p.putMachine(m)
+	if err != nil {
+		return nil, err
+	}
+	if dropped {
+		atomic.AddUint64(&s.PacketsDropped, 1)
+	} else {
+		atomic.AddUint64(&s.PacketsOut, 1)
+	}
 	return res, nil
+}
+
+// processBurst runs a burst (≤ MaxBurst packets, enforced by the
+// Switch wrapper) through one machine checkout under one pinned
+// generation, folding the counter updates into one atomic add per
+// counter. Per-packet behavior is identical to process; only the
+// *Result allocation and the per-packet pump overhead disappear.
+func (p *cprog) processBurst(pkts [][]byte, ports []int, res []Result, errs []error) {
+	s := p.sw
+	atomic.AddUint64(&s.PacketsIn, uint64(len(pkts)))
+	m := p.getMachine()
+	var out, drop uint64
+	for i, data := range pkts {
+		if i > 0 {
+			m.reset(p)
+		}
+		port := 0
+		if ports != nil {
+			port = ports[i]
+		}
+		dropped, err := p.run1(m, data, port, &res[i])
+		if err != nil {
+			res[i], errs[i] = Result{}, err
+			continue
+		}
+		errs[i] = nil
+		if dropped {
+			drop++
+		} else {
+			out++
+		}
+	}
+	p.putMachine(m)
+	if drop != 0 {
+		atomic.AddUint64(&s.PacketsDropped, drop)
+	}
+	if out != 0 {
+		atomic.AddUint64(&s.PacketsOut, out)
+	}
 }
 
 // parse walks the compiled parser FSM, replicating the reference

@@ -1,0 +1,5 @@
+//go:build !race
+
+package bmv2
+
+const raceEnabled = false

@@ -45,6 +45,10 @@ type ShardedConfig struct {
 	// FlowKey maps a packet to its flow identity. nil sends every
 	// packet to shard 0 (safe, serial).
 	FlowKey FlowKeyFunc
+	// Burst caps how many queued jobs a worker drains per channel
+	// wakeup and runs through one ProcessBurst (default MaxBurst;
+	// 1 disables bursting). Per-flow FIFO order is unaffected.
+	Burst int
 }
 
 // ShardStats are one shard's counters.
@@ -62,6 +66,7 @@ type ShardedStats struct {
 
 type shardJob struct {
 	data []byte
+	port int
 	done func(*Result, error)
 	ctl  func() // control token: quiesce barrier
 }
@@ -76,6 +81,7 @@ type shard struct {
 type Sharded struct {
 	sw     *Switch
 	key    FlowKeyFunc
+	burst  int
 	shards []*shard
 
 	// mu serializes quiesce operations (control-plane register access,
@@ -100,7 +106,11 @@ func NewSharded(sw *Switch, cfg ShardedConfig) (*Sharded, error) {
 	if depth <= 0 {
 		depth = 256
 	}
-	sh := &Sharded{sw: sw, key: cfg.FlowKey}
+	burst := cfg.Burst
+	if burst <= 0 || burst > MaxBurst {
+		burst = MaxBurst
+	}
+	sh := &Sharded{sw: sw, key: cfg.FlowKey, burst: burst}
 	for i := 0; i < n; i++ {
 		s := &shard{ch: make(chan shardJob, depth)}
 		sh.shards = append(sh.shards, s)
@@ -117,17 +127,68 @@ func (sh *Sharded) Switch() *Switch { return sh.sw }
 // Shards returns the shard count.
 func (sh *Sharded) Shards() int { return len(sh.shards) }
 
+// worker drains its FIFO in opportunistic bursts: each channel wakeup
+// collects up to sh.burst already-queued jobs (never blocking for
+// more) and runs them through one ProcessBurst — one machine checkout,
+// one generation pin, batched counters. Channel FIFO order is
+// preserved, so per-flow ordering and the quiesce barrier semantics
+// are exactly those of the one-job-at-a-time loop: a control token
+// encountered mid-drain stops the fill, the collected burst flushes
+// first (those jobs were queued before the token), then the token
+// parks the worker. Result/error slots live in worker-local arrays
+// reused across bursts — a done callback may use its *Result only
+// until it returns, which every existing caller already honors.
 func (sh *Sharded) worker(s *shard) {
 	defer sh.wg.Done()
+	var (
+		jobs  = make([]shardJob, 0, sh.burst)
+		data  = make([][]byte, sh.burst)
+		ports = make([]int, sh.burst)
+		res   = make([]Result, sh.burst)
+		errs  = make([]error, sh.burst)
+	)
 	for j := range s.ch {
 		if j.ctl != nil {
 			j.ctl()
 			continue
 		}
-		res, err := sh.sw.Process(j.data, 0)
-		atomic.AddUint64(&s.processed, 1)
-		if j.done != nil {
-			j.done(res, err)
+		jobs = append(jobs[:0], j)
+		var ctl func()
+	fill:
+		for len(jobs) < sh.burst {
+			select {
+			case j2, ok := <-s.ch:
+				if !ok {
+					break fill
+				}
+				if j2.ctl != nil {
+					ctl = j2.ctl
+					break fill
+				}
+				jobs = append(jobs, j2)
+			default:
+				break fill
+			}
+		}
+		n := len(jobs)
+		for i := range jobs {
+			data[i], ports[i] = jobs[i].data, jobs[i].port
+		}
+		sh.sw.ProcessBurst(data[:n], ports[:n], res[:n], errs[:n])
+		atomic.AddUint64(&s.processed, uint64(n))
+		for i := range jobs {
+			data[i] = nil // release the caller's buffer reference
+			if jobs[i].done == nil {
+				continue
+			}
+			if errs[i] != nil {
+				jobs[i].done(nil, errs[i])
+			} else {
+				jobs[i].done(&res[i], nil)
+			}
+		}
+		if ctl != nil {
+			ctl()
 		}
 	}
 }
@@ -164,12 +225,18 @@ func (sh *Sharded) ShardOf(pkt []byte) int {
 // one goroutine; submitting one flow from many goroutines makes the
 // arrival order itself ambiguous.
 func (sh *Sharded) Submit(pkt []byte, done func(*Result, error)) bool {
+	return sh.SubmitPort(pkt, 0, done)
+}
+
+// SubmitPort is Submit with an explicit ingress port, published to the
+// program as meta.ingress_port.
+func (sh *Sharded) SubmitPort(pkt []byte, inPort int, done func(*Result, error)) bool {
 	if sh.closed.Load() {
 		return false
 	}
 	s := sh.shards[sh.ShardOf(pkt)]
 	select {
-	case s.ch <- shardJob{data: pkt, done: done}:
+	case s.ch <- shardJob{data: pkt, port: inPort, done: done}:
 		return true
 	default:
 		atomic.AddUint64(&s.queueFull, 1)

@@ -2,9 +2,11 @@ package bmv2
 
 // table.go specializes each match-action table into a matcher at
 // compile time: a persistent hash trie for all-exact-key tables (the
-// CACHE and CALC dispatch pattern), a sorted-prefix walk for
-// single-key LPM tables, and the reference linear scan for everything
-// else (ternary, range, mixed). The materialized matcher lives in an
+// CACHE and CALC dispatch pattern) and a forwarding decision diagram
+// (fdd.go) for everything else — LPM, ternary, range, mixed — with
+// the sorted-prefix walk and the reference linear scan kept as the
+// fallback for FDD-ineligible tables and diverging runtime key
+// widths. The materialized matcher lives in an
 // immutable snapshot (tsnap) inside a program-wide generation behind
 // one atomic pointer, RCU style: the data path pins the generation
 // with a single atomic read at packet start and never takes a lock,
@@ -22,6 +24,7 @@ package bmv2
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"netcl/internal/p4"
 )
@@ -63,6 +66,7 @@ type tsnap struct {
 	pm     *pnode   // exact: tuple -> compiled entry (persistent)
 	ents   []centry // LPM/linear: compiled entries in store order
 	lpmIdx []int    // entry indices, prefix length descending (stable)
+	dd     *fdd     // decision diagram over ents (fdd.go); nil = walk/scan
 
 	defAct     *caction
 	defArgs    []val
@@ -101,13 +105,22 @@ type ctable struct {
 	kinds  []p4.MatchKind
 	kind   tkind
 	gslot  int // index of this table's snapshot in a generation
+
+	// kbits/kstatic: statically inferred key widths (fdd.go). The
+	// decision diagram is built only when every key width is static.
+	kbits   []int
+	kstatic bool
+	// builds counts snapshot materializations — the amortization guard:
+	// a WriteBatch must cost one build per touched LPM/linear table, not
+	// one per op (pinned by TestBatchRebuildAmortized).
+	builds uint64
 }
 
 // table compiles the static shape of one table (key closures at
 // apply-level scope, matcher choice). Entries are materialized later
 // by build, once action instances exist.
 func (cc *compiler) table(ctl *cctl, t *p4.Table) (*ctable, error) {
-	tb := &ctable{name: t.Name, sw: cc.s, ctl: ctl, t: t}
+	tb := &ctable{name: t.Name, sw: cc.s, ctl: ctl, t: t, kstatic: true}
 	for _, k := range t.Keys {
 		f, err := cc.expr(ctl.c, nil, k.Expr)
 		if err != nil {
@@ -115,6 +128,9 @@ func (cc *compiler) table(ctl *cctl, t *p4.Table) (*ctable, error) {
 		}
 		tb.keyFns = append(tb.keyFns, f)
 		tb.kinds = append(tb.kinds, k.Match)
+		kb, ok := cc.staticBits(k.Expr)
+		tb.kbits = append(tb.kbits, kb)
+		tb.kstatic = tb.kstatic && ok
 	}
 	switch {
 	case len(t.Keys) >= 1 && len(t.Keys) <= maxExactKeys && t.AllExact():
@@ -194,6 +210,7 @@ func (tb *ctable) compileDefault(sn *tsnap) {
 // mutations (clear, sort, LPM/linear deltas) — never from the data
 // path. The caller publishes the result.
 func (tb *ctable) build() *tsnap {
+	atomic.AddUint64(&tb.builds, 1)
 	sn := &tsnap{}
 	es := tb.sw.entries[tb.name]
 	switch tb.kind {
@@ -246,6 +263,11 @@ func (tb *ctable) build() *tsnap {
 				sn.ents = append(sn.ents, tb.compileEntry(e))
 			}
 		}
+	}
+	if tb.kind != tExact && !tb.sw.fddOff {
+		// The lpmIdx/ents fallback stays materialized alongside the
+		// diagram: match-time width checks may still reject the walk.
+		sn.dd = buildFDD(tb, sn)
 	}
 	tb.compileDefault(sn)
 	return sn
@@ -331,23 +353,29 @@ func (tb *ctable) apply(m *machine) (bool, error) {
 			tk[i] = keys[i].wrapped()
 		}
 		ce = pget(sn.pm, phash(tk), tk)
-	case tLPM:
-		kval := keys[0].wrapped()
-		bits := keys[0].bits
-		for _, idx := range sn.lpmIdx {
-			e := &sn.ents[idx]
-			plen := e.plen
-			if plen > bits {
-				continue
-			}
-			shift := uint(bits - plen)
-			if plen == 0 || kval>>shift == e.e.Keys[0].Value>>shift {
-				ce = e
-				break
-			}
-		}
 	default:
-		ce = tb.scan(sn, keys)
+		authoritative := false
+		if sn.dd != nil {
+			ce, authoritative = sn.dd.match(keys, sn.ents)
+		}
+		if !authoritative && tb.kind == tLPM {
+			kval := keys[0].wrapped()
+			bits := keys[0].bits
+			for _, idx := range sn.lpmIdx {
+				e := &sn.ents[idx]
+				plen := e.plen
+				if plen > bits {
+					continue
+				}
+				shift := uint(bits - plen)
+				if plen == 0 || kval>>shift == e.e.Keys[0].Value>>shift {
+					ce = e
+					break
+				}
+			}
+		} else if !authoritative {
+			ce = tb.scan(sn, keys)
+		}
 	}
 
 	if ce == nil {

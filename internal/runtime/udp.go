@@ -32,6 +32,7 @@ type UDPDevice struct {
 	sharded *bmv2.Sharded // nil when Workers <= 1 (serialized legacy path)
 	conn    *net.UDPConn
 	addrs   map[uint16]*net.UDPAddr
+	ports   map[string]int // source UDP address -> ingress port (node id)
 	mcast   map[int][]uint16
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -77,6 +78,9 @@ type DeviceConfig struct {
 	// FlowKey extracts the flow identity from a framed packet. nil
 	// serializes all packets on one worker (always safe).
 	FlowKey bmv2.FlowKeyFunc
+	// Burst caps how many queued packets a worker drains per wakeup
+	// into one burst execution (default bmv2.MaxBurst; 1 disables).
+	Burst int
 }
 
 // ServeDevice starts a device process described by cfg.
@@ -94,6 +98,7 @@ func ServeDevice(cfg DeviceConfig) (*UDPDevice, error) {
 		sw:     bmv2.New(cfg.Prog),
 		conn:   conn,
 		addrs:  map[uint16]*net.UDPAddr{},
+		ports:  map[string]int{},
 		mcast:  map[int][]uint16{},
 		done:   make(chan struct{}),
 		faults: newFaultInjector(cfg.Faults),
@@ -101,7 +106,8 @@ func ServeDevice(cfg DeviceConfig) (*UDPDevice, error) {
 	d.bufs.New = func() any { return &dbuf{b: make([]byte, FrameOverhead+65536)} }
 	if cfg.Workers > 1 && d.sw.Compiled() {
 		sh, err := bmv2.NewSharded(d.sw, bmv2.ShardedConfig{
-			Shards: cfg.Workers, QueueDepth: cfg.QueueDepth, FlowKey: cfg.FlowKey,
+			Shards: cfg.Workers, QueueDepth: cfg.QueueDepth,
+			FlowKey: cfg.FlowKey, Burst: cfg.Burst,
 		})
 		if err != nil {
 			conn.Close()
@@ -190,6 +196,9 @@ func (d *UDPDevice) SetNodeAddr(id uint16, addr string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.addrs[id] = ua
+	// Nodes send from the conn they registered, so the datagram source
+	// address identifies the sender: its id becomes the ingress port.
+	d.ports[ua.String()] = int(id)
 	return d.sw.InsertEntry("netcl_fwd", &p4.Entry{
 		Keys:   []p4.KeyValue{{Value: uint64(id), PrefixLen: -1}},
 		Action: &p4.ActionCall{Name: "set_port", Args: []uint64{uint64(id)}},
@@ -210,7 +219,7 @@ func (d *UDPDevice) loop() {
 		// Datagrams land at offset FrameOverhead so the encapsulation
 		// headers can be written in place: no per-packet allocation and
 		// no payload copy on the receive path.
-		n, _, err := d.conn.ReadFromUDP(db.b[FrameOverhead:])
+		n, raddr, err := d.conn.ReadFromUDP(db.b[FrameOverhead:])
 		if err != nil {
 			d.bufs.Put(db)
 			select {
@@ -223,6 +232,10 @@ func (d *UDPDevice) loop() {
 		pkt := FrameInPlace(db.b[:FrameOverhead+n], uint64(d.ID), 0)
 		d.mu.Lock()
 		paused := d.paused
+		inPort := 0
+		if raddr != nil {
+			inPort = d.ports[raddr.String()] // 0 when the sender is unregistered
+		}
 		d.mu.Unlock()
 		if paused || d.faults.drop() {
 			atomic.AddUint64(&d.FaultDropped, 1)
@@ -240,14 +253,14 @@ func (d *UDPDevice) loop() {
 				db2 := d.bufs.Get().(*dbuf)
 				pkt2 := db2.b[:len(pkt)]
 				copy(pkt2, pkt)
-				d.submit(pkt2, db2)
+				d.submit(pkt2, inPort, db2)
 			}
-			d.submit(pkt, db)
+			d.submit(pkt, inPort, db)
 			continue
 		}
-		d.processInline(pkt)
+		d.processInline(pkt, inPort)
 		if dup {
-			d.processInline(pkt)
+			d.processInline(pkt, inPort)
 		}
 		d.bufs.Put(db)
 	}
@@ -255,8 +268,8 @@ func (d *UDPDevice) loop() {
 
 // submit hands a framed packet to its flow's worker; a full queue
 // sheds the packet (open-loop backpressure).
-func (d *UDPDevice) submit(pkt []byte, db *dbuf) {
-	ok := d.sharded.Submit(pkt, func(res *bmv2.Result, err error) {
+func (d *UDPDevice) submit(pkt []byte, inPort int, db *dbuf) {
+	ok := d.sharded.SubmitPort(pkt, inPort, func(res *bmv2.Result, err error) {
 		d.emit(res, err)
 		d.bufs.Put(db)
 	})
@@ -270,9 +283,9 @@ func (d *UDPDevice) submit(pkt []byte, db *dbuf) {
 // processInline is the serialized path (Workers <= 1): processing
 // holds d.mu, preserving the seed behavior of one packet at a time,
 // strictly ordered with control-plane calls.
-func (d *UDPDevice) processInline(pkt []byte) {
+func (d *UDPDevice) processInline(pkt []byte, inPort int) {
 	d.mu.Lock()
-	res, err := d.sw.Process(pkt, 0)
+	res, err := d.sw.Process(pkt, inPort)
 	d.mu.Unlock()
 	d.emit(res, err)
 }

@@ -43,7 +43,9 @@ func BenchInterp(pkts int) (*InterpReport, error) {
 	return &InterpReport{PacketsPerApp: pkts, Points: points, SimAgg: agg.Sim}, nil
 }
 
-// FormatInterp renders the benchmark as text.
+// FormatInterp renders the benchmark as text: the engine comparison,
+// then the compiled engine's own deltas (decision-diagram matchers and
+// burst execution, each isolated).
 func FormatInterp(rep *InterpReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "INTERPRETER — compiled engine vs reference tree-walker (%d packets per app)\n", rep.PacketsPerApp)
@@ -53,6 +55,14 @@ func FormatInterp(rep *InterpReport) string {
 		fmt.Fprintf(&b, "%-8s %14.0f %14.0f %7.2fx %12.0f %12.0f %10.1f %10.1f\n",
 			p.App, p.ReferencePPS, p.CompiledPPS, p.Speedup,
 			p.ReferenceBytesPkt, p.CompiledBytesPkt, p.ReferenceAllocsPkt, p.CompiledAllocsPkt)
+	}
+	fmt.Fprintf(&b, "COMPILED ENGINE DELTAS — match diagrams (FDD) and burst execution\n")
+	fmt.Fprintf(&b, "%-8s %14s %14s %8s %14s %14s %8s %10s\n",
+		"APP", "SCAN(pkt/s)", "FDD(pkt/s)", "FDD-X", "BURST8", "BURST32", "B32-X", "B32 allocs")
+	for _, p := range rep.Points {
+		fmt.Fprintf(&b, "%-8s %14.0f %14.0f %7.2fx %14.0f %14.0f %7.2fx %10.1f\n",
+			p.App, p.CompiledScanPPS, p.CompiledPPS, p.FDDSpeedup,
+			p.Burst8PPS, p.Burst32PPS, p.Burst32Speedup, p.Burst32Allocs)
 	}
 	fmt.Fprintf(&b, "NETSIM — AGG end-to-end run: %d events, peak queue %d, %.0f events/sec\n",
 		rep.SimAgg.Events, rep.SimAgg.PeakQueue, rep.SimAgg.EventsPerSec)

@@ -29,10 +29,11 @@ type LoadgenReport struct {
 	Points        []*LoadgenPoint `json:"points"`
 }
 
-// BenchLoadgen sweeps the sharded engine over shard counts with a
-// closed-loop many-pool AGG workload (pkts packets per flow, 0 =
-// default). Every point verifies per-flow results against a
-// single-shard replay.
+// BenchLoadgen sweeps the sharded engine with a closed-loop many-pool
+// AGG workload (pkts packets per flow, 0 = default): shard counts
+// {1, 2, 4, 8} at the default worker burst, then burst sizes {1, 8, 32}
+// at one shard, isolating the burst-drain delta on a single core.
+// Every point verifies per-flow results against a single-shard replay.
 func BenchLoadgen(pkts int) (*LoadgenReport, error) {
 	if pkts <= 0 {
 		pkts = 256
@@ -41,20 +42,31 @@ func BenchLoadgen(pkts int) (*LoadgenReport, error) {
 		GOMAXPROCS: gort.GOMAXPROCS(0), NumCPU: gort.NumCPU(),
 		Hosts: 8, Pools: 256, PacketsPerFlow: pkts,
 	}
-	for _, shards := range []int{1, 2, 4, 8} {
+	run := func(shards, burst int) error {
 		res, err := apps.RunLoadgen(apps.LoadgenConfig{
-			Shards: shards, QueueDepth: 256,
+			Shards: shards, QueueDepth: 256, Burst: burst,
 			Hosts: rep.Hosts, Pools: rep.Pools, Packets: pkts,
 			Verify: true, Target: passes.TargetTNA,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("loadgen %d shards: %w", shards, err)
+			return fmt.Errorf("loadgen %d shards, burst %d: %w", shards, burst, err)
 		}
 		if res.Mismatches != 0 {
-			return nil, fmt.Errorf("loadgen %d shards: %d per-flow mismatches vs single-shard replay",
-				shards, res.Mismatches)
+			return fmt.Errorf("loadgen %d shards, burst %d: %d per-flow mismatches vs single-shard replay",
+				shards, burst, res.Mismatches)
 		}
 		rep.Points = append(rep.Points, res)
+		return nil
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		if err := run(shards, 0); err != nil {
+			return nil, err
+		}
+	}
+	for _, burst := range []int{1, 8, 32} {
+		if err := run(1, burst); err != nil {
+			return nil, err
+		}
 	}
 	return rep, nil
 }
@@ -64,8 +76,8 @@ func FormatLoadgen(rep *LoadgenReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "LOADGEN — flow-sharded data plane, AGG %d pools × %d pkts, %d hosts (GOMAXPROCS=%d, NumCPU=%d)\n",
 		rep.Pools, rep.PacketsPerFlow, rep.Hosts, rep.GOMAXPROCS, rep.NumCPU)
-	fmt.Fprintf(&b, "%-7s %12s %8s %10s %10s %10s %10s %9s\n",
-		"SHARDS", "PKTS/SEC", "SPEEDUP", "P50(µs)", "P90(µs)", "P99(µs)", "SHED", "VERIFIED")
+	fmt.Fprintf(&b, "%-7s %6s %12s %8s %10s %10s %10s %10s %9s\n",
+		"SHARDS", "BURST", "PKTS/SEC", "SPEEDUP", "P50(µs)", "P90(µs)", "P99(µs)", "SHED", "VERIFIED")
 	base := 0.0
 	for _, p := range rep.Points {
 		if base == 0 {
@@ -75,8 +87,8 @@ func FormatLoadgen(rep *LoadgenReport) string {
 		if base > 0 {
 			speedup = p.PPS / base
 		}
-		fmt.Fprintf(&b, "%-7d %12.0f %7.2fx %10.2f %10.2f %10.2f %10d %6d/%d\n",
-			p.Shards, p.PPS, speedup, p.P50Ns/1e3, p.P90Ns/1e3, p.P99Ns/1e3,
+		fmt.Fprintf(&b, "%-7d %6d %12.0f %7.2fx %10.2f %10.2f %10.2f %10d %6d/%d\n",
+			p.Shards, p.Burst, p.PPS, speedup, p.P50Ns/1e3, p.P90Ns/1e3, p.P99Ns/1e3,
 			p.Shed, p.VerifiedFlows-p.Mismatches, p.VerifiedFlows)
 	}
 	if rep.NumCPU == 1 {
