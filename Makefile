@@ -42,6 +42,12 @@ bench-host:
 bench-ctrl:
 	$(GO) run ./cmd/nclbench -ctrl -out BENCH_ctrl.json
 
+bench-netsim:
+	$(GO) run ./cmd/nclbench -netsim -out BENCH_netsim.json
+
+bench-netsim-smoke:
+	$(GO) run ./cmd/nclbench -netsim -smoke -out BENCH_netsim_smoke.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/allreduce
@@ -49,4 +55,4 @@ examples:
 	$(GO) run ./examples/paxos
 
 clean:
-	rm -f BENCH_reliability.json BENCH_interp.json BENCH_loadgen.json BENCH_hostpath.json BENCH_ctrl.json
+	rm -f BENCH_reliability.json BENCH_interp.json BENCH_loadgen.json BENCH_hostpath.json BENCH_ctrl.json BENCH_netsim_smoke.json

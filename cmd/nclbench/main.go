@@ -32,6 +32,13 @@
 // storms:
 //
 //	nclbench -ctrl -out BENCH_ctrl.json
+//
+// With -netsim it sweeps the partitioned network simulator over host
+// counts {10k, 100k, 1M} × partition counts {1, 2, 4} under the
+// chained-AGG scale scenario (-smoke restricts to the quick 10k-host
+// CI variant):
+//
+//	nclbench -netsim -out BENCH_netsim.json
 package main
 
 import (
@@ -50,6 +57,8 @@ func main() {
 		loadgen     = flag.Bool("loadgen", false, "sweep the flow-sharded data plane over shard counts")
 		hostpath    = flag.Bool("hostpath", false, "sweep the pipelined host channel over window sizes")
 		ctrl        = flag.Bool("ctrl", false, "benchmark the transactional control plane")
+		netsim      = flag.Bool("netsim", false, "sweep the partitioned network simulator over host counts")
+		smoke       = flag.Bool("smoke", false, "netsim: quick CI variant (10k hosts, partitions 1-2)")
 		out         = flag.String("out", "", "output JSON path (default BENCH_<mode>.json)")
 		workers     = flag.Int("workers", 4, "reliability: AGG workers")
 		chunks      = flag.Int("chunks", 48, "reliability: chunks per worker")
@@ -60,6 +69,20 @@ func main() {
 		updates     = flag.Int("updates", 4000, "ctrl: CRUD ops per (transport, mode) point")
 	)
 	flag.Parse()
+
+	if *netsim {
+		if *out == "" {
+			*out = "BENCH_netsim.json"
+		}
+		rep, err := netcl.BenchNetsim(*smoke)
+		check(err)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		check(err)
+		check(os.WriteFile(*out, append(data, '\n'), 0o644))
+		fmt.Print(netcl.FormatNetsim(rep))
+		fmt.Println("wrote", *out)
+		return
+	}
 
 	if *ctrl {
 		if *out == "" {

@@ -64,7 +64,7 @@ _at(STAGE2) _kernel(1) void second(unsigned &x, uint16_t &via) {
 
 	var gotX, gotVia uint64
 	var gotHdr wire.Header
-	h4.Receive = func(h *netsim.Host, msg []byte) {
+	h4.SetReceive(func(h *netsim.Host, msg []byte) {
 		x := make([]uint64, 1)
 		via := make([]uint64, 1)
 		hdr, err := runtime.Unpack(spec, msg, [][]uint64{x, via})
@@ -73,7 +73,7 @@ _at(STAGE2) _kernel(1) void second(unsigned &x, uint16_t &via) {
 			return
 		}
 		gotX, gotVia, gotHdr = x[0], via[0], hdr
-	}
+	})
 	msg, err := Pack(spec, Message{Src: 100, Dst: 104, Device: 2, Comp: 1}.Header(),
 		[][]uint64{{5}, nil})
 	if err != nil {
@@ -118,14 +118,14 @@ _at(3) _kernel(1) void b(unsigned &x) { x = x + 10; return ncl::reflect_long(); 
 		t.Fatal(err)
 	}
 	got := uint64(0)
-	h1.Receive = func(h *netsim.Host, msg []byte) {
+	h1.SetReceive(func(h *netsim.Host, msg []byte) {
 		x := make([]uint64, 1)
 		if _, err := runtime.Unpack(spec, msg, [][]uint64{x}); err == nil {
 			got = x[0]
 		}
-	}
+	})
 	wrong := false
-	h9.Receive = func(h *netsim.Host, msg []byte) { wrong = true }
+	h9.SetReceive(func(h *netsim.Host, msg []byte) { wrong = true })
 	msg, _ := Pack(spec, Message{Src: 100, Dst: 109, Device: 2, Comp: 1}.Header(), [][]uint64{{1}})
 	h1.Send(msg)
 	if err := n.RunAll(); err != nil {

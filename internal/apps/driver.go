@@ -245,7 +245,7 @@ func RunAgg(cfg AggConfig) (*AggResult, error) {
 
 	for w, ws := range workers {
 		w, ws := w, ws
-		ws.host.Receive = func(h *netsim.Host, msg []byte) {
+		ws.host.SetReceive(func(h *netsim.Host, msg []byte) {
 			ver := make([]uint64, 1)
 			slot := make([]uint64, 1)
 			vals := make([]uint64, slotSize)
@@ -285,7 +285,7 @@ func RunAgg(cfg AggConfig) (*AggResult, error) {
 			if next := chunk + cfg.Window; next < cfg.Chunks {
 				sendChunk(ws, w, next, false)
 			}
-		}
+		})
 	}
 	// Prime the window.
 	for w, ws := range workers {
@@ -404,7 +404,7 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 	dev := n.AddDevice(1, prog)
 	client := n.AddHost(1)
 	server := n.AddHost(2)
-	client.ProcessingNs = 3500 * netsim.Nanosecond
+	client.SetProcessingNs(3500 * netsim.Nanosecond)
 	n.Connect(client, dev, 1)
 	n.Connect(server, dev, 2)
 	if err := n.AutoWire(); err != nil {
@@ -450,8 +450,8 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 	}
 
 	// KVS server: answer misses.
-	server.ProcessingNs = cfg.ServerNs
-	server.Receive = func(h *netsim.Host, msg []byte) {
+	server.SetProcessingNs(cfg.ServerNs)
+	server.SetReceive(func(h *netsim.Host, msg []byte) {
 		key := make([]uint64, 1)
 		op := make([]uint64, 1)
 		hdr, err := runtime.Unpack(spec, msg, [][]uint64{op, key, nil, nil, nil})
@@ -470,7 +470,7 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 			return
 		}
 		h.Send(reply)
-	}
+	})
 
 	res := &CacheResult{}
 	var rtHist Hist
@@ -521,7 +521,7 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 		reqSent++
 		send(key)
 	}
-	client.Receive = func(h *netsim.Host, msg []byte) {
+	client.SetReceive(func(h *netsim.Host, msg []byte) {
 		key := make([]uint64, 1)
 		vals := make([]uint64, words)
 		hit := make([]uint64, 1)
@@ -549,7 +549,7 @@ func RunCache(cfg CacheConfig) (*CacheResult, error) {
 			}
 		}
 		issue()
-	}
+	})
 	issue()
 	if err := n.RunAll(); err != nil {
 		return nil, err
@@ -660,7 +660,7 @@ func RunPaxos(cfg PaxosConfig) (*PaxosResult, error) {
 	res := &PaxosResult{}
 	delivered := map[uint64]bool{}    // by instance
 	deliveredVal := map[uint64]bool{} // by command value (app-level dedup)
-	appHost.Receive = func(h *netsim.Host, msg []byte) {
+	appHost.SetReceive(func(h *netsim.Host, msg []byte) {
 		typ := make([]uint64, 1)
 		inst := make([]uint64, 1)
 		v := make([]uint64, 8)
@@ -686,7 +686,7 @@ func RunPaxos(cfg PaxosConfig) (*PaxosResult, error) {
 		if !lossy && v[0] != 1000+inst[0]-1 {
 			res.WrongValue++
 		}
-	}
+	})
 
 	// submit sends command c; under faults it arms a retransmission
 	// timer that resends until the learner delivers the value or the

@@ -1,0 +1,425 @@
+package apps
+
+// netsimbench.go is the million-host scale scenario for the network
+// simulator: a chain of AGG devices, each aggregating rounds from
+// thousands of locally attached sender pairs (NUM_WORKERS=2 SwitchML
+// protocol, SLOT_SIZE=4) and multicasting completed slots to two
+// collector hosts per device. A fraction of pairs aggregate at the
+// next device in the chain instead, so partitioned runs carry real
+// cross-partition traffic through the conservative-lookahead windows.
+//
+// The send schedule is open loop and closure-free: every sender is
+// driven by the network-wide timer callback (Host.StartTimer), packs
+// into a per-device scratch buffer with runtime.PackAppend, and
+// staggers its start and interval so no two packets tie on a shared
+// queue — which keeps the steady state at zero allocations per event
+// and makes the event order independent of the partition count.
+
+import (
+	"fmt"
+	gort "runtime"
+	"time"
+
+	"netcl/internal/netsim"
+	"netcl/internal/p4"
+	"netcl/internal/passes"
+	"netcl/internal/runtime"
+)
+
+// NetsimConfig parameterizes one scale run.
+type NetsimConfig struct {
+	// Hosts is the target total host count (senders + collectors);
+	// rounded down so every device carries the same even sender count.
+	Hosts int
+	// Devices is the chain length (default 16; at most 16, the wiring
+	// table budget).
+	Devices int
+	// Partitions arms partitioned execution with SetPartitions (0 =
+	// legacy serial regime).
+	Partitions int
+	// Rounds is the aggregation rounds per sender pair (default 2).
+	Rounds int
+	// RemoteEvery makes every Nth pair of a device aggregate at the
+	// next device in the chain (default 64, 0 disables): the
+	// cross-partition traffic source.
+	RemoteEvery int
+	// Faults injects seeded loss/jitter/duplication on every link.
+	Faults netsim.FaultConfig
+	// Trace enables per-host delivery hash chains (the determinism
+	// witness; costs time at large scales).
+	Trace bool
+	// Target selects the compile target (default TNA).
+	Target passes.Target
+}
+
+// NetsimResult reports one scale run.
+type NetsimResult struct {
+	Hosts       int     `json:"hosts"`
+	Devices     int     `json:"devices"`
+	Partitions  int     `json:"partitions"`
+	Pairs       int     `json:"pairs"`
+	RemotePairs int     `json:"remote_pairs"`
+	Rounds      int     `json:"rounds"`
+	LookaheadNs float64 `json:"lookahead_ns,omitempty"`
+	// Events/WallNs/EventsPerSec measure the run (timer arming
+	// included); BytesPerHost is the heap cost of the built topology
+	// and AllocsPerEvent the steady-state allocation rate.
+	Events         uint64  `json:"events"`
+	WallNs         float64 `json:"wall_ns"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerHost   float64 `json:"bytes_per_host"`
+	PeakQueue      int     `json:"peak_queue"`
+	// BufferPeak is the packet-buffer working set (high-water mark of
+	// checked-out pooled buffers, summed over partitions).
+	BufferPeak int     `json:"buffer_peak"`
+	SimEndNs   float64 `json:"sim_end_ns"`
+	// Completed counts collector deliveries of completed slots
+	// (Expected = 2 collectors × pairs × rounds when faultless).
+	Completed  uint64 `json:"completed"`
+	Expected   uint64 `json:"expected"`
+	Mismatches uint64 `json:"mismatches"`
+	TraceHash  uint64 `json:"trace_hash,omitempty"`
+}
+
+// senderMeta is one sender's precomputed role (8 bytes; indexed by
+// host slab index). half 0xFF marks a collector.
+type senderMeta struct {
+	slot    uint16 // agg slot at the target device
+	target  uint16 // target device id (header to/device field)
+	dst     uint16 // a collector id at the target device (header dst)
+	half    uint8  // worker index within the pair (0 or 1)
+	homeDev uint8  // chain position of the attached device
+}
+
+// sendScratch is a device's reusable packing state. Timer callbacks of
+// all hosts on one device run in that device's partition, so each
+// scratch has a single concurrent user.
+type sendScratch struct {
+	buf                             []byte
+	argv                            [][]uint64
+	ver, slot, agg, mask, exp, vals []uint64
+}
+
+// collState is one collector's verification state, folded after the
+// run (each collector is written only by its own partition).
+type collState struct {
+	completed  uint64
+	mismatches uint64
+	exp        []uint64
+	vals       []uint64
+	argv       [][]uint64
+}
+
+// readMem returns settled heap stats (forces a GC so HeapAlloc
+// reflects live bytes, not float).
+func readMem() (heapAlloc, mallocs uint64) {
+	gort.GC()
+	var ms gort.MemStats
+	gort.ReadMemStats(&ms)
+	return ms.HeapAlloc, ms.Mallocs
+}
+
+// RunNetsimScale builds and runs one scale scenario.
+func RunNetsimScale(cfg NetsimConfig) (*NetsimResult, error) {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 10_000
+	}
+	if cfg.Devices <= 0 {
+		cfg.Devices = 16
+	}
+	if cfg.Devices > 16 {
+		return nil, fmt.Errorf("netsimbench: %d devices exceed the wiring budget (16)", cfg.Devices)
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 2
+	}
+	devices := cfg.Devices
+	hostsPerDev := cfg.Hosts / devices
+	pairs := (hostsPerDev - 2) / 2 // two hosts per device are collectors
+	if pairs < 1 {
+		return nil, fmt.Errorf("netsimbench: %d hosts spread over %d devices leaves no sender pairs", cfg.Hosts, devices)
+	}
+	remoteIncoming := 0
+	if cfg.RemoteEvery > 0 {
+		remoteIncoming = (pairs + cfg.RemoteEvery - 1) / cfg.RemoteEvery
+	}
+	numSlots := pairs + remoteIncoming
+	if numSlots*2 > 65536 {
+		return nil, fmt.Errorf("netsimbench: %d slots per device overflow the 16-bit agg index (max %d)", numSlots, 65536/2)
+	}
+
+	const slotSize = 4
+	app := ByName("AGG")
+	defines := map[string]uint64{
+		"NUM_SLOTS": uint64(numSlots), "SLOT_SIZE": slotSize, "NUM_WORKERS": 2,
+	}
+	app = &App{Name: app.Name, NetCL: app.NetCL, Defines: defines,
+		Devices: app.Devices, BaselineFile: app.BaselineFile}
+	progs := make([]*p4.Program, devices)
+	var spec *runtime.MessageSpec
+	for dv := 0; dv < devices; dv++ {
+		prog, specs, err := CompileApp(app, cfg.Target, uint16(dv+1))
+		if err != nil {
+			return nil, fmt.Errorf("netsimbench: device %d: %w", dv+1, err)
+		}
+		progs[dv] = prog
+		spec = specs[1]
+	}
+
+	res := &NetsimResult{
+		Hosts: devices * (2 + 2*pairs), Devices: devices,
+		Partitions: cfg.Partitions, Pairs: devices * pairs, Rounds: cfg.Rounds,
+	}
+
+	n := netsim.NewNetwork()
+	devs := make([]*netsim.Device, devices)
+	for dv := 0; dv < devices; dv++ {
+		devs[dv] = n.AddDevice(uint16(dv+1), progs[dv])
+	}
+	// Chain interconnect on ports 1 (down) and 2 (up), 2µs latency:
+	// the conservative-lookahead window.
+	for dv := 0; dv+1 < devices; dv++ {
+		l := n.ConnectDevices(devs[dv], 2, devs[dv+1], 1)
+		l.LatencyNs = 2 * netsim.Microsecond
+	}
+	// Manual wiring, transit only: in transit the fwd key is the target
+	// DEVICE id (computed packets multicast or reflect, never pass), so
+	// each device needs one entry per other device — not per host.
+	for dv := 0; dv < devices; dv++ {
+		for to := 0; to < devices; to++ {
+			if to == dv {
+				continue
+			}
+			port := 2 // up the chain
+			if to < dv {
+				port = 1
+			}
+			err := devs[dv].SW.InsertEntry("netcl_fwd", &p4.Entry{
+				Keys:   []p4.KeyValue{{Value: uint64(to + 1), PrefixLen: -1}},
+				Action: &p4.ActionCall{Name: "set_port", Args: []uint64{uint64(port)}},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("netsimbench: wiring device %d: %w", dv+1, err)
+			}
+		}
+	}
+
+	// Hosts: collectors on ports 3 and 4 (multicast group 42, the group
+	// id the AGG kernel emits), senders from port 5. Scenario-side state
+	// (meta, round counters) is preallocated before the heap snapshot so
+	// BytesPerHost measures the simulator's per-host cost — host and
+	// link slabs, SoA columns, id map — not the driver's bookkeeping or
+	// the devices' register files.
+	meta := make([]senderMeta, 0, res.Hosts)
+	next := make([]uint16, res.Hosts)
+	colls := make([]*collState, 0, 2*devices)
+	heapBefore, _ := readMem()
+	collID := func(dv, c int) uint16 { return uint16(0xF000 + dv*2 + c) }
+	remotePairs := 0
+	for dv := 0; dv < devices; dv++ {
+		for c := 0; c < 2; c++ {
+			col := n.AddHost(collID(dv, c))
+			// Collector links are latency-only: at 100G every completed
+			// slot of a device serializes onto two shared links, and the
+			// modeled congestion backlog — not the engine — would dominate
+			// both the buffer working set and the simulated end time.
+			n.Connect(col, devs[dv], 3+c).BandwidthGbps = 0
+			cs := &collState{exp: make([]uint64, 1), vals: make([]uint64, slotSize)}
+			cs.argv = [][]uint64{nil, nil, nil, nil, cs.exp, cs.vals}
+			colls = append(colls, cs)
+			col.SetReceive(func(h *netsim.Host, msg []byte) {
+				if _, err := runtime.UnpackInto(spec, msg, cs.argv); err != nil {
+					cs.mismatches++
+					return
+				}
+				cs.completed++
+				r := cs.exp[0]
+				for j := 0; j < slotSize; j++ {
+					if cs.vals[j] != 2*r+2*uint64(j)+1 {
+						cs.mismatches++
+						break
+					}
+				}
+			})
+			meta = append(meta, senderMeta{half: 0xFF})
+		}
+		devs[dv].SetMulticastGroup(42, []int{3, 4})
+		for p := 0; p < pairs; p++ {
+			target, slot := dv, p
+			if cfg.RemoteEvery > 0 && p%cfg.RemoteEvery == 0 {
+				target = (dv + 1) % devices
+				slot = pairs + p/cfg.RemoteEvery
+				remotePairs++
+			}
+			for half := 0; half < 2; half++ {
+				h := n.AddHost(uint16(len(meta)))
+				n.Connect(h, devs[dv], 5+2*p+half)
+				meta = append(meta, senderMeta{
+					slot: uint16(slot), target: uint16(target + 1),
+					dst: collID(target, 0), half: uint8(half), homeDev: uint8(dv),
+				})
+			}
+		}
+	}
+	res.RemotePairs = remotePairs
+
+	// Per-device packing scratch (exclusive to the device's partition).
+	scratch := make([]sendScratch, devices)
+	for dv := range scratch {
+		sc := &scratch[dv]
+		sc.buf = make([]byte, 0, spec.Size())
+		sc.ver, sc.slot, sc.agg = make([]uint64, 1), make([]uint64, 1), make([]uint64, 1)
+		sc.mask, sc.exp = make([]uint64, 1), make([]uint64, 1)
+		sc.vals = make([]uint64, slotSize)
+		sc.argv = [][]uint64{sc.ver, sc.slot, sc.agg, sc.mask, sc.exp, sc.vals}
+	}
+	interval := func(i int) netsim.Time {
+		return 5*netsim.Microsecond + netsim.Time(float64(i%1009)*0.125)
+	}
+	n.OnTimer(func(h *netsim.Host) {
+		i := h.Index()
+		m := &meta[i]
+		if m.half == 0xFF {
+			return
+		}
+		r := next[i]
+		if int(r) >= cfg.Rounds {
+			return
+		}
+		next[i]++
+		sc := &scratch[m.homeDev]
+		ver := uint64(r) & 1
+		sc.ver[0] = ver
+		sc.slot[0] = uint64(m.slot)
+		sc.agg[0] = uint64(m.slot) + ver*uint64(numSlots)
+		sc.mask[0] = 1 << m.half
+		sc.exp[0] = uint64(r)
+		for j := range sc.vals {
+			sc.vals[j] = uint64(r) + uint64(j) + uint64(m.half)
+		}
+		hdr := runtime.Message{Src: h.ID, Dst: m.dst, Device: m.target, Comp: 1}.Header()
+		msg, err := runtime.PackAppend(sc.buf[:0], spec, hdr, sc.argv)
+		if err != nil {
+			return
+		}
+		sc.buf = msg[:0]
+		h.Send(msg)
+		if int(next[i]) < cfg.Rounds {
+			h.StartTimer(interval(i))
+		}
+	})
+
+	if cfg.Trace {
+		n.EnableTrace()
+	}
+	n.InjectFaults(cfg.Faults)
+	if cfg.Partitions > 0 {
+		if err := n.SetPartitions(cfg.Partitions); err != nil {
+			return nil, err
+		}
+		res.Partitions = n.Partitions()
+		res.LookaheadNs = float64(n.Lookahead())
+	}
+	heapBuilt, _ := readMem()
+	res.BytesPerHost = float64(heapBuilt-heapBefore) / float64(res.Hosts)
+
+	// Prewarm the packet-buffer pools to the expected in-flight working
+	// set so the run itself allocates no buffers. The set is bounded by
+	// the send rate times the flight time, not by the host count: the
+	// timer stagger paces one send per 0.125 ns no matter the scale, so
+	// beyond ~10^5 senders the cap is what matters. Prewarm happens
+	// after the BytesPerHost snapshot (it is working set, not topology)
+	// and before the allocation baseline (it is build-time, not
+	// steady-state); BufferPeak reports the actual high-water mark.
+	senders := res.Hosts - 2*devices
+	warm := senders + devices*pairs + 1024
+	if warm > 98304 {
+		warm = 98304
+	}
+	n.PrewarmBuffers(warm, runtime.FrameOverhead+spec.Size()+16)
+	_, mallocsBuilt := readMem()
+
+	start := time.Now()
+	for i := range meta {
+		if meta[i].half == 0xFF {
+			continue
+		}
+		n.HostAt(i).StartTimer(100*netsim.Nanosecond + netsim.Time(float64(i)*0.125))
+	}
+	if err := n.RunAll(); err != nil {
+		return nil, err
+	}
+	res.WallNs = float64(time.Since(start))
+	var ms gort.MemStats
+	gort.ReadMemStats(&ms)
+
+	res.Events = n.TotalProcessed()
+	res.PeakQueue = n.TotalPeakQueue()
+	res.BufferPeak = n.BufferPeak()
+	res.SimEndNs = float64(n.Now())
+	if res.WallNs > 0 {
+		res.EventsPerSec = float64(res.Events) / (res.WallNs / 1e9)
+	}
+	if res.Events > 0 {
+		res.AllocsPerEvent = float64(ms.Mallocs-mallocsBuilt) / float64(res.Events)
+	}
+	for _, cs := range colls {
+		res.Completed += cs.completed
+		res.Mismatches += cs.mismatches
+	}
+	res.Expected = 2 * uint64(res.Pairs) * uint64(cfg.Rounds)
+	if cfg.Trace {
+		res.TraceHash = n.TraceHash()
+	}
+	return res, nil
+}
+
+// seed-layout model for the bytes-per-host comparison: the pre-slab
+// simulator kept one map entry, one Host struct and one Link struct
+// (with interface{}-boxed ends) per host. The map key was uint16, so
+// the seed could not even address more than 65536 hosts — size the
+// baseline at min(hosts, 65536).
+
+type seedEnd struct {
+	node interface{}
+	port int
+}
+
+type seedLink struct {
+	LatencyNs, BandwidthGbps float64
+	DropNth                  int
+	Dropped, crossed         uint64
+	busyUntil                [2]float64
+	ends                     [2]seedEnd
+}
+
+type seedHost struct {
+	ID           uint16
+	net          *seedLink // stand-ins with the seed's pointer sizes
+	lnk          *seedLink
+	Receive      func(*seedHost, []byte)
+	ProcessingNs float64
+	Sent, Recvd  uint64
+}
+
+// BaselineBytesPerHost measures the seed's per-host heap footprint
+// (host struct + uplink + map entry) at min(hosts, 65536) hosts.
+func BaselineBytesPerHost(hosts int) (bytesPerHost float64, measuredHosts int) {
+	if hosts > 65536 {
+		hosts = 65536
+	}
+	before, _ := readMem()
+	m := make(map[uint16]*seedHost, hosts)
+	for i := 0; i < hosts; i++ {
+		l := &seedLink{LatencyNs: 1000, BandwidthGbps: 100}
+		h := &seedHost{ID: uint16(i), lnk: l, ProcessingNs: 2000}
+		l.ends[0] = seedEnd{node: h}
+		m[uint16(i)] = h
+	}
+	after, _ := readMem()
+	if len(m) == 0 {
+		return 0, hosts
+	}
+	return float64(after-before) / float64(hosts), hosts
+}

@@ -369,6 +369,31 @@ func (s *Switch) Process(data []byte, inPort int) (*Result, error) {
 	return s.processReference(data, inPort)
 }
 
+// ProcessInto runs one packet like Process but fills a caller-owned
+// Result in place, reusing res.Data's capacity for the deparse output
+// instead of allocating a fresh buffer per packet. res.Data must not
+// alias the input packet (headers are rewritten before the payload is
+// copied out of the input). Dropped packets leave res.Data nil; error
+// returns leave res unspecified. Semantics and counters otherwise
+// match Process exactly.
+func (s *Switch) ProcessInto(data []byte, inPort int, res *Result) error {
+	if s.prog != nil && s.engine == EngineCompiled {
+		return s.prog.processInto(data, inPort, res)
+	}
+	r, err := s.processReference(data, inPort)
+	if err != nil {
+		return err
+	}
+	d := res.Data
+	*res = *r
+	if r.Data != nil {
+		res.Data = append(d[:0], r.Data...)
+	} else {
+		res.Data = nil
+	}
+	return nil
+}
+
 // MaxBurst is the largest batch ProcessBurst handles per machine
 // checkout; Sharded workers drain up to this many queued jobs per
 // channel wakeup.

@@ -91,6 +91,10 @@ func (p *cprog) run1(m *machine, data []byte, inPort int, res *Result) (bool, er
 			return false, err
 		}
 	}
+	// Keep whatever capacity the caller left in res.Data so steady-state
+	// callers (netsim's device hot loop, burst pumps) reuse one buffer
+	// instead of allocating per packet. Dropped packets leave Data nil.
+	scratch := res.Data
 	*res = Result{
 		Port:  int(m.frame[p.portSlot].wrapped()),
 		Mcast: int(m.frame[p.mcastSlot].wrapped()),
@@ -99,7 +103,7 @@ func (p *cprog) run1(m *machine, data []byte, inPort int, res *Result) (bool, er
 		res.Dropped = true
 		return true, nil
 	}
-	res.Data = m.deparse(p)
+	res.Data = m.deparseInto(p, scratch)
 	if res.Port == 0 && res.Mcast == 0 {
 		res.NoMatch = true
 	}
@@ -125,6 +129,27 @@ func (p *cprog) process(data []byte, inPort int) (*Result, error) {
 		atomic.AddUint64(&s.PacketsOut, 1)
 	}
 	return res, nil
+}
+
+// processInto runs one packet like process but fills a caller-owned
+// Result, reusing res.Data's capacity for the deparse output. The
+// zero-alloc path for callers that hold one Result per device or per
+// worker (netsim's delivery loop).
+func (p *cprog) processInto(data []byte, inPort int, res *Result) error {
+	s := p.sw
+	atomic.AddUint64(&s.PacketsIn, 1)
+	m := p.getMachine()
+	dropped, err := p.run1(m, data, inPort, res)
+	p.putMachine(m)
+	if err != nil {
+		return err
+	}
+	if dropped {
+		atomic.AddUint64(&s.PacketsDropped, 1)
+	} else {
+		atomic.AddUint64(&s.PacketsOut, 1)
+	}
+	return nil
 }
 
 // processBurst runs a burst (≤ MaxBurst packets, enforced by the
@@ -229,9 +254,11 @@ func (m *machine) parse(p *cprog, data []byte) error {
 	}
 }
 
-// deparse emits valid headers (extraction order, then program order)
-// plus payload into one exact-sized buffer.
-func (m *machine) deparse(p *cprog) []byte {
+// deparseInto emits valid headers (extraction order, then program
+// order) plus payload, appending into scratch[:0]. The caller owns
+// scratch and must not pass a buffer aliasing the input packet (the
+// payload is copied from it); a nil scratch allocates exact-sized.
+func (m *machine) deparseInto(p *cprog, scratch []byte) []byte {
 	m.emitOrd = m.emitOrd[:0]
 	size := 0
 	for _, hi := range m.ordered {
@@ -248,7 +275,10 @@ func (m *machine) deparse(p *cprog) []byte {
 			size += p.headers[hi].nbytes
 		}
 	}
-	out := make([]byte, 0, size+len(m.payload))
+	out := scratch[:0]
+	if cap(out) < size+len(m.payload) {
+		out = make([]byte, 0, size+len(m.payload))
+	}
 	for _, hi := range m.emitOrd {
 		h := &p.headers[hi]
 		if h.allAligned {

@@ -27,13 +27,13 @@ type HostEndpoint struct {
 // Receive callback, so an existing callback keeps firing.
 func (n *Network) NewEndpoint(h *Host, cfg runtime.ReliabilityConfig) *HostEndpoint {
 	ep := &HostEndpoint{h: h, n: n, rel: runtime.NewReliability(cfg)}
-	prev := h.Receive
-	h.Receive = func(hh *Host, msg []byte) {
+	prev := h.ReceiveFn()
+	h.SetReceive(func(hh *Host, msg []byte) {
 		ep.inbox = append(ep.inbox, append([]byte(nil), msg...))
 		if prev != nil {
 			prev(hh, msg)
 		}
-	}
+	})
 	return ep
 }
 
@@ -117,6 +117,6 @@ func (ep *HostEndpoint) SendReliable(msg []byte, timeout time.Duration) error {
 
 // Close detaches the endpoint from the host.
 func (ep *HostEndpoint) Close() error {
-	ep.h.Receive = nil
+	ep.h.SetReceive(nil)
 	return nil
 }

@@ -2,10 +2,15 @@ package netsim
 
 import "math/rand"
 
-// Probabilistic fault injection for chaos testing. All randomness
-// comes from one seeded RNG owned by the network, so a given seed
-// reproduces the exact same loss/jitter/duplication pattern — the
-// simulator analogue of the UDP backend's runtime.FaultSpec.
+// Probabilistic fault injection for chaos testing. In the default
+// serial regime all randomness comes from one seeded RNG owned by the
+// network, so a given seed reproduces the exact same loss/jitter/
+// duplication pattern — the simulator analogue of the UDP backend's
+// runtime.FaultSpec. Once partitioning is armed (SetPartitions), each
+// (link, direction) carries its own counter-seeded stream instead:
+// draws then depend only on the packet order over that direction —
+// which a single partition owns — so the fault pattern is identical
+// whatever the partition count.
 
 // FaultConfig describes the fault model applied to every link.
 type FaultConfig struct {
@@ -36,6 +41,12 @@ type faults struct {
 // network (pass a zero FaultConfig to disarm). Deterministic per-link
 // DropNth injection keeps working independently.
 func (n *Network) InjectFaults(cfg FaultConfig) {
+	// Any reseed restarts the per-direction streams of the partitioned
+	// regime.
+	for i := int32(0); i < n.links.count; i++ {
+		l := n.links.at(i)
+		l.rng[0], l.rng[1] = 0, 0
+	}
 	if !cfg.Active() {
 		n.faults = nil
 		return
@@ -46,6 +57,8 @@ func (n *Network) InjectFaults(cfg FaultConfig) {
 	}
 	n.faults = &faults{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
 }
+
+// Serial-regime draws (one global stream, legacy order).
 
 // loseOne decides whether one traversal is dropped.
 func (f *faults) loseOne() bool {
@@ -63,6 +76,49 @@ func (f *faults) jitterOne() Time {
 		return 0
 	}
 	return Time(f.rng.Float64()) * f.cfg.JitterNs
+}
+
+// Partitioned-regime draws: one splitmix64 stream per (link,
+// direction), seeded from the fault seed and the link identity, lazily
+// on first use. Draw order per traversal matches the serial regime
+// (loss, arrival jitter, duplication, duplicate jitter).
+
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+func (f *faults) rand01(l *Link, dir int) float64 {
+	if l.rng[dir] == 0 {
+		seed := uint64(1)
+		if f.cfg.Seed != 0 {
+			seed = uint64(f.cfg.Seed)
+		}
+		s := seed*0x9E3779B97F4A7C15 ^ uint64(l.idx)<<1 ^ uint64(dir)
+		if s == 0 {
+			s = 1
+		}
+		l.rng[dir] = s
+	}
+	return float64(splitmix64(&l.rng[dir])>>11) / (1 << 53)
+}
+
+func (f *faults) loseDir(l *Link, dir int) bool {
+	return f != nil && f.cfg.LossRate > 0 && f.rand01(l, dir) < f.cfg.LossRate
+}
+
+func (f *faults) dupDir(l *Link, dir int) bool {
+	return f != nil && f.cfg.DupRate > 0 && f.rand01(l, dir) < f.cfg.DupRate
+}
+
+func (f *faults) jitterDir(l *Link, dir int) Time {
+	if f == nil || f.cfg.JitterNs <= 0 {
+		return 0
+	}
+	return Time(f.rand01(l, dir)) * f.cfg.JitterNs
 }
 
 // Pause makes the device drop every packet until Restart: the

@@ -19,7 +19,7 @@ func TestFaultDeterminism(t *testing.T) {
 		n, h, _, spec := echoNet(t)
 		n.InjectFaults(FaultConfig{LossRate: 0.3, DupRate: 0.1, JitterNs: 500, Seed: seed})
 		delivered := 0
-		h.Receive = func(h *Host, msg []byte) { delivered++ }
+		h.SetReceive(func(h *Host, msg []byte) { delivered++ })
 		for i := 0; i < 40; i++ {
 			msg, err := runtime.Pack(spec, runtime.Message{Src: 1, Dst: 2, Device: 9, Comp: 1}.Header(),
 				[][]uint64{{uint64(i)}})
@@ -122,7 +122,7 @@ func TestInjectFaultsDisarm(t *testing.T) {
 	n.InjectFaults(FaultConfig{LossRate: 1})
 	n.InjectFaults(FaultConfig{}) // disarm
 	delivered := 0
-	h.Receive = func(h *Host, msg []byte) { delivered++ }
+	h.SetReceive(func(h *Host, msg []byte) { delivered++ })
 	msg, err := runtime.Pack(spec, runtime.Message{Src: 1, Dst: 2, Device: 9, Comp: 1}.Header(),
 		[][]uint64{{1}})
 	if err != nil {

@@ -135,7 +135,7 @@ func TestEchoThroughSimulatedNetwork(t *testing.T) {
 	n, h, _, spec := echoNet(t)
 	var got []uint64
 	var at []Time
-	h.Receive = func(h *Host, msg []byte) {
+	h.SetReceive(func(h *Host, msg []byte) {
 		x := make([]uint64, 1)
 		hdr, err := runtime.Unpack(spec, msg, [][]uint64{x})
 		if err != nil {
@@ -147,7 +147,7 @@ func TestEchoThroughSimulatedNetwork(t *testing.T) {
 		}
 		got = append(got, x[0])
 		at = append(at, n.Now())
-	}
+	})
 	for i := 0; i < 3; i++ {
 		msg, err := runtime.Pack(spec, runtime.Message{Src: 1, Dst: 2, Device: 9, Comp: 1}.Header(),
 			[][]uint64{{uint64(10 * (i + 1))}})
@@ -166,8 +166,8 @@ func TestEchoThroughSimulatedNetwork(t *testing.T) {
 	if at[0] < 4*Microsecond || at[0] > 50*Microsecond {
 		t.Errorf("first RTT at %v ns implausible", at[0])
 	}
-	if h.Sent != 3 || h.Received != 3 {
-		t.Errorf("host counters: %d/%d", h.Sent, h.Received)
+	if h.Sent() != 3 || h.Received() != 3 {
+		t.Errorf("host counters: %d/%d", h.Sent(), h.Received())
 	}
 }
 
@@ -175,7 +175,7 @@ func TestSimulatorDeterminism(t *testing.T) {
 	run := func() (Time, uint64) {
 		n, h, _, spec := echoNet(t)
 		var last Time
-		h.Receive = func(h *Host, msg []byte) { last = n.Now() }
+		h.SetReceive(func(h *Host, msg []byte) { last = n.Now() })
 		for i := 0; i < 5; i++ {
 			msg, _ := runtime.Pack(spec, runtime.Message{Src: 1, Dst: 2, Device: 9, Comp: 1}.Header(),
 				[][]uint64{{uint64(i)}})
@@ -216,12 +216,12 @@ _kernel(1) void fwd(unsigned &x) { x = x * 2; }
 	}
 	spec := &runtime.MessageSpec{Comp: 1, Args: []runtime.ArgSpec{{Name: "x", Bytes: 4, Count: 1, Out: true}}}
 	var got uint64
-	h2.Receive = func(h *Host, msg []byte) {
+	h2.SetReceive(func(h *Host, msg []byte) {
 		x := make([]uint64, 1)
 		if _, err := runtime.Unpack(spec, msg, [][]uint64{x}); err == nil {
 			got = x[0]
 		}
-	}
+	})
 	// Request computation at device 2 only: device 1 is a no-op hop.
 	msg, _ := runtime.Pack(spec, runtime.Message{Src: 100, Dst: 200, Device: 2, Comp: 1}.Header(),
 		[][]uint64{{21}})
@@ -251,7 +251,7 @@ _kernel(1) void bcast(unsigned x) { return ncl::multicast(7); }
 	for i := 0; i < 3; i++ {
 		h := n.AddHost(uint16(10 + i))
 		n.Connect(h, d, i+1)
-		h.Receive = func(h *Host, msg []byte) { recv[h.ID]++ }
+		h.SetReceive(func(h *Host, msg []byte) { recv[h.ID]++ })
 		hosts = append(hosts, h)
 	}
 	if err := n.AutoWire(); err != nil {

@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"netcl/internal/bmv2"
 	"netcl/internal/p4"
@@ -9,12 +11,38 @@ import (
 )
 
 // Network is a topology of hosts and P4 devices over links.
+//
+// Node state is slab-allocated: Host and Link handles come out of
+// chunked slabs (stable pointers), hot per-host fields live in
+// struct-of-arrays columns (slab.go), and the event loop runs typed
+// event records (events.go) — the combination holds bytes-per-host
+// and allocs-per-event near the floor at million-host scale.
 type Network struct {
 	Sim
-	hosts   map[uint16]*Host
-	devices map[uint16]*Device
-	faults  *faults
-	// Stats.
+	netCounters
+	hostsByID map[uint16]*Host
+	devsByID  map[uint16]*Device
+	hs        hostSlab
+	hc        hostCols
+	links     linkSlab
+	devs      []*Device
+	faults    *faults
+
+	// serial is the execution context of unpartitioned runs and
+	// doubles as partition 0 when partitions are armed.
+	serial    part
+	parts     []*part // nil or len 1 means serial execution
+	pmode     bool    // partitioned semantics armed (see SetPartitions)
+	lookahead Time
+
+	trace   bool
+	timerFn func(*Host)
+}
+
+// netCounters are the delivery/drop statistics, embedded so the
+// historical field names (n.PacketsDelivered etc.) keep working and so
+// partitions can accumulate privately and fold at the barrier.
+type netCounters struct {
 	PacketsDelivered uint64
 	PacketsDropped   uint64
 	// FaultsDropped/FaultsDuplicated count probabilistic injections
@@ -23,12 +51,22 @@ type Network struct {
 	FaultsDuplicated uint64
 }
 
+func (c *netCounters) fold(o *netCounters) {
+	c.PacketsDelivered += o.PacketsDelivered
+	c.PacketsDropped += o.PacketsDropped
+	c.FaultsDropped += o.FaultsDropped
+	c.FaultsDuplicated += o.FaultsDuplicated
+}
+
 // NewNetwork creates an empty network.
 func NewNetwork() *Network {
-	return &Network{
-		hosts:   map[uint16]*Host{},
-		devices: map[uint16]*Device{},
+	n := &Network{
+		hostsByID: map[uint16]*Host{},
+		devsByID:  map[uint16]*Device{},
 	}
+	n.serial = part{n: n, sim: &n.Sim, ctr: &n.netCounters}
+	n.Sim.exec = func(e *event) { n.serial.dispatch(e) }
+	return n
 }
 
 // Link is a full-duplex link with latency and bandwidth; each
@@ -37,19 +75,35 @@ type Link struct {
 	LatencyNs     Time
 	BandwidthGbps float64
 	// DropNth deterministically drops every Nth packet crossing the
-	// link (0 = lossless); used for failure injection.
+	// link (0 = lossless); used for failure injection. In partitioned
+	// mode the traversal count is kept per direction (two partitions
+	// may drive the two directions concurrently), so "every Nth"
+	// becomes every Nth per direction there.
 	DropNth int
 	Dropped uint64
 	crossed uint64
-	// busyUntil per direction (0: a->b, 1: b->a).
+	// busyUntil per direction (0: ends[0]→ends[1], 1: reverse).
 	busyUntil [2]Time
-	ends      [2]port
+	ends      [2]end
+	idx       int32
+	// Partitioned-mode per-direction state: traversal/drop counters a
+	// single partition owns (folded into crossed/Dropped after a
+	// parallel run) and the per-direction fault RNG streams.
+	crossedDir [2]uint64
+	droppedDir [2]uint64
+	rng        [2]uint64
 }
 
-type port struct {
-	node interface{} // *Host or *Device
-	port int         // device port number (hosts ignore)
+// end identifies one side of a link: a host index (≥ 0) or a device
+// index encoded as its bitwise complement (< 0), plus the device port.
+type end struct {
+	node int32
+	port int32
 }
+
+func devNode(idx int32) int32  { return ^idx }
+func (e end) isDevice() bool   { return e.node < 0 }
+func (e end) deviceIdx() int32 { return ^e.node }
 
 // serialization returns the wire time of n bytes.
 func (l *Link) serialization(n int) Time {
@@ -59,27 +113,48 @@ func (l *Link) serialization(n int) Time {
 	return Time(float64(n*8) / l.BandwidthGbps) // ns for Gbit/s
 }
 
-// Host is an end system. Receive is invoked (in simulated time) for
-// every delivered NetCL message, already deframed.
+// Host is an end system: a thin handle over slab state. Hot fields
+// (counters, processing delay, the Receive callback) live in the
+// network's struct-of-arrays columns behind the accessor methods.
 type Host struct {
 	ID  uint16
 	net *Network
-	lnk *Link
-	// Receive gets the raw NetCL message (header + data).
-	Receive func(h *Host, msg []byte)
-	// ProcessingNs models per-message host-side cost (socket wakeup,
-	// packing); applied before Receive runs and on each Send.
-	ProcessingNs Time
-
-	Sent, Received uint64
+	idx int32
 }
+
+// Index returns the host's slab index (stable, assigned at AddHost).
+func (h *Host) Index() int { return int(h.idx) }
+
+// SetReceive installs the callback invoked (in simulated time) for
+// every delivered NetCL message, already deframed. The msg slice is
+// only valid for the duration of the callback: the underlying packet
+// buffer is pooled and reused — copy it to retain it.
+func (h *Host) SetReceive(fn func(h *Host, msg []byte)) { h.net.hc.recv[h.idx] = fn }
+
+// ReceiveFn returns the currently installed receive callback.
+func (h *Host) ReceiveFn() func(h *Host, msg []byte) { return h.net.hc.recv[h.idx] }
+
+// ProcessingNs returns the per-message host-side cost (socket wakeup,
+// packing); applied before Receive runs and on each Send.
+func (h *Host) ProcessingNs() Time { return h.net.hc.procNs[h.idx] }
+
+// SetProcessingNs sets the per-message host-side cost.
+func (h *Host) SetProcessingNs(t Time) { h.net.hc.procNs[h.idx] = t }
+
+// Sent returns the number of frames the host transmitted.
+func (h *Host) Sent() uint64 { return h.net.hc.sent[h.idx] }
+
+// Received returns the number of frames delivered to the host.
+func (h *Host) Received() uint64 { return h.net.hc.recvd[h.idx] }
 
 // Device is a P4 switch instance.
 type Device struct {
 	ID    uint16
 	SW    *bmv2.Switch
 	net   *Network
-	ports map[int]*Link
+	idx   int32
+	part  int32
+	ports []int32 // port number → link index + 1 (0 = unwired)
 	mcast map[int][]int
 	// PipelineNs is the device forwarding latency (from the p4c
 	// latency model or a default).
@@ -92,8 +167,9 @@ type Device struct {
 
 // AddHost registers a host.
 func (n *Network) AddHost(id uint16) *Host {
-	h := &Host{ID: id, net: n, ProcessingNs: 2 * Microsecond}
-	n.hosts[id] = h
+	h := n.hs.alloc()
+	*h = Host{ID: id, net: n, idx: n.hc.add()}
+	n.hostsByID[id] = h
 	return h
 }
 
@@ -101,36 +177,62 @@ func (n *Network) AddHost(id uint16) *Host {
 func (n *Network) AddDevice(id uint16, prog *p4.Program) *Device {
 	d := &Device{
 		ID: id, SW: bmv2.New(prog), net: n,
-		ports: map[int]*Link{}, mcast: map[int][]int{},
+		idx: int32(len(n.devs)), mcast: map[int][]int{},
 		PipelineNs: 400,
 	}
-	n.devices[id] = d
+	n.devs = append(n.devs, d)
+	n.devsByID[id] = d
 	return d
 }
 
 // Host returns a host by id.
-func (n *Network) Host(id uint16) *Host { return n.hosts[id] }
+func (n *Network) Host(id uint16) *Host { return n.hostsByID[id] }
 
 // Device returns a device by id.
-func (n *Network) Device(id uint16) *Device { return n.devices[id] }
+func (n *Network) Device(id uint16) *Device { return n.devsByID[id] }
+
+// Hosts returns the number of hosts in the network.
+func (n *Network) Hosts() int { return int(n.hs.count) }
+
+// HostAt returns a host by slab index (insertion order).
+func (n *Network) HostAt(i int) *Host { return n.hs.at(int32(i)) }
+
+func (d *Device) setPort(p int, linkIdx int32) {
+	for p >= len(d.ports) {
+		d.ports = append(d.ports, 0)
+	}
+	d.ports[p] = linkIdx + 1
+}
+
+func (d *Device) portLink(p int) int32 {
+	if p < 0 || p >= len(d.ports) {
+		return 0
+	}
+	return d.ports[p]
+}
 
 // Connect joins a host to a device port (100G, 1µs default latency).
+// The host is always end 0 of the link.
 func (n *Network) Connect(h *Host, d *Device, devPort int) *Link {
-	l := &Link{LatencyNs: 1 * Microsecond, BandwidthGbps: 100}
-	l.ends[0] = port{node: h}
-	l.ends[1] = port{node: d, port: devPort}
-	h.lnk = l
-	d.ports[devPort] = l
+	l := n.links.alloc()
+	l.LatencyNs = 1 * Microsecond
+	l.BandwidthGbps = 100
+	l.ends[0] = end{node: h.idx}
+	l.ends[1] = end{node: devNode(d.idx), port: int32(devPort)}
+	n.hc.link[h.idx] = l.idx + 1
+	d.setPort(devPort, l.idx)
 	return l
 }
 
 // ConnectDevices joins two devices.
 func (n *Network) ConnectDevices(a *Device, aPort int, b *Device, bPort int) *Link {
-	l := &Link{LatencyNs: 1 * Microsecond, BandwidthGbps: 100}
-	l.ends[0] = port{node: a, port: aPort}
-	l.ends[1] = port{node: b, port: bPort}
-	a.ports[aPort] = l
-	b.ports[bPort] = l
+	l := n.links.alloc()
+	l.LatencyNs = 1 * Microsecond
+	l.BandwidthGbps = 100
+	l.ends[0] = end{node: devNode(a.idx), port: int32(aPort)}
+	l.ends[1] = end{node: devNode(b.idx), port: int32(bPort)}
+	a.setPort(aPort, l.idx)
+	b.setPort(bPort, l.idx)
 	return l
 }
 
@@ -143,9 +245,14 @@ func (d *Device) SetMulticastGroup(gid int, ports []int) {
 // mapped to the local egress port on the shortest path toward it. This
 // plays the role of the paper's operator-managed deployment step
 // (§III: "the assumed topology gets mapped to the real network").
+// Iteration is fully ordered — devices by id, ports ascending, entry
+// installation by node id — so equal-cost tie-breaks and the resulting
+// table contents are identical run to run.
 func (n *Network) AutoWire() error {
-	for _, d := range n.devices {
-		// BFS from d over the device graph.
+	devs := append([]*Device(nil), n.devs...)
+	sort.Slice(devs, func(i, j int) bool { return devs[i].ID < devs[j].ID })
+	for _, d := range devs {
+		// BFS from d over the device graph, port numbers ascending.
 		nexthopPort := map[uint16]int{}
 		type item struct {
 			dev  *Device
@@ -153,42 +260,44 @@ func (n *Network) AutoWire() error {
 		}
 		visited := map[*Device]bool{d: true}
 		var queue []item
-		for p, l := range d.ports {
-			peerNode, _ := l.peer(port{node: d, port: p})
-			switch peer := peerNode.(type) {
-			case *Host:
-				nexthopPort[peer.ID] = p
-			case *Device:
-				if !visited[peer] {
-					visited[peer] = true
-					nexthopPort[peer.ID] = p
-					queue = append(queue, item{dev: peer, port: p})
+		expand := func(from *Device, firstHop func(p int) int) {
+			for p := range from.ports {
+				li := from.ports[p]
+				if li == 0 {
+					continue
+				}
+				l := n.links.at(li - 1)
+				peer := l.peerOf(from, p)
+				if peer.isDevice() {
+					pd := n.devs[peer.deviceIdx()]
+					if !visited[pd] {
+						visited[pd] = true
+						nexthopPort[pd.ID] = firstHop(p)
+						queue = append(queue, item{dev: pd, port: firstHop(p)})
+					}
+				} else {
+					ph := n.hs.at(peer.node)
+					if _, ok := nexthopPort[ph.ID]; !ok {
+						nexthopPort[ph.ID] = firstHop(p)
+					}
 				}
 			}
 		}
+		expand(d, func(p int) int { return p })
 		for len(queue) > 0 {
 			it := queue[0]
 			queue = queue[1:]
-			for p2, l := range it.dev.ports {
-				peerNode, _ := l.peer(port{node: it.dev, port: p2})
-				switch peer := peerNode.(type) {
-				case *Host:
-					if _, ok := nexthopPort[peer.ID]; !ok {
-						nexthopPort[peer.ID] = it.port
-					}
-				case *Device:
-					if !visited[peer] {
-						visited[peer] = true
-						nexthopPort[peer.ID] = it.port
-						queue = append(queue, item{dev: peer, port: it.port})
-					}
-				}
-			}
+			expand(it.dev, func(int) int { return it.port })
 		}
-		for id, p := range nexthopPort {
+		ids := make([]int, 0, len(nexthopPort))
+		for id := range nexthopPort {
+			ids = append(ids, int(id))
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
 			err := d.SW.InsertEntry("netcl_fwd", &p4.Entry{
 				Keys:   []p4.KeyValue{{Value: uint64(id), PrefixLen: -1}},
-				Action: &p4.ActionCall{Name: "set_port", Args: []uint64{uint64(p)}},
+				Action: &p4.ActionCall{Name: "set_port", Args: []uint64{uint64(nexthopPort[uint16(id)])}},
 			})
 			if err != nil {
 				return fmt.Errorf("device %d: %w", d.ID, err)
@@ -198,69 +307,34 @@ func (n *Network) AutoWire() error {
 	return nil
 }
 
-// peer returns the node on the other end of the link from p.
-func (l *Link) peer(p port) (interface{}, int) {
-	if l.ends[0].node == p.node && l.ends[0].port == p.port {
-		return l.ends[1].node, l.ends[1].port
+// peerOf returns the far end of the link as seen from device d's
+// port p.
+func (l *Link) peerOf(d *Device, p int) end {
+	me := end{node: devNode(d.idx), port: int32(p)}
+	if l.ends[0] == me {
+		return l.ends[1]
 	}
-	return l.ends[0].node, l.ends[0].port
+	return l.ends[0]
 }
 
-func (l *Link) dirIndex(from port) int {
-	if l.ends[0].node == from.node && l.ends[0].port == from.port {
-		return 0
-	}
-	return 1
-}
-
-// transmit schedules pkt across l starting at from; deliver runs at
-// the arrival time.
-func (n *Network) transmit(l *Link, from port, pkt []byte, deliver func()) {
-	l.crossed++
-	if l.DropNth > 0 && l.crossed%uint64(l.DropNth) == 0 {
-		l.Dropped++
-		n.PacketsDropped++
-		return
-	}
-	if n.faults.loseOne() {
-		l.Dropped++
-		n.PacketsDropped++
-		n.FaultsDropped++
-		return
-	}
-	dir := l.dirIndex(from)
-	ser := l.serialization(len(pkt))
-	start := n.Now()
-	if l.busyUntil[dir] > start {
-		start = l.busyUntil[dir]
-	}
-	done := start + ser
-	l.busyUntil[dir] = done
-	n.At(done-n.Now()+l.LatencyNs+n.faults.jitterOne(), deliver)
-	if n.faults.dupOne() {
-		n.FaultsDuplicated++
-		n.At(done-n.Now()+l.LatencyNs+n.faults.jitterOne(), deliver)
-	}
-}
-
-// Send transmits a NetCL message from the host into the network.
+// Send transmits a NetCL message from the host into the network. The
+// frame is built into a pooled buffer; msg itself is copied and may be
+// reused by the caller immediately.
 func (h *Host) Send(msg []byte) {
-	if h.lnk == nil {
+	n := h.net
+	li := n.hc.link[h.idx]
+	if li == 0 {
 		return
 	}
-	h.Sent++
-	pkt := runtime.Frame(msg, uint64(h.ID), 0)
-	me := port{node: h}
-	peerNode, peerPort := h.lnk.peer(me)
-	dev, ok := peerNode.(*Device)
-	if !ok {
+	l := n.links.at(li - 1)
+	if !l.ends[1].isDevice() {
 		return
 	}
-	h.net.At(h.ProcessingNs, func() {
-		h.net.transmit(h.lnk, me, pkt, func() {
-			dev.receive(pkt, peerPort)
-		})
-	})
+	n.hc.sent[h.idx]++ // counted only for frames that actually transmit
+	pt := n.partFor(h.idx)
+	pb := pt.pool.get()
+	pb.b = frameInto(pb.b, msg, uint64(h.ID))
+	pt.sim.post(n.hc.procNs[h.idx], event{kind: evHostSend, node: h.idx, buf: pb})
 }
 
 // SendBatch transmits several NetCL messages as one host operation:
@@ -269,88 +343,88 @@ func (h *Host) Send(msg []byte) {
 // the link individually, so loss and ordering behave exactly as with
 // per-message Send.
 func (h *Host) SendBatch(msgs [][]byte) {
-	if h.lnk == nil || len(msgs) == 0 {
+	n := h.net
+	li := n.hc.link[h.idx]
+	if li == 0 || len(msgs) == 0 {
 		return
 	}
-	me := port{node: h}
-	peerNode, peerPort := h.lnk.peer(me)
-	dev, ok := peerNode.(*Device)
-	if !ok {
+	l := n.links.at(li - 1)
+	if !l.ends[1].isDevice() {
 		return
 	}
-	h.Sent += uint64(len(msgs))
-	pkts := make([][]byte, len(msgs))
-	for i, m := range msgs {
-		pkts[i] = runtime.Frame(m, uint64(h.ID), 0)
-	}
-	h.net.At(h.ProcessingNs, func() {
-		for _, pkt := range pkts {
-			pkt := pkt
-			h.net.transmit(h.lnk, me, pkt, func() { dev.receive(pkt, peerPort) })
+	n.hc.sent[h.idx] += uint64(len(msgs))
+	pt := n.partFor(h.idx)
+	var head, tail *pbuf
+	for _, m := range msgs {
+		pb := pt.pool.get()
+		pb.b = frameInto(pb.b, m, uint64(h.ID))
+		if tail == nil {
+			head = pb
+		} else {
+			tail.next = pb
 		}
-	})
+		tail = pb
+	}
+	pt.sim.post(n.hc.procNs[h.idx], event{kind: evHostSend, node: h.idx, buf: head})
 }
 
-// receive runs the P4 pipeline and forwards the result.
-func (d *Device) receive(pkt []byte, inPort int) {
-	if d.paused {
-		d.net.PacketsDropped++
-		return
+// frameInto builds the NetCL frame for msg into buf's capacity.
+func frameInto(buf, msg []byte, src uint64) []byte {
+	need := runtime.FrameOverhead + len(msg)
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	} else {
+		buf = buf[:need]
 	}
-	d.Processed++
-	res, err := d.SW.Process(pkt, inPort)
-	if err != nil || res.Dropped || res == nil {
-		d.net.PacketsDropped++
-		return
-	}
-	deliver := func(outPort int, data []byte) {
-		l := d.ports[outPort]
-		if l == nil {
-			d.net.PacketsDropped++
-			return
-		}
-		me := port{node: d, port: outPort}
-		peerNode, peerPort := l.peer(me)
-		d.net.transmit(l, me, data, func() {
-			switch peer := peerNode.(type) {
-			case *Host:
-				peer.deliver(data)
-			case *Device:
-				peer.receive(data, peerPort)
-			}
-		})
-	}
-	d.net.At(d.PipelineNs, func() {
-		if res.Mcast != 0 {
-			ports := d.mcast[res.Mcast]
-			for i, p := range ports {
-				// Each recipient gets its own buffer; the last one can
-				// take ownership of res.Data itself, like the unicast
-				// path (one allocation saved per multicast).
-				data := res.Data
-				if i < len(ports)-1 {
-					data = append([]byte(nil), res.Data...)
-				}
-				deliver(p, data)
-			}
-			if len(ports) == 0 {
-				d.net.PacketsDropped++
-			}
-			return
-		}
-		deliver(res.Port, res.Data)
-	})
+	copy(buf[runtime.FrameOverhead:], msg)
+	return runtime.FrameInPlace(buf, src, 0)
 }
 
-// deliver hands a frame to the host callback after host processing.
-func (h *Host) deliver(pkt []byte) {
-	msg, ok := runtime.Deframe(pkt)
-	if !ok {
-		return
+// OnTimer installs the network-wide timer callback fired by
+// Host.StartTimer events: the closure-free way for scenario drivers to
+// self-pace millions of senders (one registered function, zero
+// allocations per armed timer).
+func (n *Network) OnTimer(fn func(*Host)) { n.timerFn = fn }
+
+// StartTimer schedules the network's OnTimer callback for this host
+// after delay. In partitioned mode the timer lands in the host's own
+// partition, so it is safe to arm from setup code and from callbacks
+// running anywhere in that partition.
+func (h *Host) StartTimer(delay Time) {
+	pt := h.net.partFor(h.idx)
+	pt.sim.post(delay, event{kind: evTimer, node: h.idx})
+}
+
+// EnableTrace turns on per-host delivery hash chains: every delivery
+// folds (time, payload) into the host's chain, and TraceHash combines
+// the chains in host order. Two runs with equal hashes delivered the
+// same bytes at the same simulated times to every host — the
+// determinism witness used by the partitioned-vs-serial tests.
+func (n *Network) EnableTrace() { n.trace = true }
+
+// TraceHash folds the per-host delivery chains (host slab order) into
+// one digest.
+func (n *Network) TraceHash() uint64 {
+	h := uint64(14695981039346656037)
+	for _, hh := range n.hc.hash {
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (hh >> s & 0xff)) * 1099511628211
+		}
 	}
-	h.Received++
-	h.net.PacketsDelivered++
-	if h.Receive != nil {
-		h.net.At(h.ProcessingNs, func() { h.Receive(h, msg) })
+	return h
+}
+
+func (n *Network) foldTrace(hi int32, t Time, msg []byte) {
+	h := n.hc.hash[hi]
+	if h == 0 {
+		h = 14695981039346656037
 	}
+	tb := math.Float64bits(float64(t)) // exact: equal hashes need equal times
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ (tb >> s & 0xff)) * 1099511628211
+	}
+	for _, b := range msg {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	n.hc.hash[hi] = h
 }

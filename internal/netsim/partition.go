@@ -1,0 +1,295 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Partitioned conservative-lookahead execution (CMB-style): the
+// topology is cut into device-contiguous partitions, each owning its
+// own event queue, clock, buffer pool and counters. Time advances in
+// global windows [t, t+L) where t is the earliest pending event
+// anywhere and L is the minimum latency of any cross-partition link.
+// Within a window every partition runs independently (its events
+// cannot affect another partition earlier than t+L, because the only
+// cross-partition influence is a packet that must traverse a cross
+// link: arrival ≥ send time + L ≥ t + L). Cross-partition transmits
+// land in per-destination mailboxes and are enqueued at the barrier,
+// in fixed (source, append) order, stamped with times the invariant
+// guarantees are at or beyond the next window's start.
+
+// part is one partition's execution context. The network's built-in
+// serial context is a part too (id 0, sim = &n.Sim), so the dispatch
+// path is identical with and without partitioning.
+type part struct {
+	n      *Network
+	id     int32
+	sim    *Sim
+	pool   bufPool
+	ctr    *netCounters
+	outbox [][]event // mailboxes, indexed by destination partition
+}
+
+// SetPartitions cuts the topology into k device-contiguous partitions
+// (devices sorted by id, split into balanced blocks; hosts follow
+// their device). Call it after the topology is built and before
+// scheduling scenario events: pending events stay on partition 0.
+//
+// Any call — including k=1 — switches the network to partitioned
+// semantics permanently: per-(link,direction) fault streams and
+// traversal counters, so fault patterns and hash chains are
+// comparable across partition counts. Networks that never call
+// SetPartitions keep the original serial behavior bit for bit.
+//
+// k is clamped to the device count. An error is reported when a
+// cross-partition link has no positive latency (the lookahead window
+// would be empty).
+func (n *Network) SetPartitions(k int) error {
+	n.pmode = true
+	if k > len(n.devs) {
+		k = len(n.devs)
+	}
+	if k <= 1 {
+		n.parts = nil
+		for i := range n.hc.part {
+			n.hc.part[i] = 0
+		}
+		for _, d := range n.devs {
+			d.part = 0
+		}
+		return nil
+	}
+
+	// Devices sorted by id, cut into k balanced contiguous blocks.
+	order := append([]*Device(nil), n.devs...)
+	sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
+	for i, d := range order {
+		d.part = int32(i * k / len(order))
+	}
+	// Hosts follow the device they attach to (unattached hosts stay on
+	// partition 0 — they generate no events anyway).
+	for i := range n.hc.part {
+		n.hc.part[i] = 0
+		if li := n.hc.link[i]; li != 0 {
+			peer := n.links.at(li - 1).ends[1]
+			if peer.isDevice() {
+				n.hc.part[i] = n.devs[peer.deviceIdx()].part
+			}
+		}
+	}
+
+	// Lookahead = min latency over cross-partition links.
+	n.lookahead = Time(math.Inf(1))
+	for i := int32(0); i < n.links.count; i++ {
+		l := n.links.at(i)
+		a, b := n.endPart(l.ends[0]), n.endPart(l.ends[1])
+		if a == b {
+			continue
+		}
+		if l.LatencyNs <= 0 {
+			return fmt.Errorf("netsim: cross-partition link %d has latency %v; conservative lookahead needs > 0", i, l.LatencyNs)
+		}
+		if l.LatencyNs < n.lookahead {
+			n.lookahead = l.LatencyNs
+		}
+	}
+
+	n.parts = make([]*part, k)
+	n.serial.id = 0
+	n.serial.outbox = make([][]event, k)
+	n.parts[0] = &n.serial
+	for i := 1; i < k; i++ {
+		p := &part{n: n, id: int32(i), sim: &Sim{}, ctr: &netCounters{}, outbox: make([][]event, k)}
+		p.sim.exec = func(e *event) { p.dispatch(e) }
+		p.sim.now = n.Sim.now
+		n.parts[i] = p
+	}
+	return nil
+}
+
+// endPart returns the partition a link end belongs to.
+func (n *Network) endPart(e end) int32 {
+	if e.isDevice() {
+		return n.devs[e.deviceIdx()].part
+	}
+	return n.hc.part[e.node]
+}
+
+// Lookahead reports the conservative-lookahead window width (0 when
+// unpartitioned, +Inf when no link crosses partitions).
+func (n *Network) Lookahead() Time {
+	if len(n.parts) <= 1 {
+		return 0
+	}
+	return n.lookahead
+}
+
+// Partitions reports the active partition count (1 when serial).
+func (n *Network) Partitions() int {
+	if len(n.parts) == 0 {
+		return 1
+	}
+	return len(n.parts)
+}
+
+// PrewarmBuffers stocks the packet-buffer pools with count buffers of
+// the given byte capacity, split evenly across partitions. Call it
+// after SetPartitions (each partition owns its own pool): a run whose
+// in-flight working set stays under the prewarmed count allocates no
+// packet buffers at all.
+func (n *Network) PrewarmBuffers(count, size int) {
+	ps := n.parts
+	if len(ps) == 0 {
+		ps = []*part{&n.serial}
+	}
+	per := (count + len(ps) - 1) / len(ps)
+	for _, p := range ps {
+		p.pool.prewarm(per, size)
+	}
+}
+
+// BufferPeak sums the per-partition high-water marks of checked-out
+// packet buffers: the run's buffer working set.
+func (n *Network) BufferPeak() int {
+	if len(n.parts) == 0 {
+		return n.serial.pool.peak
+	}
+	t := 0
+	for _, p := range n.parts {
+		t += p.pool.peak
+	}
+	return t
+}
+
+// TotalProcessed sums executed events across all partitions.
+func (n *Network) TotalProcessed() uint64 {
+	if len(n.parts) == 0 {
+		return n.Sim.Processed
+	}
+	var t uint64
+	for _, p := range n.parts {
+		t += p.sim.Processed
+	}
+	return t
+}
+
+// TotalPeakQueue sums the per-partition pending-event high-water
+// marks: the aggregate queue footprint of a run.
+func (n *Network) TotalPeakQueue() int {
+	if len(n.parts) == 0 {
+		return n.Sim.PeakQueue
+	}
+	t := 0
+	for _, p := range n.parts {
+		t += p.sim.PeakQueue
+	}
+	return t
+}
+
+// Run processes events up to the horizon (0 = until drained),
+// delegating to the partitioned engine when partitions are armed.
+func (n *Network) Run(until Time) error {
+	if len(n.parts) > 1 {
+		return n.RunParallel(until)
+	}
+	err := n.Sim.Run(until)
+	if n.pmode {
+		n.foldLinks()
+	}
+	return err
+}
+
+// RunAll processes every pending event.
+func (n *Network) RunAll() error { return n.Run(0) }
+
+// RunParallel executes the partitioned simulation in conservative-
+// lookahead windows until every queue is drained or the horizon is
+// reached. One goroutine per partition per window; on a single-CPU
+// box the rounds serialize and the win is memory locality only (the
+// standing ROADMAP note — record GOMAXPROCS when benchmarking).
+func (n *Network) RunParallel(until Time) error {
+	if len(n.parts) <= 1 {
+		return n.Run(until)
+	}
+	var wg sync.WaitGroup
+	for {
+		// Global next-event time.
+		t := Time(math.Inf(1))
+		for _, p := range n.parts {
+			if len(p.sim.q) > 0 && p.sim.q[0].at < t {
+				t = p.sim.q[0].at
+			}
+		}
+		if math.IsInf(float64(t), 1) || (until > 0 && t > until) {
+			break
+		}
+		wEnd := t + n.lookahead
+		for _, p := range n.parts {
+			wg.Add(1)
+			go func(p *part) {
+				defer wg.Done()
+				p.sim.runWindow(wEnd, until)
+			}(p)
+		}
+		wg.Wait()
+		// Barrier: drain mailboxes in fixed (destination, source,
+		// append) order so cross-partition events get deterministic
+		// local scheduling numbers.
+		for di, dst := range n.parts {
+			for _, src := range n.parts {
+				box := src.outbox[di]
+				for i := range box {
+					if box[i].at < wEnd && !math.IsInf(float64(wEnd), 1) {
+						return fmt.Errorf("netsim: lookahead violation: cross event at %v before window end %v", box[i].at, wEnd)
+					}
+					dst.sim.postAbs(box[i])
+				}
+				src.outbox[di] = box[:0]
+			}
+		}
+		if n.MaxEvents > 0 && n.TotalProcessed() > n.MaxEvents {
+			return fmt.Errorf("netsim: event budget exceeded (%d)", n.MaxEvents)
+		}
+	}
+	// Land every clock on a common time: the horizon, or the furthest
+	// partition when running to drain.
+	endT := until
+	for _, p := range n.parts {
+		if p.sim.now > endT {
+			endT = p.sim.now
+		}
+	}
+	for _, p := range n.parts {
+		if endT > p.sim.now {
+			p.sim.now = endT
+		}
+	}
+	n.foldParallel()
+	return nil
+}
+
+// foldParallel folds per-partition counters and per-direction link
+// counters into the public aggregate fields.
+func (n *Network) foldParallel() {
+	for _, p := range n.parts {
+		if p.ctr != &n.netCounters {
+			n.netCounters.fold(p.ctr)
+			*p.ctr = netCounters{}
+		}
+	}
+	n.foldLinks()
+}
+
+// foldLinks rolls the partitioned regime's per-direction traversal and
+// drop counters into the historical whole-link fields.
+func (n *Network) foldLinks() {
+	for i := int32(0); i < n.links.count; i++ {
+		l := n.links.at(i)
+		l.crossed += l.crossedDir[0] + l.crossedDir[1]
+		l.Dropped += l.droppedDir[0] + l.droppedDir[1]
+		l.crossedDir[0], l.crossedDir[1] = 0, 0
+		l.droppedDir[0], l.droppedDir[1] = 0, 0
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package netsim
+
+// raceEnabled reports that the race runtime is active: its
+// instrumentation allocates, so allocation-count pins are skipped.
+const raceEnabled = true

@@ -21,10 +21,36 @@ const (
 	Second      Time = 1e9
 )
 
+// Event kinds. evFunc is the zero value so At-scheduled closures need
+// no initialization; every other kind is a closure-free record whose
+// meaning lives entirely in the packed index fields, dispatched by the
+// switch in events.go. The steady-state network path (send → transmit
+// → device pipeline → deliver → receive) schedules only typed events,
+// so a million-host run allocates nothing per event.
+const (
+	evFunc     uint8 = iota // fn: generic closure (timers, tests, drivers)
+	evHostSend              // node: host idx; buf: chain of framed packets
+	evArrive                // link+dir: packet reaches the far end of a link
+	evDevFwd                // node: device idx; port: unicast egress port
+	evDevMcast              // node: device idx; port: multicast group id
+	evHostRecv              // node: host idx; buf: frame for the Receive callback
+	evTimer                 // node: host idx; fires the network's OnTimer hook
+)
+
+// event is one scheduled occurrence: a tagged union ordered by
+// (time, seq). The value is 56 bytes and lives inline in the heap
+// slice — scheduling is an append plus sift-up, no boxing, no
+// per-event allocation.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	buf  *pbuf  // pooled packet buffer (typed kinds)
+	fn   func() // evFunc only
+	link int32
+	node int32
+	port int32
+	kind uint8
+	dir  uint8
 }
 
 // Sim is the event engine. Events at equal times run in scheduling
@@ -40,6 +66,16 @@ type Sim struct {
 	q   []event
 	now Time
 	seq uint64
+	// exec dispatches typed (non-evFunc) events; a Network binds it to
+	// the owning partition's dispatch switch. A bare Sim (exec nil)
+	// carries closure events only.
+	exec func(*event)
+	// cur is the event being dispatched. Passing &cur (not the address
+	// of a loop local) through the exec func value keeps the event off
+	// the heap — escape analysis cannot see through exec. Dispatch must
+	// not read the event after invoking a user callback that could pump
+	// the simulator recursively.
+	cur event
 	// Processed counts executed events (a runaway guard for tests).
 	Processed uint64
 	// MaxEvents aborts runs beyond this many events (0 = no limit).
@@ -81,7 +117,7 @@ func (s *Sim) push(e event) {
 
 // pop removes the minimum event: move the last element to the root and
 // sift it down through children 4i+1..4i+4. The vacated tail slot is
-// zeroed so the heap does not pin the popped closure.
+// zeroed so the heap does not pin the popped closure or buffer.
 func (s *Sim) pop() event {
 	top := s.q[0]
 	n := len(s.q) - 1
@@ -112,15 +148,51 @@ func (s *Sim) pop() event {
 
 // At schedules fn after delay.
 func (s *Sim) At(delay Time, fn func()) {
+	s.post(delay, event{fn: fn})
+}
+
+// post schedules a typed event after delay, stamping time and
+// scheduling order.
+func (s *Sim) post(delay Time, e event) {
 	if delay < 0 {
 		delay = 0
 	}
+	e.at = s.now + delay
 	s.seq++
-	s.push(event{at: s.now + delay, seq: s.seq, fn: fn})
+	e.seq = s.seq
+	s.push(e)
+}
+
+// postAbs enqueues an event that already carries its absolute time
+// (a mailbox hand-off from another partition), assigning it the next
+// local scheduling-order number.
+func (s *Sim) postAbs(e event) {
+	s.seq++
+	e.seq = s.seq
+	s.push(e)
+}
+
+// run1 pops and executes the minimum event.
+func (s *Sim) run1() error {
+	e := s.pop()
+	s.now = e.at
+	s.Processed++
+	if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
+		return fmt.Errorf("netsim: event budget exceeded (%d)", s.MaxEvents)
+	}
+	if e.kind == evFunc {
+		e.fn()
+	} else {
+		s.cur = e
+		s.exec(&s.cur)
+	}
+	return nil
 }
 
 // Run processes events until the queue is empty or the given horizon
-// is reached. It returns an error if MaxEvents is exceeded.
+// is reached; with a horizon, the clock always lands exactly on it
+// (even when the queue drains early), matching StepNext's timeout
+// semantics. It returns an error if MaxEvents is exceeded.
 func (s *Sim) Run(until Time) error {
 	start := time.Now()
 	defer func() { s.ExecWall += time.Since(start) }()
@@ -129,19 +201,42 @@ func (s *Sim) Run(until Time) error {
 			s.now = until
 			return nil
 		}
-		e := s.pop()
-		s.now = e.at
-		s.Processed++
-		if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
-			return fmt.Errorf("netsim: event budget exceeded (%d)", s.MaxEvents)
+		if err := s.run1(); err != nil {
+			return err
 		}
-		e.fn()
+	}
+	if until > s.now {
+		s.now = until
 	}
 	return nil
 }
 
 // RunAll processes every pending event.
 func (s *Sim) RunAll() error { return s.Run(0) }
+
+// runWindow processes events strictly before wEnd (and not beyond
+// until when until > 0): one conservative-lookahead round. Budget
+// enforcement is left to the coordinator, which sums across
+// partitions after each round.
+func (s *Sim) runWindow(wEnd, until Time) {
+	start := time.Now()
+	for len(s.q) > 0 {
+		at := s.q[0].at
+		if at >= wEnd || (until > 0 && at > until) {
+			break
+		}
+		e := s.pop()
+		s.now = e.at
+		s.Processed++
+		if e.kind == evFunc {
+			e.fn()
+		} else {
+			s.cur = e
+			s.exec(&s.cur)
+		}
+	}
+	s.ExecWall += time.Since(start)
+}
 
 // StepNext executes the next pending event if it is scheduled at or
 // before horizon (0 = any). It reports whether an event ran; when no
@@ -155,15 +250,11 @@ func (s *Sim) StepNext(horizon Time) (bool, error) {
 		return false, nil
 	}
 	start := time.Now()
-	e := s.pop()
-	s.now = e.at
-	s.Processed++
-	if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
-		s.ExecWall += time.Since(start)
-		return false, fmt.Errorf("netsim: event budget exceeded (%d)", s.MaxEvents)
-	}
-	e.fn()
+	err := s.run1()
 	s.ExecWall += time.Since(start)
+	if err != nil {
+		return false, err
+	}
 	return true, nil
 }
 
