@@ -8,11 +8,13 @@
 # bench-host the window sweep of the pipelined host channel plus the
 # send-path allocation check, bench-ctrl the transactional control
 # plane (batched vs single-op CRUD, plus data-path p99 under a
-# control-plane storm).
+# control-plane storm), bench-fabric the hierarchical-aggregation
+# sweep over multi-tier fabrics (goodput and top-tier ingress bytes at
+# 1/2/3 tiers, partition-invariance pinned).
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race bench bench-reliability bench-loadgen bench-host bench-ctrl examples clean
+.PHONY: all tier1 tier2 race bench bench-reliability bench-loadgen bench-host bench-ctrl bench-netsim bench-netsim-smoke bench-fabric bench-fabric-smoke examples clean
 
 all: tier1
 
@@ -48,6 +50,12 @@ bench-netsim:
 bench-netsim-smoke:
 	$(GO) run ./cmd/nclbench -netsim -smoke -out BENCH_netsim_smoke.json
 
+bench-fabric:
+	$(GO) run ./cmd/nclbench -fabric -out BENCH_fabric.json
+
+bench-fabric-smoke:
+	$(GO) run ./cmd/nclbench -fabric -smoke -out BENCH_fabric_smoke.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/allreduce
@@ -55,4 +63,4 @@ examples:
 	$(GO) run ./examples/paxos
 
 clean:
-	rm -f BENCH_reliability.json BENCH_interp.json BENCH_loadgen.json BENCH_hostpath.json BENCH_ctrl.json BENCH_netsim_smoke.json
+	rm -f BENCH_reliability.json BENCH_interp.json BENCH_loadgen.json BENCH_hostpath.json BENCH_ctrl.json BENCH_netsim_smoke.json BENCH_fabric_smoke.json

@@ -39,6 +39,14 @@
 // CI variant):
 //
 //	nclbench -netsim -out BENCH_netsim.json
+//
+// With -fabric it sweeps hierarchical in-network aggregation over
+// multi-tier fabrics — tiers {1,2,3} × worker counts — reporting
+// aggregate goodput and top-tier ingress bytes, and pinning the
+// partitioned runs (k ∈ {2,4}) to the serial delivery hash chain
+// (-smoke restricts the sweep for CI):
+//
+//	nclbench -fabric -out BENCH_fabric.json
 package main
 
 import (
@@ -58,7 +66,8 @@ func main() {
 		hostpath    = flag.Bool("hostpath", false, "sweep the pipelined host channel over window sizes")
 		ctrl        = flag.Bool("ctrl", false, "benchmark the transactional control plane")
 		netsim      = flag.Bool("netsim", false, "sweep the partitioned network simulator over host counts")
-		smoke       = flag.Bool("smoke", false, "netsim: quick CI variant (10k hosts, partitions 1-2)")
+		fabric      = flag.Bool("fabric", false, "sweep hierarchical aggregation over multi-tier fabrics")
+		smoke       = flag.Bool("smoke", false, "netsim/fabric: quick CI variant")
 		out         = flag.String("out", "", "output JSON path (default BENCH_<mode>.json)")
 		workers     = flag.Int("workers", 4, "reliability: AGG workers")
 		chunks      = flag.Int("chunks", 48, "reliability: chunks per worker")
@@ -69,6 +78,20 @@ func main() {
 		updates     = flag.Int("updates", 4000, "ctrl: CRUD ops per (transport, mode) point")
 	)
 	flag.Parse()
+
+	if *fabric {
+		if *out == "" {
+			*out = "BENCH_fabric.json"
+		}
+		rep, err := netcl.BenchFabric(*smoke)
+		check(err)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		check(err)
+		check(os.WriteFile(*out, append(data, '\n'), 0o644))
+		fmt.Print(netcl.FormatFabric(rep))
+		fmt.Println("wrote", *out)
+		return
+	}
 
 	if *netsim {
 		if *out == "" {

@@ -1,0 +1,158 @@
+package netcl
+
+import (
+	"fmt"
+	"strings"
+
+	"netcl/internal/apps"
+)
+
+// Rack-scale fabric benchmark: hierarchical in-network aggregation
+// across multi-tier topologies (leaf/spine, fat-tree), emitted as
+// BENCH_fabric.json by `nclbench -fabric`. The sweep compares
+// host-direct-to-root (1 tier, the flat SwitchML placement) against
+// two- and three-level aggregation trees at equal host count: each
+// added tier cuts the bytes entering the top of the fabric by its
+// fan-in, which is the whole point of pushing reduction into the
+// rack switches.
+
+// FabricPoint is one (tiers, hosts) measurement with its traffic
+// reduction relative to the flat run at the same host count.
+type FabricPoint struct {
+	apps.FabricAggResult
+	// ReductionVsFlat is flat root-ingress bytes over this run's (0
+	// when no flat run exists at this host count — the flat placement
+	// caps at 16 workers, which is exactly the wall the hierarchy
+	// removes).
+	ReductionVsFlat float64 `json:"reduction_vs_flat,omitempty"`
+}
+
+// FabricIdentity is one partitioned run pinned against the serial
+// delivery hash chain.
+type FabricIdentity struct {
+	Tiers      int    `json:"tiers"`
+	Partitions int    `json:"partitions"`
+	TraceHash  uint64 `json:"trace_hash"`
+	Matches    bool   `json:"matches_serial"`
+}
+
+// FabricReport is the fabric benchmark.
+type FabricReport struct {
+	Leaves int            `json:"leaves"`
+	Groups int            `json:"groups"`
+	Rounds int            `json:"rounds"`
+	Points []*FabricPoint `json:"points"`
+	// Identity pins partitioned fabric runs (k ∈ {2,4}) to the serial
+	// delivery hash chain at the largest flat-comparable scale.
+	SerialTraceHash uint64            `json:"serial_trace_hash"`
+	Identity        []*FabricIdentity `json:"identity"`
+}
+
+// BenchFabric sweeps tiers {1,2,3} over worker counts. The flat
+// baseline runs only where its 16-bit contribution bitmap allows; the
+// hierarchical placements continue past that wall. smoke restricts to
+// one rack size and fewer rounds (the CI variant).
+func BenchFabric(smoke bool) (*FabricReport, error) {
+	const leaves, groups = 4, 2
+	rounds := 16
+	perLeaf := []int{2, 4, 8, 16}
+	if smoke {
+		rounds = 4
+		perLeaf = []int{2, 4}
+	}
+	rep := &FabricReport{Leaves: leaves, Groups: groups, Rounds: rounds}
+
+	flatIngress := map[int]uint64{} // workers → flat root-ingress bytes
+	for _, tiers := range []int{1, 2, 3} {
+		for _, w := range perLeaf {
+			workers := leaves * w
+			if tiers == 1 && workers > 16 {
+				continue // the flat placement's bitmap wall
+			}
+			res, err := apps.RunFabricAgg(apps.FabricAggConfig{
+				Tiers: tiers, Leaves: leaves, WorkersPerLeaf: w,
+				Groups: groups, Rounds: rounds,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fabric tiers=%d workers=%d: %w", tiers, workers, err)
+			}
+			if res.Completed != res.Expected || res.Mismatches != 0 {
+				return nil, fmt.Errorf("fabric tiers=%d workers=%d: %d/%d rounds completed, %d mismatches",
+					tiers, workers, res.Completed, res.Expected, res.Mismatches)
+			}
+			pt := &FabricPoint{FabricAggResult: *res}
+			if tiers == 1 {
+				flatIngress[workers] = res.RootIngressBytes
+			} else if flat, ok := flatIngress[workers]; ok && res.RootIngressBytes > 0 {
+				pt.ReductionVsFlat = float64(flat) / float64(res.RootIngressBytes)
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+
+	// The 2-tier run must cut root-ingress traffic by ≈ the leaf
+	// fan-in versus host-direct-to-root at equal host count.
+	for _, pt := range rep.Points {
+		if pt.Tiers == 2 && pt.ReductionVsFlat > 0 {
+			fanin := float64(pt.Workers) / float64(leaves)
+			if pt.ReductionVsFlat < fanin*0.85 || pt.ReductionVsFlat > fanin*1.15 {
+				return nil, fmt.Errorf("fabric: 2-tier reduction %.2f× at %d workers, want ≈%.0f× (leaf fan-in)",
+					pt.ReductionVsFlat, pt.Workers, fanin)
+			}
+		}
+	}
+
+	// Partition-invariance witness: the partitioned fabric runs must
+	// reproduce the serial delivery hash chain bit for bit.
+	idCfg := apps.FabricAggConfig{
+		Tiers: 2, Leaves: leaves, WorkersPerLeaf: 4, Groups: groups,
+		Rounds: rounds, Trace: true,
+	}
+	serial, err := apps.RunFabricAgg(idCfg)
+	if err != nil {
+		return nil, fmt.Errorf("fabric identity serial: %w", err)
+	}
+	rep.SerialTraceHash = serial.TraceHash
+	for _, k := range []int{2, 4} {
+		cfg := idCfg
+		cfg.Partitions = k
+		res, err := apps.RunFabricAgg(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fabric identity k=%d: %w", k, err)
+		}
+		id := &FabricIdentity{
+			Tiers: cfg.Tiers, Partitions: res.Partitions,
+			TraceHash: res.TraceHash, Matches: res.TraceHash == serial.TraceHash,
+		}
+		if !id.Matches {
+			return nil, fmt.Errorf("fabric identity k=%d: trace hash %#x != serial %#x",
+				k, res.TraceHash, serial.TraceHash)
+		}
+		rep.Identity = append(rep.Identity, id)
+	}
+	return rep, nil
+}
+
+// FormatFabric renders the benchmark as text.
+func FormatFabric(rep *FabricReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "FABRIC — hierarchical in-network aggregation, %d leaves / %d groups, %d rounds\n",
+		rep.Leaves, rep.Groups, rep.Rounds)
+	fmt.Fprintf(&b, "%-6s %7s %8s %12s %14s %12s %10s\n",
+		"TIERS", "WORKERS", "DEVICES", "GOODPUT(e/s)", "ROOT-IN(B)", "REDUCTION", "EVENTS")
+	for _, p := range rep.Points {
+		red := "—"
+		if p.ReductionVsFlat > 0 {
+			red = fmt.Sprintf("%.2f×", p.ReductionVsFlat)
+		} else if p.Tiers == 1 {
+			red = "1.00×"
+		}
+		fmt.Fprintf(&b, "%-6d %7d %8d %12.0f %14d %10s %10d\n",
+			p.Tiers, p.Workers, p.Devices, p.GoodputElems, p.RootIngressBytes, red, p.Events)
+	}
+	for _, id := range rep.Identity {
+		fmt.Fprintf(&b, "identity: tiers=%d k=%d trace=%#x matches_serial=%v\n",
+			id.Tiers, id.Partitions, id.TraceHash, id.Matches)
+	}
+	return b.String()
+}

@@ -31,7 +31,10 @@ func CompileApp(app *App, target passes.Target, device uint16) (*p4.Program, map
 	if _, err := passes.Run(mod, passes.DefaultOptions(target)); err != nil {
 		return nil, nil, err
 	}
-	p4prog, err := codegen.Generate(mod, codegen.Options{Target: p4.Target(target)})
+	// ECMP is always compiled in for app deployments: the topology
+	// route installer spreads flows over equal-cost uplinks, and a
+	// program without the spreader cannot take ECMP route entries.
+	p4prog, err := codegen.Generate(mod, codegen.Options{Target: p4.Target(target), ECMP: true})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,108 @@
+package apps
+
+import (
+	"testing"
+)
+
+func TestFabricAggTiers(t *testing.T) {
+	// 16 workers, every tier depth: all rounds complete with correct
+	// sums, and each added aggregation tier cuts the traffic entering
+	// the top tier by its fan-in.
+	byTier := map[int]*FabricAggResult{}
+	for _, tiers := range []int{1, 2, 3} {
+		res, err := RunFabricAgg(FabricAggConfig{Tiers: tiers, Rounds: 4})
+		if err != nil {
+			t.Fatalf("tiers=%d: %v", tiers, err)
+		}
+		if res.Completed != res.Expected || res.Mismatches != 0 {
+			t.Fatalf("tiers=%d: %d/%d rounds completed, %d mismatches",
+				tiers, res.Completed, res.Expected, res.Mismatches)
+		}
+		if res.RootIngressBytes == 0 {
+			t.Fatalf("tiers=%d: no bytes entered the top tier", tiers)
+		}
+		byTier[tiers] = res
+	}
+	// Flat: 16 worker packets converge on the root per round. Two-tier:
+	// the 4 leaves each forward one partial — a 4× (= leaf fan-in)
+	// reduction in root-ingress traffic at equal host count.
+	ratio := float64(byTier[1].RootIngressBytes) / float64(byTier[2].RootIngressBytes)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("2-tier root ingress reduction %.2f×, want ≈4× (fan-in): flat=%d hier=%d",
+			ratio, byTier[1].RootIngressBytes, byTier[2].RootIngressBytes)
+	}
+	// Three-tier: the 2 group switches each forward one partial.
+	if byTier[3].RootIngressBytes >= byTier[2].RootIngressBytes {
+		t.Fatalf("3-tier root ingress %d not below 2-tier %d",
+			byTier[3].RootIngressBytes, byTier[2].RootIngressBytes)
+	}
+}
+
+func TestFabricAggPartitionInvariance(t *testing.T) {
+	// The determinism contract across the fabric: partitioned runs
+	// (k ∈ {2,4}) produce delivery hash chains identical to the serial
+	// run, for both the hierarchical tree and the flat baseline.
+	for _, tiers := range []int{2, 3} {
+		run := func(parts int) *FabricAggResult {
+			res, err := RunFabricAgg(FabricAggConfig{
+				Tiers: tiers, Rounds: 4, Partitions: parts, Trace: true,
+			})
+			if err != nil {
+				t.Fatalf("tiers=%d parts=%d: %v", tiers, parts, err)
+			}
+			if res.Completed != res.Expected || res.Mismatches != 0 {
+				t.Fatalf("tiers=%d parts=%d: %d/%d completed, %d mismatches",
+					tiers, parts, res.Completed, res.Expected, res.Mismatches)
+			}
+			return res
+		}
+		serial := run(0)
+		for _, k := range []int{2, 4} {
+			pr := run(k)
+			if pr.Partitions < 2 {
+				t.Fatalf("tiers=%d: asked for %d partitions, got %d", tiers, k, pr.Partitions)
+			}
+			if pr.TraceHash != serial.TraceHash {
+				t.Fatalf("tiers=%d k=%d: trace hash %#x != serial %#x",
+					tiers, k, pr.TraceHash, serial.TraceHash)
+			}
+		}
+	}
+}
+
+func TestFabricCache(t *testing.T) {
+	res, err := RunFabricCache(FabricCacheConfig{
+		Racks: 3, Spines: 2, TotalKeys: 32, CachedKeys: 16, RequestsPerClient: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 3*64 {
+		t.Fatalf("answered %d of %d requests", res.Requests, 3*64)
+	}
+	if res.WrongValues != 0 {
+		t.Fatalf("%d wrong values", res.WrongValues)
+	}
+	// Uniform key walk over a half-cached universe: hit rate ≈ 50%.
+	if res.HitRate < 0.4 || res.HitRate > 0.6 {
+		t.Fatalf("hit rate %.2f, want ≈0.5", res.HitRate)
+	}
+	// Only misses cross the spine; hits reflect at the rack leaf.
+	if res.SpineIngressBytes == 0 {
+		t.Fatal("no miss traffic crossed the spine")
+	}
+}
+
+func TestFabricPaxos(t *testing.T) {
+	res, err := RunFabricPaxos(FabricPaxosConfig{Commands: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != res.Submitted || res.Undelivered != 0 {
+		t.Fatalf("delivered %d of %d commands (%d undelivered)",
+			res.Delivered, res.Submitted, res.Undelivered)
+	}
+	if res.WrongValue != 0 {
+		t.Fatalf("%d wrong values", res.WrongValue)
+	}
+}

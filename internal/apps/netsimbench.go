@@ -128,8 +128,9 @@ func RunNetsimScale(cfg NetsimConfig) (*NetsimResult, error) {
 	if cfg.Devices <= 0 {
 		cfg.Devices = 16
 	}
-	if cfg.Devices > 16 {
-		return nil, fmt.Errorf("netsimbench: %d devices exceed the wiring budget (16)", cfg.Devices)
+	if cfg.Devices > 256 {
+		// homeDev (the per-device scratch selector) is a uint8.
+		return nil, fmt.Errorf("netsimbench: %d devices exceed the chain budget (256)", cfg.Devices)
 	}
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 2
@@ -172,37 +173,28 @@ func RunNetsimScale(cfg NetsimConfig) (*NetsimResult, error) {
 		Partitions: cfg.Partitions, Pairs: devices * pairs, Rounds: cfg.Rounds,
 	}
 
-	n := netsim.NewNetwork()
-	devs := make([]*netsim.Device, devices)
-	for dv := 0; dv < devices; dv++ {
-		devs[dv] = n.AddDevice(uint16(dv+1), progs[dv])
-	}
-	// Chain interconnect on ports 1 (down) and 2 (up), 2µs latency:
-	// the conservative-lookahead window.
-	for dv := 0; dv+1 < devices; dv++ {
-		l := n.ConnectDevices(devs[dv], 2, devs[dv+1], 1)
-		l.LatencyNs = 2 * netsim.Microsecond
-	}
-	// Manual wiring, transit only: in transit the fwd key is the target
+	// Chain interconnect at 2µs latency (the conservative-lookahead
+	// window) from the topology builder; shortest-path transit routes
+	// from the route installer. In transit the fwd key is the target
 	// DEVICE id (computed packets multicast or reflect, never pass), so
-	// each device needs one entry per other device — not per host.
-	for dv := 0; dv < devices; dv++ {
-		for to := 0; to < devices; to++ {
-			if to == dv {
-				continue
-			}
-			port := 2 // up the chain
-			if to < dv {
-				port = 1
-			}
-			err := devs[dv].SW.InsertEntry("netcl_fwd", &p4.Entry{
-				Keys:   []p4.KeyValue{{Value: uint64(to + 1), PrefixLen: -1}},
-				Action: &p4.ActionCall{Name: "set_port", Args: []uint64{uint64(port)}},
-			})
-			if err != nil {
-				return nil, fmt.Errorf("netsimbench: wiring device %d: %w", dv+1, err)
-			}
-		}
+	// the installed device-destination routes — one entry per other
+	// device, not per host — are the complete table.
+	n := netsim.NewNetwork()
+	ids := make([]uint16, devices)
+	for dv := range ids {
+		ids[dv] = uint16(dv + 1)
+	}
+	topo, err := netsim.BuildChain(n, netsim.ChainSpec{
+		IDs:  ids,
+		Prog: func(i int, id uint16) *p4.Program { return progs[i] },
+		Link: netsim.LinkClass{LatencyNs: 2 * netsim.Microsecond},
+	})
+	if err != nil {
+		return nil, err
+	}
+	devs := topo.Tiers[0]
+	if err := topo.InstallRoutes(netsim.RouteOptions{}); err != nil {
+		return nil, err
 	}
 
 	// Hosts: collectors on ports 3 and 4 (multicast group 42, the group

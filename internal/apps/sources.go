@@ -56,6 +56,55 @@ _kernel(1) void allreduce(uint8_t ver, uint16_t bmp_idx, uint16_t agg_idx,
 }
 `
 
+// HierAggSource is the fabric variant of the SwitchML protocol: the
+// same slot state machine, parameterized per device so an aggregation
+// TREE spans the fabric. A leaf switch reduces its rack's FANIN
+// workers; on slot completion it rewrites the contribution mask to its
+// own position under its parent (1 << LEVEL_INDEX) and sends the
+// partial aggregate one tier up with send_to_device(PARENT); the root
+// completes and multicasts the result to the collector group. Each
+// round owns one slot (the bench is open-loop and lossless), so the
+// two-version scheme of AggSource is unnecessary here.
+const HierAggSource = `
+_net_ uint16_t Bitmap[NUM_SLOTS];
+_net_ uint32_t Agg[SLOT_SIZE][NUM_SLOTS];
+_net_ uint8_t Count[NUM_SLOTS];
+_net_ uint32_t Exp[NUM_SLOTS];
+
+_kernel(1) void treduce(uint16_t slot, uint16_t &mask, uint32_t &exp,
+                        uint32_t _spec(SLOT_SIZE) *v) {
+  uint16_t bitmap = ncl::atomic_or(&Bitmap[slot], mask);
+  if (bitmap == 0) {
+    Count[slot] = FANIN - 1;
+    ncl::atomic_write(&Exp[slot], exp);
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      Agg[i][slot] = v[i];
+    // A single-child level completes on its only contribution.
+    if (FANIN == 1) {
+      mask = 1 << LEVEL_INDEX;
+      if (IS_ROOT)
+        return ncl::multicast(42);
+      return ncl::send_to_device(PARENT);
+    }
+  } else {
+    auto seen = bitmap & mask;
+    auto cnt = ncl::atomic_cond_dec(&Count[slot], !seen);
+    exp = ncl::atomic_cond_max_new(&Exp[slot], !seen, exp);
+    for (auto i = 0; i < SLOT_SIZE; ++i)
+      v[i] = ncl::atomic_cond_add_new(&Agg[i][slot], !seen, v[i]);
+    if (!seen) {
+      if (cnt == 1) {
+        mask = 1 << LEVEL_INDEX;
+        if (IS_ROOT)
+          return ncl::multicast(42);
+        return ncl::send_to_device(PARENT);
+      }
+    }
+  }
+  return ncl::drop();
+}
+`
+
 // CacheSource implements NetCache (§VII): GET/PUT/DEL with a validity
 // bit (write-back policy), two-step cache-line access (a MAT maps the
 // key to an index), cache-line sharing via a per-key word bitmap, hit

@@ -367,9 +367,9 @@ func (s *Switch) Write(b *WriteBatch) (*WriteResult, error) {
 	res := &WriteResult{Removed: make([]int, len(b.Ops))}
 
 	type regWrite struct {
-		cells []uint64
-		idx   int
-		val   uint64
+		rf  *regfile
+		idx int
+		val uint64
 	}
 	var regWrites []regWrite
 	undo := make([]undoRec, 0, len(b.Ops))
@@ -504,16 +504,16 @@ func (s *Switch) Write(b *WriteBatch) (*WriteResult, error) {
 			})
 
 		case OpRegisterWrite:
-			cells, ok := s.regs[op.Reg]
+			rf, ok := s.regs[op.Reg]
 			if !ok {
 				return fail(i, fmt.Errorf("no register %q", op.Reg))
 			}
-			if op.Idx < 0 || op.Idx >= len(cells) {
+			if op.Idx < 0 || op.Idx >= rf.size {
 				return fail(i, fmt.Errorf("register %q index %d out of range", op.Reg, op.Idx))
 			}
 			// Staged: register memory is touched only once the whole
 			// batch has validated.
-			regWrites = append(regWrites, regWrite{cells, op.Idx, op.Val})
+			regWrites = append(regWrites, regWrite{rf, op.Idx, op.Val})
 
 		case OpSetDefault:
 			t := s.findTable(op.Table)
@@ -536,7 +536,7 @@ func (s *Switch) Write(b *WriteBatch) (*WriteResult, error) {
 	// whole call when packets are in flight), then reclaim dominant
 	// tombstones, then publish every touched table in one generation.
 	for _, rw := range regWrites {
-		rw.cells[rw.idx] = rw.val
+		rw.rf.store(rw.idx, rw.val)
 	}
 	for name := range touched {
 		if es := s.entries[name]; es != nil {

@@ -370,8 +370,8 @@ func (cc *compiler) action(c *p4.Control, sc *cscope, a *p4.ActionDecl) (*cactio
 // body is compiled against the caller's scope chain so free names
 // resolve exactly like the reference interpreter's dynamic frames.
 func (cc *compiler) regact(c *p4.Control, sc *cscope, ra *p4.RegisterAction, idxArgs []p4.Expr) (func(m *machine) (val, error), error) {
-	cells := cc.s.regs[ra.Register]
-	if cells == nil {
+	rf := cc.s.regs[ra.Register]
+	if rf == nil {
 		raName := ra.Name
 		return func(m *machine) (val, error) {
 			return val{}, fmt.Errorf("register action %q over unknown register", raName)
@@ -405,17 +405,21 @@ func (cc *compiler) regact(c *p4.Control, sc *cscope, ra *p4.RegisterAction, idx
 		if idxFn != nil {
 			idx = int(idxFn(m).wrapped())
 		}
+		// An in-bounds RMW always writes the memory operand back, so
+		// materialize the cell's page up front and hold its address.
+		var cp *uint64
 		var mem uint64
-		if idx >= 0 && idx < len(cells) {
-			mem = cells[idx]
+		if idx >= 0 && idx < rf.size {
+			cp = rf.cell(idx)
+			mem = *cp
 		}
 		m.frame[mSlot] = val{mem, bits}
 		m.frame[oSlot] = val{0, bits}
 		if err := m.run(body); err != nil {
 			return val{}, err
 		}
-		if idx >= 0 && idx < len(cells) {
-			cells[idx] = m.frame[mSlot].wrapped()
+		if cp != nil {
+			*cp = m.frame[mSlot].wrapped()
 		}
 		return m.frame[oSlot], nil
 	}, nil
@@ -677,7 +681,7 @@ func (cc *compiler) callStmt(c *p4.Control, sc *cscope, x *p4.CallStmt) (stmtFn,
 	}
 	// Register primitives (v1model style) take precedence over
 	// register actions, mirroring the reference dispatch order.
-	if cells, ok := cc.s.regs[x.Recv]; ok {
+	if rf, ok := cc.s.regs[x.Recv]; ok {
 		switch x.Method {
 		case "read":
 			if len(x.Args) < 2 {
@@ -696,8 +700,8 @@ func (cc *compiler) callStmt(c *p4.Control, sc *cscope, x *p4.CallStmt) (stmtFn,
 			return func(m *machine) error {
 				idx := int(idxFn(m).wrapped())
 				var v uint64
-				if idx >= 0 && idx < len(cells) {
-					v = cells[idx]
+				if idx >= 0 && idx < rf.size {
+					v = rf.load(idx)
 				}
 				store(m, val{v, dbits})
 				return nil
@@ -717,8 +721,8 @@ func (cc *compiler) callStmt(c *p4.Control, sc *cscope, x *p4.CallStmt) (stmtFn,
 			return func(m *machine) error {
 				idx := int(idxFn(m).wrapped())
 				v := valFn(m)
-				if idx >= 0 && idx < len(cells) {
-					cells[idx] = v.wrapped()
+				if idx >= 0 && idx < rf.size {
+					rf.store(idx, v.wrapped())
 				}
 				return nil
 			}, nil

@@ -73,7 +73,7 @@ type Switch struct {
 	// path never takes it.
 	mu sync.Mutex
 
-	regs    map[string][]uint64
+	regs    map[string]*regfile
 	entries map[string]*entrySet
 	fields  map[string]int // field path -> bits (headers, metadata, locals, params)
 	rng     uint64         // updated via CAS: the random extern must stay race-free under sharding
@@ -100,7 +100,7 @@ type Result struct {
 func New(prog *p4.Program) *Switch {
 	s := &Switch{
 		Prog:    prog,
-		regs:    map[string][]uint64{},
+		regs:    map[string]*regfile{},
 		entries: map[string]*entrySet{},
 		fields:  map[string]int{},
 		rng:     0x9E3779B97F4A7C15,
@@ -111,14 +111,7 @@ func New(prog *p4.Program) *Switch {
 	}
 	for _, c := range controls {
 		for _, r := range c.Registers {
-			cells := make([]uint64, r.Size)
-			m := val{bits: r.Bits}.mask()
-			for i, v := range r.Init {
-				if i < len(cells) {
-					cells[i] = uint64(v) & m
-				}
-			}
-			s.regs[r.Name] = cells
+			s.regs[r.Name] = newRegfile(r.Size, r.Bits, r.Init)
 		}
 		for _, t := range c.Tables {
 			es := s.entries[t.Name]
@@ -188,14 +181,14 @@ func (s *Switch) CompileErr() error { return s.compileErr }
 func (s *Switch) RegisterRead(name string, idx int) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cells, ok := s.regs[name]
+	rf, ok := s.regs[name]
 	if !ok {
 		return 0, fmt.Errorf("no register %q", name)
 	}
-	if idx < 0 || idx >= len(cells) {
+	if idx < 0 || idx >= rf.size {
 		return 0, fmt.Errorf("register %q index %d out of range", name, idx)
 	}
-	return cells[idx], nil
+	return rf.load(idx), nil
 }
 
 // RegisterWrite sets a register cell. Serialized against other
@@ -204,21 +197,21 @@ func (s *Switch) RegisterRead(name string, idx int) (uint64, error) {
 func (s *Switch) RegisterWrite(name string, idx int, v uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cells, ok := s.regs[name]
+	rf, ok := s.regs[name]
 	if !ok {
 		return fmt.Errorf("no register %q", name)
 	}
-	if idx < 0 || idx >= len(cells) {
+	if idx < 0 || idx >= rf.size {
 		return fmt.Errorf("register %q index %d out of range", name, idx)
 	}
-	cells[idx] = v
+	rf.store(idx, v)
 	return nil
 }
 
 // RegisterSize returns the number of cells, or -1.
 func (s *Switch) RegisterSize(name string) int {
-	if cells, ok := s.regs[name]; ok {
-		return len(cells)
+	if rf, ok := s.regs[name]; ok {
+		return rf.size
 	}
 	return -1
 }
@@ -688,7 +681,7 @@ func (ex *exec) callStmt(c *p4.Control, x *p4.CallStmt) error {
 		return ex.runAction(c, a, args)
 	}
 	// Register primitives (v1model style).
-	if cells, ok := ex.s.regs[x.Recv]; ok {
+	if rf, ok := ex.s.regs[x.Recv]; ok {
 		switch x.Method {
 		case "read":
 			dst, ok := x.Args[0].(*p4.FieldRef)
@@ -697,16 +690,16 @@ func (ex *exec) callStmt(c *p4.Control, x *p4.CallStmt) error {
 			}
 			idx := int(ex.eval(x.Args[1]).wrapped())
 			var v uint64
-			if idx >= 0 && idx < len(cells) {
-				v = cells[idx]
+			if idx >= 0 && idx < rf.size {
+				v = rf.load(idx)
 			}
 			ex.assign(dst, val{v, ex.s.fields[dst.String()]})
 			return nil
 		case "write":
 			idx := int(ex.eval(x.Args[0]).wrapped())
 			v := ex.eval(x.Args[1])
-			if idx >= 0 && idx < len(cells) {
-				cells[idx] = v.wrapped()
+			if idx >= 0 && idx < rf.size {
+				rf.store(idx, v.wrapped())
 			}
 			return nil
 		}
@@ -841,8 +834,8 @@ func (ex *exec) applyTable(c *p4.Control, name string) (bool, error) {
 
 // execRegAction runs a SALU microprogram.
 func (ex *exec) execRegAction(c *p4.Control, ra *p4.RegisterAction, idxArgs []p4.Expr) (val, error) {
-	cells := ex.s.regs[ra.Register]
-	if cells == nil {
+	rf := ex.s.regs[ra.Register]
+	if rf == nil {
 		return val{}, fmt.Errorf("register action %q over unknown register", ra.Name)
 	}
 	reg := c.RegisterByName(ra.Register)
@@ -851,8 +844,8 @@ func (ex *exec) execRegAction(c *p4.Control, ra *p4.RegisterAction, idxArgs []p4
 		idx = int(ex.eval(idxArgs[0]).wrapped())
 	}
 	var m uint64
-	if idx >= 0 && idx < len(cells) {
-		m = cells[idx]
+	if idx >= 0 && idx < rf.size {
+		m = rf.load(idx)
 	}
 	frame := map[string]val{
 		"m": {m, reg.Bits},
@@ -865,8 +858,8 @@ func (ex *exec) execRegAction(c *p4.Control, ra *p4.RegisterAction, idxArgs []p4
 	if err != nil {
 		return val{}, err
 	}
-	if idx >= 0 && idx < len(cells) {
-		cells[idx] = out["m"].wrapped()
+	if idx >= 0 && idx < rf.size {
+		rf.store(idx, out["m"].wrapped())
 	}
 	return out["o"], nil
 }

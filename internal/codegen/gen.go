@@ -23,6 +23,12 @@ type Options struct {
 	Target p4.Target
 	// ProgName names the generated program.
 	ProgName string
+	// ECMP emits the equal-cost spreader (set_ecmp_group action,
+	// flow-hash bucket pick, netcl_ecmp member table) alongside
+	// netcl_fwd. Fabric deployments need it so the route installer can
+	// spread flows over parallel uplinks; single-box programs skip it —
+	// the dependent member table costs a pipeline stage.
+	ECMP bool
 }
 
 // Generate emits a complete P4 program for the module.
@@ -33,6 +39,7 @@ func Generate(mod *ir.Module, opts Options) (*p4.Program, error) {
 	g := &generator{
 		mod:  mod,
 		tgt:  opts.Target,
+		ecmp: opts.ECMP,
 		prog: &p4.Program{Name: opts.ProgName, Target: opts.Target},
 		vals: map[ir.Value]p4.Expr{},
 	}
@@ -52,6 +59,7 @@ func Generate(mod *ir.Module, opts Options) (*p4.Program, error) {
 type generator struct {
 	mod  *ir.Module
 	tgt  p4.Target
+	ecmp bool
 	prog *p4.Program
 	ctl  *p4.Control
 	vals map[ir.Value]p4.Expr
@@ -128,6 +136,12 @@ func (g *generator) baseHeaders() {
 		&p4.Field{Name: "drop_flag", Bits: 1},
 		&p4.Field{Name: "egress_port", Bits: 16},
 	)
+	if g.ecmp {
+		g.prog.Metadata = append(g.prog.Metadata,
+			&p4.Field{Name: "ecmp_grp", Bits: 16},
+			&p4.Field{Name: "ecmp_bkt", Bits: 16},
+		)
+	}
 }
 
 // dataHeaders emits one NetCL data header per computation, with the
@@ -202,7 +216,11 @@ func (g *generator) buildIngress() {
 	g.ctl = ctl
 	g.prog.Ingress = ctl
 
-	// Base program actions and tables.
+	// Base program actions and tables. netcl_fwd resolves a destination
+	// either to a port directly (set_port) or, when the ECMP spreader is
+	// compiled in and several equal-cost uplinks lead there, to an ECMP
+	// group (set_ecmp_group); netcl_ecmp then picks the member port by
+	// flow hash.
 	ctl.Actions = append(ctl.Actions,
 		&p4.ActionDecl{
 			Name:   "set_port",
@@ -214,14 +232,44 @@ func (g *generator) buildIngress() {
 			Body: []p4.Stmt{&p4.Assign{LHS: p4.FR("meta", "drop_flag"), RHS: &p4.IntLit{Val: 1, Bits: 1}}},
 		},
 	)
+	fwdActions := []string{"set_port", "mark_drop"}
+	if g.ecmp {
+		ctl.Actions = append(ctl.Actions,
+			&p4.ActionDecl{
+				Name:   "set_ecmp_group",
+				Params: []*p4.Field{{Name: "gid", Bits: 16}},
+				Body:   []p4.Stmt{&p4.Assign{LHS: p4.FR("meta", "ecmp_grp"), RHS: p4.FR("gid")}},
+			},
+		)
+		ctl.Hashes = append(ctl.Hashes,
+			&p4.HashDecl{Name: "ecmp_hash", Algo: "crc16", Bits: 16},
+		)
+		fwdActions = append(fwdActions, "set_ecmp_group")
+	}
 	ctl.Tables = append(ctl.Tables,
 		&p4.Table{
 			Name:    "netcl_fwd",
 			Keys:    []*p4.TableKey{{Expr: p4.FR("meta", "nexthop"), Match: p4.MatchExact}},
-			Actions: []string{"set_port", "mark_drop"},
+			Actions: fwdActions,
 			Default: &p4.ActionCall{Name: "mark_drop"},
 			Size:    256,
 		},
+	)
+	if g.ecmp {
+		ctl.Tables = append(ctl.Tables,
+			&p4.Table{
+				Name: "netcl_ecmp",
+				Keys: []*p4.TableKey{
+					{Expr: p4.FR("meta", "ecmp_grp"), Match: p4.MatchExact},
+					{Expr: p4.FR("meta", "ecmp_bkt"), Match: p4.MatchExact},
+				},
+				Actions: []string{"set_port", "mark_drop"},
+				Default: &p4.ActionCall{Name: "mark_drop"},
+				Size:    256,
+			},
+		)
+	}
+	ctl.Tables = append(ctl.Tables,
 		&p4.Table{
 			Name:    "l2_fwd",
 			Keys:    []*p4.TableKey{{Expr: p4.FR("hdr", "ethernet", "dst_addr"), Match: p4.MatchExact}},
@@ -267,6 +315,30 @@ func (g *generator) buildIngress() {
 		},
 	}
 
+	fwdApply := []p4.Stmt{&p4.ApplyTable{Table: "netcl_fwd"}}
+	if g.ecmp {
+		// When netcl_fwd resolved to an ECMP group, spread by flow hash
+		// over (src, dst): the pair is invariant along the path (only
+		// from/to/act mutate in transit), so every hop picks the same
+		// bucket for a flow.
+		fwdApply = append(fwdApply, &p4.If{
+			Cond: &p4.Bin{Op: "!=", X: p4.FR("meta", "ecmp_grp"), Y: &p4.IntLit{Val: 0, Bits: 16}},
+			Then: []p4.Stmt{
+				&p4.Assign{
+					LHS: p4.FR("meta", "ecmp_bkt"),
+					RHS: &p4.Bin{
+						Op: "&",
+						X: &p4.CallExpr{Recv: "ecmp_hash", Method: "get", Args: []p4.Expr{
+							p4.FR("hdr", "netcl", "src"), p4.FR("hdr", "netcl", "dst"),
+						}},
+						Y: &p4.IntLit{Val: wire.ECMPBuckets - 1, Bits: 16},
+					},
+				},
+				&p4.ApplyTable{Table: "netcl_ecmp"},
+			},
+		})
+	}
+
 	ctl.Apply = []p4.Stmt{
 		&p4.If{
 			Cond: isNetCL,
@@ -277,7 +349,7 @@ func (g *generator) buildIngress() {
 					Then: []p4.Stmt{
 						&p4.If{
 							Cond: &p4.Bin{Op: "==", X: p4.FR("meta", "mcast_grp"), Y: &p4.IntLit{Val: 0, Bits: 16}},
-							Then: []p4.Stmt{&p4.ApplyTable{Table: "netcl_fwd"}},
+							Then: fwdApply,
 						},
 					},
 				},

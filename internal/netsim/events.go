@@ -172,11 +172,13 @@ func (pt *part) transmit(l *Link, dir int, pb *pbuf) {
 		}
 		done := start + l.serialization(len(pb.b))
 		l.busyUntil[dir] = done
+		l.bytesDir[dir] += uint64(len(pb.b))
 		arr := event{kind: evArrive, link: l.idx, dir: uint8(dir), buf: pb}
 		s.post(done-s.now+l.LatencyNs+n.faults.jitterOne(), arr)
 		if n.faults.dupOne() {
 			pt.ctr.FaultsDuplicated++
 			pb.refs++
+			l.bytesDir[dir] += uint64(len(pb.b))
 			s.post(done-s.now+l.LatencyNs+n.faults.jitterOne(), arr)
 		}
 		return
@@ -204,11 +206,13 @@ func (pt *part) transmit(l *Link, dir int, pb *pbuf) {
 	}
 	done := start + l.serialization(len(pb.b))
 	l.busyUntil[dir] = done
+	l.bytesDir[dir] += uint64(len(pb.b))
 	at1 := done + l.LatencyNs + f.jitterDir(l, dir)
 	dup := f.dupDir(l, dir)
 	var at2 Time
 	if dup {
 		pt.ctr.FaultsDuplicated++
+		l.bytesDir[dir] += uint64(len(pb.b))
 		at2 = done + l.LatencyNs + f.jitterDir(l, dir)
 	}
 

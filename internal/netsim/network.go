@@ -92,7 +92,16 @@ type Link struct {
 	crossedDir [2]uint64
 	droppedDir [2]uint64
 	rng        [2]uint64
+	// bytesDir counts payload bytes actually put on the wire per
+	// direction (drops excluded, duplicates included). A direction is
+	// only ever driven by the partition owning its sending end, so one
+	// counter serves both execution regimes without folding.
+	bytesDir [2]uint64
 }
+
+// Bytes returns the bytes transmitted in one direction (0: ends[0]→
+// ends[1], 1: reverse).
+func (l *Link) Bytes(dir int) uint64 { return l.bytesDir[dir&1] }
 
 // end identifies one side of a link: a host index (≥ 0) or a device
 // index encoded as its bitwise complement (< 0), plus the device port.

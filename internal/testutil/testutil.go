@@ -34,7 +34,7 @@ func CompileOne(src string, target passes.Target, device uint16) (*p4.Program, *
 	if _, err := passes.Run(mod, passes.DefaultOptions(target)); err != nil {
 		return nil, nil, err
 	}
-	p4prog, err := codegen.Generate(mod, codegen.Options{Target: p4.Target(target)})
+	p4prog, err := codegen.Generate(mod, codegen.Options{Target: p4.Target(target), ECMP: true})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -72,6 +72,14 @@ const (
 // HeaderBytes is the NetCL header size on the wire.
 const HeaderBytes = (SrcBits + DstBits + FromBits + ToBits + CompBits + ActBits + ArgBits) / 8
 
+// ECMPBuckets is the number of hash buckets in the generated ECMP
+// spreader table: the flow hash over (src, dst) is folded to
+// hash & (ECMPBuckets-1), and the control plane installs one
+// (group, bucket) → port entry per bucket. Part of the data-plane
+// contract between codegen and route installers, hence declared here.
+// Must be a power of two.
+const ECMPBuckets = 16
+
 // Header is the parsed NetCL header.
 type Header struct {
 	Src  uint16 // source host
