@@ -10,11 +10,13 @@
 # plane (batched vs single-op CRUD, plus data-path p99 under a
 # control-plane storm), bench-fabric the hierarchical-aggregation
 # sweep over multi-tier fabrics (goodput and top-tier ingress bytes at
-# 1/2/3 tiers, partition-invariance pinned).
+# 1/2/3 tiers, partition-invariance pinned), bench-churn the four
+# production-churn timelines (crash/failover, re-election, hot-key
+# churn, rolling reconfig) scored against SLOs.
 
 GO ?= go
 
-.PHONY: all tier1 tier2 race bench bench-reliability bench-loadgen bench-host bench-ctrl bench-netsim bench-netsim-smoke bench-fabric bench-fabric-smoke examples clean
+.PHONY: all tier1 tier2 race bench bench-reliability bench-loadgen bench-host bench-ctrl bench-netsim bench-netsim-smoke bench-fabric bench-fabric-smoke bench-churn bench-churn-smoke examples clean
 
 all: tier1
 
@@ -56,6 +58,12 @@ bench-fabric:
 bench-fabric-smoke:
 	$(GO) run ./cmd/nclbench -fabric -smoke -out BENCH_fabric_smoke.json
 
+bench-churn:
+	$(GO) run ./cmd/nclbench -churn -out BENCH_churn.json
+
+bench-churn-smoke:
+	$(GO) run ./cmd/nclbench -churn -smoke -out BENCH_churn_smoke.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/allreduce
@@ -63,4 +71,4 @@ examples:
 	$(GO) run ./examples/paxos
 
 clean:
-	rm -f BENCH_reliability.json BENCH_interp.json BENCH_loadgen.json BENCH_hostpath.json BENCH_ctrl.json BENCH_netsim_smoke.json BENCH_fabric_smoke.json
+	rm -f BENCH_reliability.json BENCH_interp.json BENCH_loadgen.json BENCH_hostpath.json BENCH_ctrl.json BENCH_netsim_smoke.json BENCH_fabric_smoke.json BENCH_churn_smoke.json

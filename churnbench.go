@@ -1,0 +1,124 @@
+package netcl
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"netcl/internal/apps"
+)
+
+// Production-churn benchmark: the four timeline scenarios from
+// internal/apps/churn.go — aggregator crash with pool-state failover,
+// P4xos coordinator re-election, hot-key churn, rolling reconfig — run
+// under live open-loop load and scored against SLOs, emitted as
+// BENCH_churn.json by `nclbench -churn`. Every scenario must finish
+// with zero errors (churn may lose requests, never corrupt results),
+// the AGG failover must return to at least its baseline availability,
+// and the stateful timelines must replay hash-chain-identical under
+// partitioned execution.
+
+// ChurnIdentity is one partitioned scenario run pinned against the
+// serial delivery hash chain.
+type ChurnIdentity struct {
+	Scenario   string `json:"scenario"`
+	Partitions int    `json:"partitions"`
+	TraceHash  uint64 `json:"trace_hash"`
+	Matches    bool   `json:"matches_serial"`
+}
+
+// ChurnReport is the churn benchmark.
+type ChurnReport struct {
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	NumCPU     int                 `json:"num_cpu"`
+	Smoke      bool                `json:"smoke,omitempty"`
+	Scenarios  []*apps.ChurnResult `json:"scenarios"`
+	// Identity pins the two register-stateful timelines (failover and
+	// cache churn) at k ∈ {2,4} to their serial hash chains.
+	Identity []*ChurnIdentity `json:"identity"`
+}
+
+// BenchChurn runs the four churn scenarios and the determinism
+// identity runs. smoke shrinks every scenario (the CI variant).
+func BenchChurn(smoke bool) (*ChurnReport, error) {
+	rep := &ChurnReport{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), Smoke: smoke}
+
+	scenarios := []struct {
+		name string
+		run  func(apps.ChurnConfig) (*apps.ChurnResult, error)
+	}{
+		{"agg-failover", apps.RunChurnAggFailover},
+		{"paxos-reelect", apps.RunChurnPaxosReelect},
+		{"cache-churn", apps.RunChurnCacheChurn},
+		{"rolling-reconfig", apps.RunChurnRolling},
+	}
+	for _, sc := range scenarios {
+		res, err := sc.run(apps.ChurnConfig{Smoke: smoke})
+		if err != nil {
+			return nil, fmt.Errorf("churn %s: %w", sc.name, err)
+		}
+		if res.Errors != 0 {
+			return nil, fmt.Errorf("churn %s: %d errors (corrupted results under churn)", sc.name, res.Errors)
+		}
+		if res.SLO == nil || !res.SLO.Recovered {
+			return nil, fmt.Errorf("churn %s: never recovered to baseline p99", sc.name)
+		}
+		if sc.name == "agg-failover" && res.SLO.AfterAvailability < res.SLO.BaselineAvailability-0.01 {
+			return nil, fmt.Errorf("churn %s: after-availability %.3f below baseline %.3f",
+				sc.name, res.SLO.AfterAvailability, res.SLO.BaselineAvailability)
+		}
+		rep.Scenarios = append(rep.Scenarios, res)
+	}
+
+	// Determinism witness: the failover and cache-churn timelines —
+	// both move register state mid-run — must replay bit-identically
+	// under partitioned execution.
+	for _, id := range []struct {
+		name string
+		run  func(apps.ChurnConfig) (*apps.ChurnResult, error)
+	}{
+		{"agg-failover", apps.RunChurnAggFailover},
+		{"cache-churn", apps.RunChurnCacheChurn},
+	} {
+		serial, err := id.run(apps.ChurnConfig{Smoke: true, Trace: true})
+		if err != nil {
+			return nil, fmt.Errorf("churn identity %s serial: %w", id.name, err)
+		}
+		for _, k := range []int{2, 4} {
+			res, err := id.run(apps.ChurnConfig{Smoke: true, Trace: true, Partitions: k})
+			if err != nil {
+				return nil, fmt.Errorf("churn identity %s k=%d: %w", id.name, k, err)
+			}
+			ident := &ChurnIdentity{
+				Scenario: id.name, Partitions: res.Partitions,
+				TraceHash: res.TraceHash, Matches: res.TraceHash == serial.TraceHash,
+			}
+			if !ident.Matches {
+				return nil, fmt.Errorf("churn identity %s k=%d: trace hash %#x != serial %#x",
+					id.name, k, res.TraceHash, serial.TraceHash)
+			}
+			rep.Identity = append(rep.Identity, ident)
+		}
+	}
+	return rep, nil
+}
+
+// FormatChurn renders the benchmark as text.
+func FormatChurn(rep *ChurnReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CHURN — timeline scenarios under SLO (GOMAXPROCS=%d)\n", rep.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-18s %5s %5s %5s %4s %7s %7s %7s %10s %10s\n",
+		"SCENARIO", "REQ", "DONE", "LOST", "ERR", "AVAIL-B", "AVAIL-D", "AVAIL-A", "P99-D(ns)", "RECOV(µs)")
+	for _, s := range rep.Scenarios {
+		slo := s.SLO
+		fmt.Fprintf(&b, "%-18s %5d %5d %5d %4d %7.3f %7.3f %7.3f %10.0f %10.1f\n",
+			s.Name, s.Requests, s.Completed, s.Lost, s.Errors,
+			slo.BaselineAvailability, slo.DuringAvailability, slo.AfterAvailability,
+			slo.During.P99Ns, slo.RecoveryNs/1000)
+	}
+	for _, id := range rep.Identity {
+		fmt.Fprintf(&b, "identity: %s k=%d trace=%#x matches_serial=%v\n",
+			id.Scenario, id.Partitions, id.TraceHash, id.Matches)
+	}
+	return b.String()
+}

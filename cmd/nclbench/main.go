@@ -47,6 +47,14 @@
 // (-smoke restricts the sweep for CI):
 //
 //	nclbench -fabric -out BENCH_fabric.json
+//
+// With -churn it runs the four production-churn timelines — aggregator
+// crash with pool-state failover, coordinator re-election, hot-key
+// churn, rolling reconfig — under live load, scored against SLOs and
+// pinned to the serial hash chain under partitioned execution
+// (-smoke shrinks every scenario for CI):
+//
+//	nclbench -churn -out BENCH_churn.json
 package main
 
 import (
@@ -67,7 +75,8 @@ func main() {
 		ctrl        = flag.Bool("ctrl", false, "benchmark the transactional control plane")
 		netsim      = flag.Bool("netsim", false, "sweep the partitioned network simulator over host counts")
 		fabric      = flag.Bool("fabric", false, "sweep hierarchical aggregation over multi-tier fabrics")
-		smoke       = flag.Bool("smoke", false, "netsim/fabric: quick CI variant")
+		churn       = flag.Bool("churn", false, "run the production-churn timeline scenarios under SLO")
+		smoke       = flag.Bool("smoke", false, "netsim/fabric/churn: quick CI variant")
 		out         = flag.String("out", "", "output JSON path (default BENCH_<mode>.json)")
 		workers     = flag.Int("workers", 4, "reliability: AGG workers")
 		chunks      = flag.Int("chunks", 48, "reliability: chunks per worker")
@@ -78,6 +87,20 @@ func main() {
 		updates     = flag.Int("updates", 4000, "ctrl: CRUD ops per (transport, mode) point")
 	)
 	flag.Parse()
+
+	if *churn {
+		if *out == "" {
+			*out = "BENCH_churn.json"
+		}
+		rep, err := netcl.BenchChurn(*smoke)
+		check(err)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		check(err)
+		check(os.WriteFile(*out, append(data, '\n'), 0o644))
+		fmt.Print(netcl.FormatChurn(rep))
+		fmt.Println("wrote", *out)
+		return
+	}
 
 	if *fabric {
 		if *out == "" {

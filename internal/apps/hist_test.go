@@ -76,3 +76,51 @@ func TestHistBucketMonotone(t *testing.T) {
 		}
 	}
 }
+
+// TestHistLogLinearBoundaries pins the representative value at the
+// log-linear bucket edges: exact through 31, floored to the bucket's
+// lower bound above, with the sub-bucket width doubling per octave.
+func TestHistLogLinearBoundaries(t *testing.T) {
+	cases := []struct{ v, want uint64 }{
+		{0, 0}, {1, 1}, {15, 15},
+		{16, 16}, {31, 31}, // second octave still exact (width 1)
+		{32, 32}, {33, 32}, {34, 34}, {63, 62}, // width-2 sub-buckets
+		{64, 64}, {100, 100}, {127, 124}, // width-4 sub-buckets
+		{1023, 992},
+		{1 << 20, 1 << 20},
+		{(1 << 20) + 1, 1 << 20},
+		{1 << 40, 1 << 40},
+	}
+	for _, c := range cases {
+		if got := histValue(histBucket(c.v)); got != c.want {
+			t.Errorf("value(bucket(%d)) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestHistP999 pins the tail quantile the churn SLO reports: a
+// 999-to-1 split must put p999 at the common value and p100 in the
+// outlier's bucket (floored to its lower bound), with Max exact.
+func TestHistP999(t *testing.T) {
+	var h Hist
+	for i := 0; i < 999; i++ {
+		h.Record(100)
+	}
+	h.Record(10000)
+	if got := h.Quantile(0.999); got != 100 {
+		t.Errorf("p999 = %d, want 100", got)
+	}
+	if got := h.Quantile(1); got != 9728 {
+		t.Errorf("p100 = %d, want 9728 (bucket floor of 10000)", got)
+	}
+	if got := h.Max(); got != 9728 {
+		t.Errorf("max = %d, want 9728 (Max floors to the top bucket)", got)
+	}
+	// One more outlier shifts p999 into the outlier bucket.
+	for i := 0; i < 9; i++ {
+		h.Record(10000)
+	}
+	if got := h.Quantile(0.999); got != 9728 {
+		t.Errorf("p999 after 10 outliers = %d, want 9728", got)
+	}
+}

@@ -1,0 +1,120 @@
+package apps
+
+// slo_test.go pins the churn SLO scorer: the three phases must
+// partition the window axis exactly (their window counts always sum to
+// the total, wherever the event lands), and the recovery rule must
+// behave at the edges — no post-event windows, all-lost windows,
+// empty baselines.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSLOWindowPartitionProperty: for arbitrary sample sets and
+// arbitrary event placement — before, inside, after, or spanning the
+// run — Baseline+During+After windows must equal the total window
+// count, and the per-phase request/lost tallies must account for every
+// sample.
+func TestSLOWindowPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cfg := SLOConfig{WindowNs: 10e3, DeadlineNs: 5e3, AvailFrac: 0.9, EpsilonP99: 0.25}
+	for trial := 0; trial < 300; trial++ {
+		ns := 1 + rng.Intn(120)
+		samples := make([]Sample, ns)
+		for i := range samples {
+			s := Sample{IssueNs: float64(rng.Intn(200_000))}
+			if rng.Intn(5) != 0 {
+				s.OK = true
+				s.RTTNs = float64(100 + rng.Intn(10_000))
+			}
+			samples[i] = s
+		}
+		// Event anywhere, including degenerate and out-of-range spans.
+		start := float64(rng.Intn(300_000)) - 50_000
+		end := start + float64(rng.Intn(60_000))
+		rep := ScoreSLO(samples, start, end, cfg)
+
+		if got := rep.Baseline.Windows + rep.During.Windows + rep.After.Windows; got != rep.Windows {
+			t.Fatalf("trial %d: phase windows %d+%d+%d != total %d (event [%.0f,%.0f])",
+				trial, rep.Baseline.Windows, rep.During.Windows, rep.After.Windows, rep.Windows, start, end)
+		}
+		if got := rep.Baseline.Requests + rep.During.Requests + rep.After.Requests; got != ns {
+			t.Fatalf("trial %d: phase requests sum %d != %d samples", trial, got, ns)
+		}
+		lost := 0
+		for _, s := range samples {
+			if !s.OK {
+				lost++
+			}
+		}
+		if got := rep.Baseline.Lost + rep.During.Lost + rep.After.Lost; got != lost {
+			t.Fatalf("trial %d: phase lost sum %d != %d", trial, got, lost)
+		}
+		if rep.Availability < 0 || rep.Availability > 1 {
+			t.Fatalf("trial %d: availability %v out of range", trial, rep.Availability)
+		}
+		if rep.Recovered && rep.RecoveryNs < 0 {
+			t.Fatalf("trial %d: negative recovery %v", trial, rep.RecoveryNs)
+		}
+	}
+}
+
+// TestSLOPhases pins a hand-built timeline: healthy windows, an event
+// window losing everything, then recovery.
+func TestSLOPhases(t *testing.T) {
+	cfg := SLOConfig{WindowNs: 100, DeadlineNs: 10, AvailFrac: 0.9, EpsilonP99: 0.25}
+	var samples []Sample
+	// Windows 0-1: healthy. Window 2: all lost. Windows 3-4: healthy.
+	for w := 0; w < 5; w++ {
+		for i := 0; i < 4; i++ {
+			s := Sample{IssueNs: float64(w*100 + i*25)}
+			if w != 2 {
+				s.OK = true
+				s.RTTNs = 8
+			}
+			samples = append(samples, s)
+		}
+	}
+	rep := ScoreSLO(samples, 200, 300, cfg)
+	if rep.Windows != 5 {
+		t.Fatalf("windows %d", rep.Windows)
+	}
+	if rep.Baseline.Windows != 2 || rep.BaselineAvailability != 1 {
+		t.Errorf("baseline: %+v", rep.Baseline)
+	}
+	if rep.During.Windows != 1 || rep.During.Lost != 4 || rep.DuringAvailability != 0 {
+		t.Errorf("during: %+v", rep.During)
+	}
+	if rep.After.Windows != 2 || rep.AfterAvailability != 1 {
+		t.Errorf("after: %+v", rep.After)
+	}
+	if !rep.Recovered || rep.RecoveryNs != 0 {
+		t.Errorf("recovery: %v %v", rep.Recovered, rep.RecoveryNs)
+	}
+
+	// An all-lost tail never recovers: p99 of a lost-only window is
+	// +Inf and the availability bar fails.
+	var tail []Sample
+	for i := 0; i < 8; i++ {
+		s := Sample{IssueNs: float64(i * 25)}
+		if i < 4 {
+			s.OK = true
+			s.RTTNs = 8
+		}
+		tail = append(tail, s)
+	}
+	rep = ScoreSLO(tail, 100, 100, cfg)
+	if rep.Recovered {
+		t.Error("all-lost tail reported recovered")
+	}
+	if rep.After.Windows != 0 || rep.During.Windows != 1 {
+		t.Errorf("tail phases: during %d after %d", rep.During.Windows, rep.After.Windows)
+	}
+
+	// Empty input: trivially recovered, all availabilities 1.
+	rep = ScoreSLO(nil, 0, 0, cfg)
+	if !rep.Recovered || rep.Availability != 1 || rep.Windows != 0 {
+		t.Errorf("empty: %+v", rep)
+	}
+}

@@ -321,3 +321,54 @@ func TestBatchODeltaGuard(t *testing.T) {
 			small, big, ratio)
 	}
 }
+
+// TestRegisterDrain: RegisterNames + ReadRegisters together form the
+// state-drain half of a failover (churn scenarios snapshot a crashed
+// switch through them), so pin enumeration order, full-array reads
+// that see batched writes, snapshot isolation, and the unknown-name
+// error.
+func TestRegisterDrain(t *testing.T) {
+	sw := New(matcherProgReg(nil))
+	if !sw.Compiled() {
+		t.Fatalf("not compiled: %v", sw.CompileErr())
+	}
+
+	names := sw.RegisterNames()
+	if len(names) != 1 || names[0] != "r0" {
+		t.Fatalf("RegisterNames = %v, want [r0]", names)
+	}
+
+	b := NewWriteBatch().
+		RegisterWrite("r0", 0, 11).
+		RegisterWrite("r0", 3, 44).
+		RegisterWrite("r0", 7, 77)
+	if _, err := sw.Write(b); err != nil {
+		t.Fatal(err)
+	}
+
+	vals, err := sw.ReadRegisters("r0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{11, 0, 0, 44, 0, 0, 0, 77}
+	if len(vals) != len(want) {
+		t.Fatalf("ReadRegisters returned %d cells, want %d", len(vals), len(want))
+	}
+	for i, v := range vals {
+		if v != want[i] {
+			t.Errorf("r0[%d] = %d, want %d", i, v, want[i])
+		}
+	}
+
+	// The returned slice is a snapshot, not a live view.
+	if _, err := sw.Write(NewWriteBatch().RegisterWrite("r0", 0, 999)); err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 11 {
+		t.Errorf("drained snapshot mutated: r0[0] = %d", vals[0])
+	}
+
+	if _, err := sw.ReadRegisters("no_such_reg"); err == nil {
+		t.Error("ReadRegisters on unknown name did not error")
+	}
+}

@@ -208,6 +208,40 @@ func (s *Switch) RegisterWrite(name string, idx int, v uint64) error {
 	return nil
 }
 
+// ReadRegisters returns a snapshot of every cell of one register file:
+// the bulk drain used by failover (read the crashed device's pool
+// state once, replay it into a standby via one WriteBatch) instead of
+// one RegisterRead round trip per cell. Unmaterialized pages read as
+// zero, exactly like the data path. Serialized against other
+// control-plane calls; concurrent in-flight packets must be quiesced
+// by the caller.
+func (s *Switch) ReadRegisters(name string) ([]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rf, ok := s.regs[name]
+	if !ok {
+		return nil, fmt.Errorf("no register %q", name)
+	}
+	out := make([]uint64, rf.size)
+	for i := range out {
+		out[i] = rf.load(i)
+	}
+	return out, nil
+}
+
+// RegisterNames returns the switch's register names in sorted order:
+// the enumeration half of a full state drain.
+func (s *Switch) RegisterNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.regs))
+	for name := range s.regs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // RegisterSize returns the number of cells, or -1.
 func (s *Switch) RegisterSize(name string) int {
 	if rf, ok := s.regs[name]; ok {

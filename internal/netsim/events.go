@@ -150,6 +150,15 @@ func (pt *part) hostDeliver(hi int32, pb *pbuf) {
 //     to 1-partition runs.
 func (pt *part) transmit(l *Link, dir int, pb *pbuf) {
 	n := pt.n
+	if l.down[dir] {
+		// Down-direction drop happens before any traversal counter or
+		// fault draw in both regimes, so the per-(link,direction) RNG
+		// streams stay aligned between serial and partitioned runs.
+		pt.ctr.LinkDownDrops++
+		pt.ctr.PacketsDropped++
+		pt.pool.release(pb)
+		return
+	}
 	if !n.pmode {
 		l.crossed++
 		if l.DropNth > 0 && l.crossed%uint64(l.DropNth) == 0 {

@@ -1,0 +1,82 @@
+package netsim
+
+// locality_test.go pins the topology-locality partition split: with a
+// fabric attached, SetPartitions cuts the locality order (chain
+// position, leaves-then-spines, pod-major fat-tree) instead of raw
+// device-id order, so the cuts fall between pods instead of slicing
+// every pod in half. Hash-chain invariance of the new split is pinned
+// end-to-end by the churn identity runs (the AGG failover timeline is
+// a fat-tree at k ∈ {2,4}).
+
+import (
+	"testing"
+
+	"netcl/internal/p4"
+	"netcl/internal/passes"
+	"netcl/internal/testutil"
+)
+
+// crossLinks counts links whose two ends land in different partitions
+// under the current assignment.
+func crossLinks(n *Network) int {
+	c := 0
+	for i := int32(0); i < n.links.count; i++ {
+		l := n.links.at(i)
+		if n.endPart(l.ends[0]) != n.endPart(l.ends[1]) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestSetPartitionsFatTreeLocality(t *testing.T) {
+	// Ids deliberately interleave the pods: edges 10,11 (pod 0) and
+	// 12,13 (pod 1), aggs 50,51 / 52,53, core 100 — id order would cut
+	// edges from aggs, crossing every pod-internal link.
+	n := NewNetwork()
+	prog := func(id uint16) *p4.Program {
+		p, _, err := testutil.CompileOne(testutil.EchoKernel, passes.TargetTNA, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	_, err := BuildFatTree(n, FatTreeSpec{
+		Pods: 2, EdgesPerPod: 2, AggsPerPod: 2,
+		CoreIDs: []uint16{100},
+		EdgeID:  func(p, i int) uint16 { return uint16(10 + p*2 + i) },
+		AggID:   func(p, i int) uint16 { return uint16(50 + p*2 + i) },
+		Prog:    prog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := n.SetPartitions(2); err != nil {
+		t.Fatal(err)
+	}
+	locality := crossLinks(n)
+
+	// The historical id-order split, imposed by hand for comparison.
+	order := append([]*Device(nil), n.devs...)
+	for i := range order {
+		for j := i + 1; j < len(order); j++ {
+			if order[j].ID < order[i].ID {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for i, d := range order {
+		d.part = int32(i * 2 / len(order))
+	}
+	byID := crossLinks(n)
+
+	if locality >= byID {
+		t.Errorf("locality split crosses %d links, id-order split %d — locality must cut fewer", locality, byID)
+	}
+	// The pod-major order keeps both pods' edge↔agg meshes whole: only
+	// pod-1's first edge and the core uplinks straddle the cut.
+	if locality > 4 {
+		t.Errorf("locality split crosses %d links, want ≤ 4", locality)
+	}
+}

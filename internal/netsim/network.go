@@ -27,6 +27,10 @@ type Network struct {
 	links     linkSlab
 	devs      []*Device
 	faults    *faults
+	// topo is the fabric last built on this network (nil when wired by
+	// hand); SetPartitions uses its locality order to cut partitions
+	// along rack/pod boundaries.
+	topo *Topo
 
 	// serial is the execution context of unpartitioned runs and
 	// doubles as partition 0 when partitions are armed.
@@ -49,6 +53,10 @@ type netCounters struct {
 	// (see InjectFaults); they are included in PacketsDropped.
 	FaultsDropped    uint64
 	FaultsDuplicated uint64
+	// LinkDownDrops counts packets offered to an administratively-down
+	// link direction (SetPortDown/SetLinkDown); included in
+	// PacketsDropped.
+	LinkDownDrops uint64
 }
 
 func (c *netCounters) fold(o *netCounters) {
@@ -56,6 +64,7 @@ func (c *netCounters) fold(o *netCounters) {
 	c.PacketsDropped += o.PacketsDropped
 	c.FaultsDropped += o.FaultsDropped
 	c.FaultsDuplicated += o.FaultsDuplicated
+	c.LinkDownDrops += o.LinkDownDrops
 }
 
 // NewNetwork creates an empty network.
@@ -97,6 +106,12 @@ type Link struct {
 	// only ever driven by the partition owning its sending end, so one
 	// counter serves both execution regimes without folding.
 	bytesDir [2]uint64
+	// down marks a direction administratively failed (FailLink events):
+	// packets offered to a down direction drop before any counter or
+	// fault-RNG draw, so flipping the flag at identical virtual times
+	// keeps the draw streams — and therefore k-partition hash identity —
+	// aligned with serial execution.
+	down [2]bool
 }
 
 // Bytes returns the bytes transmitted in one direction (0: ends[0]→
@@ -387,6 +402,57 @@ func frameInto(buf, msg []byte, src uint64) []byte {
 	}
 	copy(buf[runtime.FrameOverhead:], msg)
 	return runtime.FrameInPlace(buf, src, 0)
+}
+
+// At schedules fn to run at now+delay in the partition owning this
+// device: the scenario hook for timeline events (crash, restore,
+// control-plane batches) that must mutate device state from inside the
+// owning execution context. Call it after SetPartitions, like
+// StartTimer. fn runs in simulated time and may itself call At to
+// chain follow-up events.
+func (d *Device) At(delay Time, fn func()) {
+	pt := d.net.partForDev(d)
+	pt.sim.post(delay, event{kind: evFunc, fn: fn})
+}
+
+// Now returns the simulated time in the host's partition: the clock a
+// receive or timer callback must read (the network-wide Sim clock only
+// advances for partition 0 once partitions are armed).
+func (h *Host) Now() Time { return h.net.partFor(h.idx).sim.now }
+
+// At schedules fn at now+delay in the partition owning this host —
+// the host-side analogue of Device.At (per-host state swaps such as a
+// workload-distribution shift).
+func (h *Host) At(delay Time, fn func()) {
+	pt := h.net.partFor(h.idx)
+	pt.sim.post(delay, event{kind: evFunc, fn: fn})
+}
+
+// partForDev returns the execution context owning a device.
+func (n *Network) partForDev(d *Device) *part {
+	if len(n.parts) == 0 {
+		return &n.serial
+	}
+	return n.parts[d.part]
+}
+
+// SetPortDown administratively fails (or restores) the outgoing
+// direction of the link on one device port. Packets the device offers
+// to a down direction drop at the link (LinkDownDrops); the reverse
+// direction is unaffected unless failed from the peer. Flip it from a
+// Device.At event so the change lands at a deterministic virtual time
+// in the owning partition.
+func (d *Device) SetPortDown(port int, down bool) {
+	li := d.portLink(port)
+	if li == 0 {
+		return
+	}
+	l := d.net.links.at(li - 1)
+	dir := 0
+	if l.ends[0] != (end{node: devNode(d.idx), port: int32(port)}) {
+		dir = 1
+	}
+	l.down[dir] = down
 }
 
 // OnTimer installs the network-wide timer callback fired by

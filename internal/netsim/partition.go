@@ -62,9 +62,31 @@ func (n *Network) SetPartitions(k int) error {
 		return nil
 	}
 
-	// Devices sorted by id, cut into k balanced contiguous blocks.
-	order := append([]*Device(nil), n.devs...)
-	sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
+	// Cut the device sequence into k balanced contiguous blocks. With a
+	// fabric attached, the sequence is the topology's locality order
+	// (chain position, leaves-then-spines, pod-major fat-tree), so the
+	// cuts fall between racks/pods instead of slicing through them by
+	// device-id accident; devices wired outside the fabric follow in id
+	// order. Hand-wired networks keep the historical id-order split.
+	var order []*Device
+	if n.topo != nil && len(n.topo.locality) > 0 {
+		order = append(order, n.topo.locality...)
+		inFab := map[*Device]bool{}
+		for _, d := range order {
+			inFab[d] = true
+		}
+		var rest []*Device
+		for _, d := range n.devs {
+			if !inFab[d] {
+				rest = append(rest, d)
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i].ID < rest[j].ID })
+		order = append(order, rest...)
+	} else {
+		order = append(order, n.devs...)
+		sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
+	}
 	for i, d := range order {
 		d.part = int32(i * k / len(order))
 	}

@@ -294,3 +294,77 @@ func TestSteadyStateAllocsPerEvent(t *testing.T) {
 		t.Errorf("%.3f allocs/event on the steady-state path (want ≈0)", perEvent)
 	}
 }
+
+// runChainChurn is runChain plus a mid-run churn timeline: the second
+// chain device crashes and restarts, and the device-2→device-1 link
+// direction flaps administratively — every event at a fixed virtual
+// time through the owning partition's At hook. Returns the run plus
+// the admin-down drop count.
+func runChainChurn(t *testing.T, k int, faults FaultConfig) (chainRun, uint64) {
+	t.Helper()
+	n, _ := chainNet(t, 3)
+	n.EnableTrace()
+	if faults.Active() {
+		n.InjectFaults(faults)
+	}
+	if k > 0 {
+		if err := n.SetPartitions(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d1, d2 := n.devs[1], n.devs[2]
+	d1.At(6*Microsecond+Time(0.3), func() { d1.Pause() })
+	d1.At(11*Microsecond+Time(0.3), func() { d1.Restart() })
+	// Port 101 of device 2 faces device 1 (chainNet wires dv:100 ↔
+	// dv+1:101): downing it kills only the 2→1 direction, so the fault
+	// streams on the reverse direction stay aligned.
+	d2.At(4*Microsecond+Time(0.3), func() { d2.SetPortDown(101, true) })
+	d2.At(14*Microsecond+Time(0.3), func() { d2.SetPortDown(101, false) })
+	for i := int32(0); i < n.hs.count; i++ {
+		n.hs.at(i).StartTimer(100*Nanosecond + Time(137*i))
+	}
+	if err := n.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	return chainRun{
+		hash:      n.TraceHash(),
+		delivered: n.PacketsDelivered,
+		dropped:   n.PacketsDropped,
+		duped:     n.FaultsDuplicated,
+		processed: n.TotalProcessed(),
+		now:       n.Now(),
+	}, n.LinkDownDrops
+}
+
+// TestPartitionedChurnHashChain: the chaos-chain determinism witness
+// extended with mid-run device crash/restore and a link flap. The
+// churn events fire at fixed virtual times in their owning partitions,
+// so k ∈ {2,4} must replay the k=1 run bit for bit — drops, restarts
+// and all — while the timeline itself must visibly change the chain
+// versus the no-churn run.
+func TestPartitionedChurnHashChain(t *testing.T) {
+	cfg := FaultConfig{LossRate: 0.12, DupRate: 0.08, JitterNs: 300, Seed: 42}
+	base, linkDrops := runChainChurn(t, 1, cfg)
+	if base.delivered == 0 {
+		t.Fatal("churn run delivered nothing")
+	}
+	if linkDrops == 0 {
+		t.Fatal("link flap dropped nothing — the timeline missed the traffic")
+	}
+	plain := runChain(t, 1, cfg)
+	if base.hash == plain.hash {
+		t.Error("churn timeline left the delivery chain unchanged")
+	}
+	if base.delivered >= plain.delivered {
+		t.Errorf("crash+flap lost no deliveries: churn %d vs plain %d", base.delivered, plain.delivered)
+	}
+	for _, k := range []int{2, 4} {
+		got, gotDrops := runChainChurn(t, k, cfg)
+		if got != base {
+			t.Errorf("k=%d churn run diverged from k=1: %+v vs %+v", k, got, base)
+		}
+		if gotDrops != linkDrops {
+			t.Errorf("k=%d admin-down drops %d, want %d", k, gotDrops, linkDrops)
+		}
+	}
+}
